@@ -1,0 +1,85 @@
+// Fig. 10 — ablation study on the online-retail workload: how much each
+// PM-Blade technique contributes.
+//
+//   PMBlade-SSD : no PM at all (level-0 on SSD)
+//   PMB-P       : + PM level-0 (array tables), conventional compaction
+//   PMB-PI      : + internal compaction & cost models
+//   PMB-PIC     : + compressed PM tables
+//   PMBlade     : + coroutine-based major compaction (everything)
+//
+// Reported per configuration: avg read / scan / write latency and
+// normalized throughput (PMBlade-SSD = 1.0).
+//
+// Paper shape: each step helps; internal compaction is the largest
+// contributor (read -29%, write -27%, scan -43%), the full system beats
+// PMB-P by ~40-54% latency and +51% throughput.
+//
+// Flags: --load_orders (default 400), --transactions (default 1200).
+
+#include "benchutil/reporter.h"
+#include "benchutil/retail_workload.h"
+#include "benchutil/runner.h"
+
+using namespace pmblade;        // NOLINT
+using namespace pmblade::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  RetailOptions ropts;
+  ropts.load_orders = flags.Int("load_orders", 400);
+  ropts.transactions = flags.Int("transactions", 1200);
+  ropts.bytes_per_order = flags.Int("bytes_per_order", 8192);
+
+  const EngineConfig configs[] = {
+      EngineConfig::kPmBladeSsd, EngineConfig::kPmbP, EngineConfig::kPmbPI,
+      EngineConfig::kPmbPIC, EngineConfig::kPmBlade,
+  };
+
+  TablePrinter lat({"configuration", "read avg", "scan avg", "write avg"});
+  TablePrinter thr({"configuration", "tx/s", "normalized"});
+  double base_throughput = 0;
+
+  for (EngineConfig config : configs) {
+    BenchEnvOptions eopts;
+    eopts.root = "/tmp/pmblade_bench_fig10";
+    eopts.memtable_bytes = 256 << 10;
+    eopts.l0_budget_large = 24 << 20;
+    RetailWorkload boundaries_probe(ropts);
+    eopts.partition_boundaries = boundaries_probe.PartitionBoundaries(8);
+
+    BenchEnv env(eopts);
+    KvEngine* engine = nullptr;
+    Status s = env.OpenEngine(config, &engine);
+    if (!s.ok()) {
+      fprintf(stderr, "open %s: %s\n", EngineConfigName(config),
+              s.ToString().c_str());
+      return 1;
+    }
+
+    RetailWorkload workload(ropts);
+    RetailResult load_result, run_result;
+    s = workload.Load(engine, &load_result);
+    if (s.ok()) s = workload.Run(engine, &run_result);
+    if (!s.ok()) {
+      fprintf(stderr, "workload %s: %s\n", EngineConfigName(config),
+              s.ToString().c_str());
+      return 1;
+    }
+
+    lat.AddRow({EngineConfigName(config),
+                TablePrinter::FmtNanos(run_result.read_latency.Average()),
+                TablePrinter::FmtNanos(run_result.scan_latency.Average()),
+                TablePrinter::FmtNanos(run_result.write_latency.Average())});
+    double tps = run_result.ThroughputTxPerSec();
+    if (base_throughput == 0) base_throughput = tps;
+    thr.AddRow({EngineConfigName(config), TablePrinter::Fmt(tps, 0),
+                TablePrinter::Fmt(tps / base_throughput, 2) + "x"});
+  }
+
+  lat.Print("Fig. 10(a): per-operation latency, retail workload ablation");
+  thr.Print("Fig. 10(b): throughput, retail workload ablation");
+  printf("\npaper shape: every technique helps; internal compaction "
+         "contributes the most;\nPMBlade ends ~1.5x PMB-P throughput\n");
+  return 0;
+}

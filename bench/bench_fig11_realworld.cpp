@@ -1,0 +1,103 @@
+// Fig. 11 — full-system comparison on the online-retail workload:
+// RocksDB-style baseline, MatrixKV with a small (8 GB-equivalent) and a
+// large (80 GB-equivalent) PM budget, and PMBlade.
+//
+//   (a) write amplification (PM + SSD split)
+//   (b) read latency   (c) write latency   (d) scan latency
+//   (e) normalized throughput
+//
+// Paper's shape: PMBlade writes only ~18% of RocksDB's amplification bytes
+// (and most of what remains lands on PM); it leads every latency metric and
+// reaches ~3.7x RocksDB / ~2.5x MatrixKV throughput.
+//
+// Flags: --load_orders (default 400), --transactions (default 1200).
+
+#include "benchutil/reporter.h"
+#include "benchutil/retail_workload.h"
+#include "benchutil/runner.h"
+
+using namespace pmblade;        // NOLINT
+using namespace pmblade::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  RetailOptions ropts;
+  ropts.load_orders = flags.Int("load_orders", 400);
+  ropts.transactions = flags.Int("transactions", 1200);
+  ropts.bytes_per_order = flags.Int("bytes_per_order", 8192);
+
+  const EngineConfig configs[] = {
+      EngineConfig::kRocksStyle,
+      EngineConfig::kMatrixKvSmall,
+      EngineConfig::kMatrixKvLarge,
+      EngineConfig::kPmBlade,
+  };
+
+  TablePrinter wa({"engine", "user bytes", "PM written", "SSD written",
+                   "WA total", "vs RocksDB"});
+  TablePrinter lat({"engine", "read avg", "write avg", "scan avg"});
+  TablePrinter thr({"engine", "tx/s", "normalized"});
+  double rocks_wa = 0, rocks_tps = 0;
+
+  for (EngineConfig config : configs) {
+    BenchEnvOptions eopts;
+    eopts.root = "/tmp/pmblade_bench_fig11";
+    eopts.memtable_bytes = 256 << 10;
+    eopts.l0_budget_large = 24 << 20;
+    eopts.l0_budget_small = 3 << 20;
+    RetailWorkload boundaries_probe(ropts);
+    eopts.partition_boundaries = boundaries_probe.PartitionBoundaries(8);
+
+    BenchEnv env(eopts);
+    KvEngine* engine = nullptr;
+    Status s = env.OpenEngine(config, &engine);
+    if (!s.ok()) {
+      fprintf(stderr, "open %s: %s\n", EngineConfigName(config),
+              s.ToString().c_str());
+      return 1;
+    }
+
+    RetailWorkload workload(ropts);
+    RetailResult load_result, run_result;
+    s = workload.Load(engine, &load_result);
+    if (s.ok()) s = workload.Run(engine, &run_result);
+    if (!s.ok()) {
+      fprintf(stderr, "workload %s: %s\n", EngineConfigName(config),
+              s.ToString().c_str());
+      return 1;
+    }
+    (void)env.FlushEngine();
+
+    uint64_t user = env.UserBytesWritten();
+    uint64_t pm = env.PmBytesWritten();
+    uint64_t ssd = env.SsdBytesWritten();
+    double wa_total = user > 0 ? static_cast<double>(pm + ssd) / user : 0;
+    if (config == EngineConfig::kRocksStyle) rocks_wa = wa_total;
+    wa.AddRow({EngineConfigName(config), TablePrinter::FmtBytes(user),
+               TablePrinter::FmtBytes(pm), TablePrinter::FmtBytes(ssd),
+               TablePrinter::Fmt(wa_total, 2) + "x",
+               TablePrinter::Fmt(rocks_wa > 0 ? 100.0 * wa_total / rocks_wa
+                                              : 100.0,
+                                 0) +
+                   "%"});
+
+    lat.AddRow({EngineConfigName(config),
+                TablePrinter::FmtNanos(run_result.read_latency.Average()),
+                TablePrinter::FmtNanos(run_result.write_latency.Average()),
+                TablePrinter::FmtNanos(run_result.scan_latency.Average())});
+
+    double tps = run_result.ThroughputTxPerSec();
+    if (config == EngineConfig::kRocksStyle) rocks_tps = tps;
+    thr.AddRow({EngineConfigName(config), TablePrinter::Fmt(tps, 0),
+                TablePrinter::Fmt(rocks_tps > 0 ? tps / rocks_tps : 1.0, 2) +
+                    "x"});
+  }
+
+  wa.Print("Fig. 11(a): write amplification, retail workload");
+  lat.Print("Fig. 11(b-d): operation latency, retail workload");
+  thr.Print("Fig. 11(e): normalized throughput, retail workload");
+  printf("\npaper shape: PMBlade ~18%% of RocksDB's WA, lowest latencies, "
+         "~3.7x RocksDB and\n~2.5x MatrixKV throughput\n");
+  return 0;
+}

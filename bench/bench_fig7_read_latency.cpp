@@ -1,0 +1,202 @@
+// Fig. 7 — read performance and internal compaction.
+//
+// (a) Level-0 read latency as data accumulates, under a 50/50 read/write
+//     mix, for three configurations:
+//       PMBlade     — internal compaction keeps level-0 sorted: flat latency
+//       PMBlade-PM  — PM level-0 but no internal compaction: latency grows
+//                     with the number of unsorted tables (read amp.)
+//       PMBlade-SSD — conventional SSD level-0: slowest, grows too
+//
+// (b) Read latency while a compaction runs: average and p99.9 for PMBlade
+//     (internal compaction), PMBlade-SSD (traditional compaction), and the
+//     noComp variants. Paper: internal compaction raises avg ~1.7x and
+//     p99.9 ~5.3x over noComp, but stays a small fraction of the SSD
+//     configuration's disturbance.
+//
+// Flags: --rounds (default 10), --ops_per_round (default 1500),
+//        --value_size (default 256).
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "benchutil/reporter.h"
+#include "benchutil/runner.h"
+#include "benchutil/workload.h"
+#include "core/db_impl.h"
+#include "util/clock.h"
+
+using namespace pmblade;        // NOLINT
+using namespace pmblade::bench; // NOLINT
+
+namespace {
+
+struct SeriesPoint {
+  uint64_t data_written = 0;
+  double avg_read_nanos = 0;
+};
+
+std::vector<SeriesPoint> RunMixedSeries(EngineConfig config, int rounds,
+                                        int ops_per_round,
+                                        size_t value_size) {
+  BenchEnvOptions eopts;
+  eopts.root = "/tmp/pmblade_bench_fig7";
+  eopts.memtable_bytes = 128 << 10;
+  // Keep everything in level-0 for the read-amplification comparison.
+  eopts.l0_budget_large = 1ull << 40;
+  BenchEnv env(eopts);
+  KvEngine* engine = nullptr;
+  Status s = env.OpenEngine(config, &engine);
+  if (!s.ok()) {
+    fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+
+  KeySpec spec;
+  spec.num_keys = 20000;
+  spec.zipf_theta = 0.8;
+  spec.seed = 4;
+  KeyGenerator keys(spec);
+  ValueGenerator values(value_size);
+  Random rng(8);
+  Clock* clock = SystemClock();
+
+  std::vector<SeriesPoint> series;
+  uint64_t written = 0;
+  for (int round = 0; round < rounds; ++round) {
+    uint64_t read_nanos = 0;
+    uint64_t reads = 0;
+    for (int op = 0; op < ops_per_round; ++op) {
+      uint64_t index = keys.NextIndex();
+      if (rng.OneIn(2)) {
+        std::string value = values.For(index);
+        s = engine->Put(keys.KeyAt(index), value);
+        written += value.size();
+      } else {
+        std::string value;
+        uint64_t start = clock->NowNanos();
+        Status rs = engine->Get(keys.KeyAt(index), &value);
+        read_nanos += clock->NowNanos() - start;
+        ++reads;
+        if (!rs.ok() && !rs.IsNotFound()) s = rs;
+      }
+      if (!s.ok()) {
+        fprintf(stderr, "op: %s\n", s.ToString().c_str());
+        exit(1);
+      }
+    }
+    series.push_back(SeriesPoint{
+        written, reads > 0 ? static_cast<double>(read_nanos) / reads : 0});
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int rounds = static_cast<int>(flags.Int("rounds", 10));
+  const int ops = static_cast<int>(flags.Int("ops_per_round", 1500));
+  const size_t value_size = flags.Int("value_size", 256);
+
+  // ---- (a) latency vs accumulated data ----
+  auto pmblade = RunMixedSeries(EngineConfig::kPmBlade, rounds, ops,
+                                value_size);
+  auto pm_only = RunMixedSeries(EngineConfig::kPmBladePm, rounds, ops,
+                                value_size);
+  auto ssd = RunMixedSeries(EngineConfig::kPmBladeSsd, rounds, ops,
+                            value_size);
+
+  TablePrinter a({"data written", "PMBlade", "PMBlade-PM", "PMBlade-SSD"});
+  for (int i = 0; i < rounds; ++i) {
+    a.AddRow({TablePrinter::FmtBytes(pmblade[i].data_written),
+              TablePrinter::FmtNanos(pmblade[i].avg_read_nanos),
+              TablePrinter::FmtNanos(pm_only[i].avg_read_nanos),
+              TablePrinter::FmtNanos(ssd[i].avg_read_nanos)});
+  }
+  a.Print("Fig. 7(a): level-0 read latency vs data volume (50/50 mix)");
+  printf("\npaper shape: PMBlade stays flat; PMBlade-PM grows (unsorted "
+         "tables pile up);\nPMBlade-SSD highest\n");
+
+  // ---- (b) reads racing a compaction ----
+  struct CaseResult {
+    const char* name;
+    double avg = 0, p999 = 0;
+  };
+  std::vector<CaseResult> cases;
+
+  auto run_case = [&](const char* name, EngineConfig config,
+                      bool trigger_compaction) {
+    BenchEnvOptions eopts;
+    eopts.root = "/tmp/pmblade_bench_fig7b";
+    eopts.memtable_bytes = 128 << 10;
+    eopts.l0_budget_large = 1ull << 40;
+    BenchEnv env(eopts);
+    KvEngine* engine = nullptr;
+    Status s = env.OpenEngine(config, &engine);
+    if (!s.ok()) {
+      fprintf(stderr, "open: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+    // Load ~1k entries and leave them unsorted in level-0.
+    KeySpec spec;
+    spec.num_keys = 4000;
+    spec.seed = 5;
+    KeyGenerator keys(spec);
+    ValueGenerator values(value_size);
+    for (uint64_t i = 0; i < spec.num_keys; ++i) {
+      (void)engine->Put(keys.KeyAt(i), values.For(i));
+    }
+    (void)engine->Flush();
+
+    // Reads from a second thread race the (inline, mutex-holding)
+    // compaction on the main thread — reads that catch the compaction wait
+    // it out, exactly the paper's "impact on ongoing reads".
+    Histogram read_latency;
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+      Random rng(17);
+      Clock* clock = SystemClock();
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::string value;
+        uint64_t start = clock->NowNanos();
+        (void)engine->Get(keys.KeyAt(rng.Uniform(spec.num_keys)), &value);
+        read_latency.Add(clock->NowNanos() - start);
+      }
+    });
+    Clock* clock = SystemClock();
+    uint64_t deadline = clock->NowNanos() + 50'000'000;  // 50 ms of reads
+    if (trigger_compaction) {
+      DB* db = env.pmblade_db();
+      if (config == EngineConfig::kPmBlade) {
+        (void)db->CompactLevel0();
+      } else {
+        (void)db->CompactToLevel1(false);
+      }
+    }
+    while (clock->NowNanos() < deadline) {
+      clock->SleepForNanos(1'000'000);
+    }
+    stop.store(true);
+    reader.join();
+
+    cases.push_back(CaseResult{name, read_latency.Average(),
+                               read_latency.Percentile(99.9)});
+  };
+
+  run_case("PMBlade (internal comp.)", EngineConfig::kPmBlade, true);
+  run_case("PMBlade-noComp", EngineConfig::kPmBlade, false);
+  run_case("PMBlade-SSD (trad. comp.)", EngineConfig::kPmBladeSsd, true);
+  run_case("PMBlade-SSD-noComp", EngineConfig::kPmBladeSsd, false);
+
+  TablePrinter b({"configuration", "avg read", "p99.9 read"});
+  for (const auto& c : cases) {
+    b.AddRow({c.name, TablePrinter::FmtNanos(c.avg),
+              TablePrinter::FmtNanos(c.p999)});
+  }
+  b.Print("Fig. 7(b): read latency while compaction runs");
+  printf("\npaper shape: internal compaction perturbs reads (avg ~1.7x, "
+         "p99.9 ~5x over noComp)\nbut stays far below the SSD "
+         "configuration's compaction impact\n");
+  return 0;
+}

@@ -1,0 +1,260 @@
+// google-benchmark microbenchmarks for the storage primitives: table
+// builds and point lookups across L0 structures (short DB-style keys and
+// long index-style keys), plus the foundational codecs (CRC32C, LZ,
+// varints, skiplist, zipfian sampling).
+//
+// Latency injection is OFF here: these measure pure CPU costs of the
+// implementations, complementing the bench_* harnesses which measure
+// modeled device behaviour.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "compress/lz.h"
+#include "memtable/skiplist_memtable.h"
+#include "pm/pm_pool.h"
+#include "pmtable/array_table.h"
+#include "pmtable/pm_table_builder.h"
+#include "util/crc32c.h"
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace pmblade {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq) {
+  std::string out;
+  AppendInternalKey(&out, user_key, seq, kTypeValue);
+  return out;
+}
+
+std::string ShortKey(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "t00|o%010llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+std::string LongKey(uint64_t i) {
+  char buf[128];
+  snprintf(buf, sizeof(buf),
+           "idx_orders_by_user_city_status|user%016llu|city%08llu|o%012llu",
+           static_cast<unsigned long long>(i / 4),
+           static_cast<unsigned long long>(i % 97),
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+class PoolFixture {
+ public:
+  PoolFixture() {
+    path_ = "/tmp/pmblade_micro.pm";
+    ::remove(path_.c_str());
+    PmPoolOptions opts;
+    opts.capacity = 512ull << 20;
+    opts.latency.inject_latency = false;
+    Status s = PmPool::Open(path_, opts, &pool_);
+    if (!s.ok()) abort();
+  }
+  ~PoolFixture() { ::remove(path_.c_str()); }
+  PmPool* pool() { return pool_.get(); }
+
+ private:
+  std::string path_;
+  std::unique_ptr<PmPool> pool_;
+};
+
+PoolFixture* Fixture() {
+  static PoolFixture fixture;
+  return &fixture;
+}
+
+template <typename Builder, typename TableType>
+std::shared_ptr<TableType> BuildSorted(Builder& builder, bool long_keys,
+                                       int n) {
+  std::map<std::string, std::string> sorted;
+  for (int i = 0; i < n; ++i) {
+    sorted[long_keys ? LongKey(i) : ShortKey(i)] = "value-" +
+                                                   std::to_string(i);
+  }
+  for (auto& [k, v] : sorted) builder.Add(IKey(k, 10), v);
+  std::shared_ptr<TableType> table;
+  Status s = builder.Finish(&table);
+  if (!s.ok()) abort();
+  return table;
+}
+
+void BM_PmTableBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PmTableBuilder builder(Fixture()->pool(), PmTableOptions{});
+    auto table = BuildSorted<PmTableBuilder, PmTable>(builder, false, n);
+    benchmark::DoNotOptimize(table);
+    table->Destroy();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PmTableBuild)->Arg(1000)->Arg(10000);
+
+void BM_ArrayTableBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ArrayTableBuilder builder(Fixture()->pool());
+    auto table = BuildSorted<ArrayTableBuilder, ArrayTable>(builder, false,
+                                                            n);
+    benchmark::DoNotOptimize(table);
+    table->Destroy();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ArrayTableBuild)->Arg(1000)->Arg(10000);
+
+template <typename TableType>
+void SeekLoop(benchmark::State& state, const TableType& table, bool long_keys,
+              int n) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  Random rnd(7);
+  for (auto _ : state) {
+    uint64_t i = rnd.Uniform(n);
+    LookupKey lkey(long_keys ? LongKey(i) : ShortKey(i),
+                   kMaxSequenceNumber);
+    std::string value;
+    bool found = false;
+    Status rs;
+    Status s = L0TableGet(*table, icmp, lkey, &value, &found, &rs);
+    if (!s.ok() || !found) abort();
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PmTableGetShortKeys(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PmTableBuilder builder(Fixture()->pool(), PmTableOptions{});
+  auto table = BuildSorted<PmTableBuilder, PmTable>(builder, false, n);
+  SeekLoop(state, table, false, n);
+  table->Destroy();
+}
+BENCHMARK(BM_PmTableGetShortKeys)->Arg(10000)->Arg(100000);
+
+void BM_PmTableGetLongKeys(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PmTableBuilder builder(Fixture()->pool(), PmTableOptions{});
+  auto table = BuildSorted<PmTableBuilder, PmTable>(builder, true, n);
+  SeekLoop(state, table, true, n);
+  table->Destroy();
+}
+BENCHMARK(BM_PmTableGetLongKeys)->Arg(10000)->Arg(100000);
+
+void BM_ArrayTableGetShortKeys(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ArrayTableBuilder builder(Fixture()->pool());
+  auto table =
+      BuildSorted<ArrayTableBuilder, ArrayTable>(builder, false, n);
+  SeekLoop(state, table, false, n);
+  table->Destroy();
+}
+BENCHMARK(BM_ArrayTableGetShortKeys)->Arg(10000)->Arg(100000);
+
+void BM_ArrayTableGetLongKeys(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ArrayTableBuilder builder(Fixture()->pool());
+  auto table = BuildSorted<ArrayTableBuilder, ArrayTable>(builder, true, n);
+  SeekLoop(state, table, true, n);
+  table->Destroy();
+}
+BENCHMARK(BM_ArrayTableGetLongKeys)->Arg(10000)->Arg(100000);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_LzCompress(benchmark::State& state) {
+  Random rnd(5);
+  std::string data;
+  for (int i = 0; i < state.range(0) / 32; ++i) {
+    data += "order-status:paid;rider:assigned;";
+    rnd.RandomBytes(8, &data);
+  }
+  for (auto _ : state) {
+    std::string out;
+    lz::Compress(data, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_LzCompress)->Arg(4096)->Arg(65536);
+
+void BM_LzDecompress(benchmark::State& state) {
+  Random rnd(5);
+  std::string data;
+  for (int i = 0; i < state.range(0) / 32; ++i) {
+    data += "order-status:paid;rider:assigned;";
+    rnd.RandomBytes(8, &data);
+  }
+  std::string compressed;
+  lz::Compress(data, &compressed);
+  for (auto _ : state) {
+    std::string out;
+    if (!lz::Decompress(compressed, &out).ok()) abort();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_LzDecompress)->Arg(4096)->Arg(65536);
+
+void BM_MemTableAdd(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  uint64_t seq = 1;
+  Random rnd(3);
+  std::string key;
+  for (auto _ : state) {
+    rnd.RandomString(16, &key);
+    mem->Add(seq++, kTypeValue, key, "value");
+  }
+  state.SetItemsProcessed(state.iterations());
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableAdd);
+
+void BM_MemTableGet(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  for (uint64_t i = 0; i < 100000; ++i) {
+    mem->Add(i + 1, kTypeValue, ShortKey(i), "value");
+  }
+  Random rnd(9);
+  for (auto _ : state) {
+    std::string value;
+    Status s;
+    LookupKey lkey(ShortKey(rnd.Uniform(100000)), kMaxSequenceNumber);
+    if (!mem->Get(lkey, &value, &s)) abort();
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations());
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ScrambledZipfianGenerator gen(1'000'000, 0.99, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+}  // namespace
+}  // namespace pmblade
+
+BENCHMARK_MAIN();

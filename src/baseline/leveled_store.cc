@@ -1,0 +1,277 @@
+#include "baseline/leveled_store.h"
+
+#include <cmath>
+
+#include "compaction/internal_compaction.h"
+#include "compaction/merging_iterator.h"
+
+namespace pmblade {
+
+LeveledStore::LeveledStore(const LeveledStoreOptions& options,
+                           const InternalKeyComparator* icmp,
+                           L0TableFactory* factory)
+    : options_(options), icmp_(icmp), factory_(factory) {
+  levels_.resize(options_.max_levels);
+  compact_cursor_.resize(options_.max_levels, 0);
+}
+
+uint64_t LeveledStore::TargetBytes(int level) const {
+  // level is 0-based into levels_ (0 == L1).
+  return static_cast<uint64_t>(
+      options_.level1_target_bytes *
+      std::pow(options_.level_multiplier, level));
+}
+
+uint64_t LeveledStore::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& table : levels_[level]) total += table->size_bytes();
+  return total;
+}
+
+uint64_t LeveledStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (int level = 0; level < NumLevels(); ++level) {
+    total += LevelBytes(level);
+  }
+  return total;
+}
+
+uint64_t LeveledStore::NumFiles() const {
+  uint64_t total = 0;
+  for (const auto& run : levels_) total += run.size();
+  return total;
+}
+
+void LeveledStore::InstallLevel(int level, std::vector<L0TableRef> run) {
+  levels_[level] = std::move(run);
+}
+
+Status LeveledStore::MergeIntoLevel1(std::vector<Iterator*> inputs,
+                                     SequenceNumber oldest_snapshot) {
+  // New data is newer than everything already in L1.
+  std::vector<L0TableRef> old_l1 = levels_[0];
+  inputs.push_back(NewRunIterator(icmp_, old_l1));
+
+  // Reuse the internal-compaction merge machinery for the rewrite: it
+  // dedupes by user key, honors the snapshot floor and splits the output
+  // into target-sized files. Tombstones survive unless this store is empty
+  // below L1.
+  bool bottom = true;
+  for (int level = 1; level < NumLevels(); ++level) {
+    if (!levels_[level].empty()) {
+      bottom = false;
+      break;
+    }
+  }
+
+  std::vector<L0TableRef> temp_tables;  // adapt iterators into the API
+  InternalCompactionOptions copts;
+  copts.target_table_bytes = options_.target_file_bytes;
+  copts.drop_tombstones = bottom;
+  copts.oldest_snapshot = oldest_snapshot;
+
+  // RunInternalCompaction takes tables, not iterators; merge here instead
+  // and drive the factory directly with the same dedup/segment helpers via
+  // a local merged stream.
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(icmp_, std::move(inputs)));
+  merged->SeekToFirst();
+
+  std::vector<L0TableRef> outputs;
+  std::string last_user_key;
+  bool has_last = false;
+  SequenceNumber last_visible = 0;
+
+  while (merged->Valid()) {
+    // Build one output file worth of deduplicated records.
+    class FileSlice final : public Iterator {
+     public:
+      FileSlice(Iterator* base, const InternalKeyComparator* icmp,
+                uint64_t limit_bytes, bool drop_tombstones,
+                SequenceNumber snapshot_floor, std::string* last_user_key,
+                bool* has_last, SequenceNumber* last_visible)
+          : base_(base),
+            icmp_(icmp),
+            limit_(limit_bytes),
+            drop_tombstones_(drop_tombstones),
+            floor_(snapshot_floor),
+            last_key_(last_user_key),
+            has_last_(has_last),
+            last_visible_(last_visible) {
+        SkipObsolete();
+      }
+
+      bool Valid() const override {
+        return base_->Valid() && emitted_ < limit_;
+      }
+      void SeekToFirst() override {}
+      void SeekToLast() override {}
+      void Seek(const Slice&) override {}
+      void Prev() override {}
+      void Next() override {
+        emitted_ += base_->key().size() + base_->value().size();
+        base_->Next();
+        SkipObsolete();
+      }
+      Slice key() const override { return base_->key(); }
+      Slice value() const override { return base_->value(); }
+      Status status() const override { return base_->status(); }
+
+     private:
+      void SkipObsolete() {
+        while (base_->Valid()) {
+          ParsedInternalKey parsed;
+          if (!ParseInternalKey(base_->key(), &parsed)) return;
+          bool same = *has_last_ &&
+                      icmp_->user_comparator()->Compare(
+                          parsed.user_key, Slice(*last_key_)) == 0;
+          if (same) {
+            if (*last_visible_ <= floor_) {
+              base_->Next();
+              continue;
+            }
+            *last_visible_ = parsed.sequence;
+            return;
+          }
+          last_key_->assign(parsed.user_key.data(), parsed.user_key.size());
+          *has_last_ = true;
+          *last_visible_ = parsed.sequence;
+          if (drop_tombstones_ && parsed.type == kTypeDeletion &&
+              parsed.sequence <= floor_) {
+            base_->Next();
+            continue;
+          }
+          return;
+        }
+      }
+
+      Iterator* base_;
+      const InternalKeyComparator* icmp_;
+      uint64_t limit_;
+      bool drop_tombstones_;
+      SequenceNumber floor_;
+      std::string* last_key_;
+      bool* has_last_;
+      SequenceNumber* last_visible_;
+      uint64_t emitted_ = 0;
+    };
+
+    FileSlice slice(merged.get(), icmp_, options_.target_file_bytes,
+                    copts.drop_tombstones, oldest_snapshot, &last_user_key,
+                    &has_last, &last_visible);
+    L0TableRef out;
+    PMBLADE_RETURN_IF_ERROR(factory_->BuildFrom(&slice, &out));
+    if (out == nullptr) break;  // everything left was obsolete
+    outputs.push_back(std::move(out));
+  }
+  PMBLADE_RETURN_IF_ERROR(merged->status());
+  merged.reset();
+
+  levels_[0] = std::move(outputs);
+  for (auto& table : old_l1) table->Destroy();
+
+  return CascadeCompactions(oldest_snapshot);
+}
+
+Status LeveledStore::CascadeCompactions(SequenceNumber oldest_snapshot) {
+  for (int level = 0; level + 1 < NumLevels(); ++level) {
+    while (LevelBytes(level) > TargetBytes(level)) {
+      PMBLADE_RETURN_IF_ERROR(CompactLevel(level, oldest_snapshot));
+    }
+  }
+  return Status::OK();
+}
+
+Status LeveledStore::CompactLevel(int level, SequenceNumber oldest_snapshot) {
+  if (levels_[level].empty()) return Status::OK();
+
+  // Round-robin pick one file from `level`, plus all overlapping files in
+  // level+1.
+  size_t pick = compact_cursor_[level] % levels_[level].size();
+  compact_cursor_[level] = pick + 1;
+  L0TableRef input = levels_[level][pick];
+
+  std::vector<L0TableRef> overlapping;
+  std::vector<L0TableRef> next_keep;
+  const Comparator* ucmp = icmp_->user_comparator();
+  for (const auto& table : levels_[level + 1]) {
+    bool overlaps =
+        ucmp->Compare(ExtractUserKey(table->largest()),
+                      ExtractUserKey(input->smallest())) >= 0 &&
+        ucmp->Compare(ExtractUserKey(table->smallest()),
+                      ExtractUserKey(input->largest())) <= 0;
+    if (overlaps) {
+      overlapping.push_back(table);
+    } else {
+      next_keep.push_back(table);
+    }
+  }
+
+  bool bottom = true;
+  for (int l = level + 2; l < NumLevels(); ++l) {
+    if (!levels_[l].empty()) {
+      bottom = false;
+      break;
+    }
+  }
+
+  std::vector<L0TableRef> inputs = {input};
+  for (auto& table : overlapping) inputs.push_back(table);
+
+  InternalCompactionOptions copts;
+  copts.target_table_bytes = options_.target_file_bytes;
+  copts.drop_tombstones = bottom;
+  copts.oldest_snapshot = oldest_snapshot;
+
+  std::vector<L0TableRef> outputs;
+  InternalCompactionStats stats;
+  PMBLADE_RETURN_IF_ERROR(RunInternalCompaction(copts, *icmp_, inputs,
+                                                factory_, &outputs, &stats));
+
+  // Remove the input from `level`.
+  std::vector<L0TableRef> level_keep;
+  for (const auto& table : levels_[level]) {
+    if (table->id() != input->id()) level_keep.push_back(table);
+  }
+  levels_[level] = std::move(level_keep);
+
+  // Merge outputs into level+1's run, keeping key order (outputs span the
+  // input range, disjoint from next_keep).
+  std::vector<L0TableRef> new_next;
+  size_t out_idx = 0;
+  for (const auto& table : next_keep) {
+    while (out_idx < outputs.size() &&
+           ucmp->Compare(ExtractUserKey(outputs[out_idx]->smallest()),
+                         ExtractUserKey(table->smallest())) < 0) {
+      new_next.push_back(outputs[out_idx++]);
+    }
+    new_next.push_back(table);
+  }
+  while (out_idx < outputs.size()) new_next.push_back(outputs[out_idx++]);
+  levels_[level + 1] = std::move(new_next);
+
+  input->Destroy();
+  for (auto& table : overlapping) table->Destroy();
+  return Status::OK();
+}
+
+Status LeveledStore::Get(const LookupKey& lkey, std::string* value,
+                         bool* found, Status* result_status) const {
+  *found = false;
+  for (const auto& run : levels_) {
+    PMBLADE_RETURN_IF_ERROR(
+        RunGet(run, *icmp_, lkey, value, found, result_status));
+    if (*found) return Status::OK();
+  }
+  return Status::OK();
+}
+
+void LeveledStore::AppendIterators(std::vector<Iterator*>* children) const {
+  for (const auto& run : levels_) {
+    if (!run.empty()) {
+      children->push_back(NewRunIterator(icmp_, run));
+    }
+  }
+}
+
+}  // namespace pmblade

@@ -1,0 +1,121 @@
+#include "benchutil/reporter.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pmblade {
+namespace bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::FmtBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ull << 30)) {
+    snprintf(buf, sizeof(buf), "%.2f GiB", bytes / double(1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    snprintf(buf, sizeof(buf), "%.2f MiB", bytes / double(1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    snprintf(buf, sizeof(buf), "%.2f KiB", bytes / double(1ull << 10));
+  } else {
+    snprintf(buf, sizeof(buf), "%llu B",
+             static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string TablePrinter::FmtNanos(double nanos) {
+  char buf[64];
+  if (nanos >= 1e9) {
+    snprintf(buf, sizeof(buf), "%.2f s", nanos / 1e9);
+  } else if (nanos >= 1e6) {
+    snprintf(buf, sizeof(buf), "%.2f ms", nanos / 1e6);
+  } else if (nanos >= 1e3) {
+    snprintf(buf, sizeof(buf), "%.2f us", nanos / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%.0f ns", nanos);
+  }
+  return buf;
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const char* cell = c < row.size() ? row[c].c_str() : "";
+      printf("%-*s%s", static_cast<int>(widths[c]), cell,
+             c + 1 < widths.size() ? "  " : "\n");
+    }
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  for (size_t i = 0; i + 2 < total; ++i) putchar('-');
+  putchar('\n');
+  for (const auto& row : rows_) print_row(row);
+  fflush(stdout);
+}
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (strncmp(arg, "--", 2) != 0) continue;
+    const char* eq = strchr(arg + 2, '=');
+    if (eq != nullptr) {
+      kv_.emplace_back(std::string(arg + 2, eq - arg - 2),
+                       std::string(eq + 1));
+    } else {
+      kv_.emplace_back(std::string(arg + 2), "true");
+    }
+  }
+}
+
+int64_t Flags::Int(const std::string& name, int64_t default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return strtoll(v.c_str(), nullptr, 10);
+  }
+  return default_value;
+}
+
+double Flags::Double(const std::string& name, double default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return strtod(v.c_str(), nullptr);
+  }
+  return default_value;
+}
+
+bool Flags::Bool(const std::string& name, bool default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return v == "true" || v == "1";
+  }
+  return default_value;
+}
+
+std::string Flags::Str(const std::string& name,
+                       const std::string& default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return v;
+  }
+  return default_value;
+}
+
+}  // namespace bench
+}  // namespace pmblade

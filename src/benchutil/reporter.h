@@ -1,0 +1,50 @@
+// Table/series reporters: the bench binaries print paper-style tables with
+// aligned columns to stdout.
+
+#ifndef PMBLADE_BENCHUTIL_REPORTER_H_
+#define PMBLADE_BENCHUTIL_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace pmblade {
+namespace bench {
+
+/// Accumulates rows and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Formats a double with `precision` decimals.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string FmtBytes(uint64_t bytes);
+  static std::string FmtNanos(double nanos);
+
+  /// Prints "== title ==", the header, a rule, and the rows.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Simple command-line flag access: --name=value. Unknown flags are ignored
+/// so every bench accepts a common set.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+  int64_t Int(const std::string& name, int64_t default_value) const;
+  double Double(const std::string& name, double default_value) const;
+  bool Bool(const std::string& name, bool default_value) const;
+  std::string Str(const std::string& name,
+                  const std::string& default_value) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace bench
+}  // namespace pmblade
+
+#endif  // PMBLADE_BENCHUTIL_REPORTER_H_

@@ -1,0 +1,231 @@
+#include "benchutil/retail_workload.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/clock.h"
+#include "util/zipfian.h"
+
+namespace pmblade {
+namespace bench {
+
+RetailWorkload::RetailWorkload(const RetailOptions& options)
+    : options_(options), rng_(options.seed), clock_(SystemClock()) {}
+
+std::string RetailWorkload::RowKey(int table, uint64_t order) const {
+  char buf[48];
+  snprintf(buf, sizeof(buf), "t%02d|o%010llu", table,
+           static_cast<unsigned long long>(order));
+  return buf;
+}
+
+std::string RetailWorkload::IndexKey(int table, int index,
+                                     uint64_t column_value,
+                                     uint64_t order) const {
+  char buf[80];
+  snprintf(buf, sizeof(buf), "x%02d_%d|c%08llu|o%010llu", table, index,
+           static_cast<unsigned long long>(column_value),
+           static_cast<unsigned long long>(order));
+  return buf;
+}
+
+uint64_t RetailWorkload::PickRecentOrder() {
+  if (next_order_ == 0) return 0;
+  // Zipf rank over recency: rank 0 = newest order.
+  ZipfianGenerator zipf(next_order_, options_.recency_theta,
+                        options_.seed + rng_.Uniform(1u << 20));
+  uint64_t rank = zipf.Next();
+  return next_order_ - 1 - rank;
+}
+
+Status RetailWorkload::InsertOrder(KvEngine* engine, uint64_t order,
+                                   Histogram* latency) {
+  const uint64_t start = clock_->NowNanos();
+  // An order touches 3-5 tables; the payload is split across them.
+  int tables_touched = 3 + static_cast<int>(rng_.Uniform(3));
+  size_t row_bytes = options_.bytes_per_order / tables_touched;
+
+  for (int t = 0; t < tables_touched; ++t) {
+    int table = static_cast<int>(rng_.Uniform(options_.num_tables));
+    // Row payload: ~columns_per_table columns worth of data.
+    std::string row;
+    row.reserve(row_bytes);
+    for (int c = 0; c < options_.columns_per_table && row.size() < row_bytes;
+         ++c) {
+      char col[32];
+      snprintf(col, sizeof(col), "c%02d=", c);
+      row += col;
+      rng_.RandomBytes(row_bytes / options_.columns_per_table, &row);
+      row.push_back(';');
+    }
+    row.resize(row_bytes);
+    PMBLADE_RETURN_IF_ERROR(engine->Put(RowKey(table, order), row));
+
+    // Secondary index entries (random column values -> random writes).
+    for (int i = 0; i < options_.indexes_per_table; ++i) {
+      uint64_t column_value = rng_.Uniform(100'000'000);
+      char rowid[24];
+      snprintf(rowid, sizeof(rowid), "o%010llu",
+               static_cast<unsigned long long>(order));
+      PMBLADE_RETURN_IF_ERROR(
+          engine->Put(IndexKey(table, i, column_value, order), rowid));
+    }
+  }
+  latency->Add(clock_->NowNanos() - start);
+  return Status::OK();
+}
+
+Status RetailWorkload::UpdateOrder(KvEngine* engine, uint64_t order,
+                                   Histogram* latency) {
+  const uint64_t start = clock_->NowNanos();
+  int table = static_cast<int>(rng_.Uniform(options_.num_tables));
+  // Status transition: rewrite the row with a new status column...
+  std::string row;
+  Status s = engine->Get(RowKey(table, order), &row);
+  if (s.IsNotFound()) {
+    // Order never touched this table; write a fresh small status row.
+    row.clear();
+  } else if (!s.ok()) {
+    return s;
+  }
+  char status[48];
+  snprintf(status, sizeof(status), "status=%llu;",
+           static_cast<unsigned long long>(rng_.Uniform(8)));
+  row += status;
+  PMBLADE_RETURN_IF_ERROR(engine->Put(RowKey(table, order), row));
+  // ...and touch one index (index tables are small but updated randomly —
+  // the paper calls out exactly this as a write-amplification source).
+  int index = static_cast<int>(rng_.Uniform(options_.indexes_per_table));
+  uint64_t column_value = rng_.Uniform(100'000'000);
+  char rowid[24];
+  snprintf(rowid, sizeof(rowid), "o%010llu",
+           static_cast<unsigned long long>(order));
+  PMBLADE_RETURN_IF_ERROR(
+      engine->Put(IndexKey(table, index, column_value, order), rowid));
+  latency->Add(clock_->NowNanos() - start);
+  return Status::OK();
+}
+
+Status RetailWorkload::IndexQuery(KvEngine* engine, uint64_t order,
+                                  Histogram* scan_lat, Histogram* read_lat) {
+  int table = static_cast<int>(rng_.Uniform(options_.num_tables));
+  int index = static_cast<int>(rng_.Uniform(options_.indexes_per_table));
+
+  // Scan the index table for row ids.
+  const uint64_t scan_start = clock_->NowNanos();
+  char prefix[16];
+  snprintf(prefix, sizeof(prefix), "x%02d_%d|", table, index);
+  std::unique_ptr<Iterator> it(engine->NewScanIterator());
+  char seek[40];
+  snprintf(seek, sizeof(seek), "%sc%08llu", prefix,
+           static_cast<unsigned long long>(rng_.Uniform(100'000'000)));
+  it->Seek(seek);
+  std::string row_id;
+  for (int j = 0; j < options_.index_scan_length && it->Valid(); ++j) {
+    if (!it->key().starts_with(prefix)) break;
+    row_id = it->value().ToString();
+    it->Next();
+  }
+  PMBLADE_RETURN_IF_ERROR(it->status());
+  it.reset();
+  scan_lat->Add(clock_->NowNanos() - scan_start);
+
+  // Point-read the row the index pointed at (fall back to a known order if
+  // the scan ran dry).
+  const uint64_t read_start = clock_->NowNanos();
+  std::string key;
+  if (!row_id.empty()) {
+    key = "t";
+    char buf[40];
+    snprintf(buf, sizeof(buf), "t%02d|%s", table, row_id.c_str());
+    key = buf;
+  } else {
+    key = RowKey(table, order);
+  }
+  std::string row;
+  Status s = engine->Get(key, &row);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  read_lat->Add(clock_->NowNanos() - read_start);
+  return Status::OK();
+}
+
+Status RetailWorkload::PointRead(KvEngine* engine, uint64_t order,
+                                 Histogram* latency) {
+  const uint64_t start = clock_->NowNanos();
+  int table = static_cast<int>(rng_.Uniform(options_.num_tables));
+  std::string row;
+  Status s = engine->Get(RowKey(table, order), &row);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  latency->Add(clock_->NowNanos() - start);
+  return Status::OK();
+}
+
+Status RetailWorkload::Load(KvEngine* engine, RetailResult* result) {
+  *result = RetailResult{};
+  const uint64_t start = clock_->NowNanos();
+  for (uint64_t i = 0; i < options_.load_orders; ++i) {
+    PMBLADE_RETURN_IF_ERROR(
+        InsertOrder(engine, next_order_++, &result->write_latency));
+  }
+  result->transactions = options_.load_orders;
+  result->duration_nanos = clock_->NowNanos() - start;
+  return Status::OK();
+}
+
+Status RetailWorkload::Run(KvEngine* engine, RetailResult* result) {
+  *result = RetailResult{};
+  const uint64_t start = clock_->NowNanos();
+  for (uint64_t i = 0; i < options_.transactions; ++i) {
+    double r = rng_.NextDouble();
+    if (r < options_.index_query_fraction) {
+      PMBLADE_RETURN_IF_ERROR(IndexQuery(engine, PickRecentOrder(),
+                                         &result->scan_latency,
+                                         &result->read_latency));
+    } else if (r < options_.index_query_fraction + options_.update_fraction) {
+      PMBLADE_RETURN_IF_ERROR(
+          UpdateOrder(engine, PickRecentOrder(), &result->write_latency));
+    } else if (r < options_.index_query_fraction + options_.update_fraction +
+                       options_.new_order_fraction) {
+      PMBLADE_RETURN_IF_ERROR(
+          InsertOrder(engine, next_order_++, &result->write_latency));
+    } else {
+      PMBLADE_RETURN_IF_ERROR(
+          PointRead(engine, PickRecentOrder(), &result->read_latency));
+    }
+  }
+  result->transactions = options_.transactions;
+  result->duration_nanos = clock_->NowNanos() - start;
+  return Status::OK();
+}
+
+std::vector<std::string> RetailWorkload::PartitionBoundaries(
+    int partitions) const {
+  // Key space: record tables "t00".."t09", then indexes "x00_0".."x09_2".
+  // Split proportionally: half the partitions over record tables, half over
+  // index tables.
+  std::vector<std::string> boundaries;
+  int record_parts = partitions / 2;
+  for (int i = 1; i <= record_parts; ++i) {
+    int table = options_.num_tables * i / (record_parts + 1);
+    char buf[16];
+    snprintf(buf, sizeof(buf), "t%02d", table);
+    boundaries.emplace_back(buf);
+  }
+  boundaries.emplace_back("x");  // records | indexes divide
+  int index_parts = partitions - record_parts - 1;
+  for (int i = 1; i <= index_parts; ++i) {
+    int table = options_.num_tables * i / (index_parts + 1);
+    char buf[16];
+    snprintf(buf, sizeof(buf), "x%02d", table);
+    boundaries.emplace_back(buf);
+  }
+  // Deduplicate and keep strictly ascending.
+  std::vector<std::string> out;
+  for (auto& b : boundaries) {
+    if (out.empty() || out.back() < b) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace pmblade

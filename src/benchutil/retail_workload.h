@@ -1,0 +1,112 @@
+// Online-retail workload: a synthetic stand-in for the paper's production
+// workload (Section VI-D), reproducing every property the paper states:
+//
+//   * 10 record tables, ~10 columns each;
+//   * 3 secondary-index tables per record table (index on frequently
+//     accessed columns);
+//   * an order touches several tables and writes ~100 KB in total
+//     (sequential inserts + random index updates);
+//   * as an order progresses its status is updated repeatedly (hot data);
+//   * reads are recency-skewed: index queries obtain row ids via a short
+//     scan on an index table, then point-read the row (warm data);
+//   * over time orders go cold and are rarely touched.
+//
+// Keys use the "<table>|<components>" shape the PM table's meta layer
+// extracts:
+//   record row : "t<T>|o<order>"                    -> row payload
+//   index entry: "x<T>_<I>|<column-value>|o<order>" -> row id
+
+#ifndef PMBLADE_BENCHUTIL_RETAIL_WORKLOAD_H_
+#define PMBLADE_BENCHUTIL_RETAIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kv_engine.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace pmblade {
+namespace bench {
+
+struct RetailOptions {
+  int num_tables = 10;
+  int columns_per_table = 10;
+  int indexes_per_table = 3;
+  /// Bytes an order writes across all tables (paper: ~100 KB; scaled).
+  size_t bytes_per_order = 8 * 1024;
+  /// Orders created during the load phase.
+  uint64_t load_orders = 2000;
+  /// Transactions executed during the run phase.
+  uint64_t transactions = 5000;
+  /// Zipf skew of which recent orders get read/updated.
+  double recency_theta = 0.9;
+  /// Fraction of transactions that are: index query / status update / new
+  /// order (remainder = point read by primary key).
+  double index_query_fraction = 0.4;
+  double update_fraction = 0.3;
+  double new_order_fraction = 0.15;
+  int index_scan_length = 20;
+  uint64_t seed = 42;
+};
+
+struct RetailResult {
+  uint64_t transactions = 0;
+  uint64_t duration_nanos = 0;
+  Histogram read_latency;   // point reads (primary key + post-index)
+  Histogram scan_latency;   // index scans
+  Histogram write_latency;  // inserts + updates
+
+  double ThroughputTxPerSec() const {
+    return duration_nanos == 0
+               ? 0.0
+               : static_cast<double>(transactions) * 1e9 / duration_nanos;
+  }
+};
+
+class RetailWorkload {
+ public:
+  explicit RetailWorkload(const RetailOptions& options);
+
+  /// Inserts `load_orders` complete orders.
+  Status Load(KvEngine* engine, RetailResult* result);
+
+  /// Executes `transactions` mixed transactions over the loaded data; new
+  /// orders extend the order space.
+  Status Run(KvEngine* engine, RetailResult* result);
+
+  /// Boundaries splitting the record/index key space into `partitions`
+  /// ranges (for pmblade::DB's partitioned LSM).
+  std::vector<std::string> PartitionBoundaries(int partitions) const;
+
+  uint64_t next_order() const { return next_order_; }
+
+ private:
+  std::string RowKey(int table, uint64_t order) const;
+  std::string IndexKey(int table, int index, uint64_t column_value,
+                       uint64_t order) const;
+
+  /// Writes one full order (rows in several tables + index entries).
+  Status InsertOrder(KvEngine* engine, uint64_t order, Histogram* latency);
+  /// Updates an order's status columns (row rewrite + one index update).
+  Status UpdateOrder(KvEngine* engine, uint64_t order, Histogram* latency);
+  /// Index scan to find row ids, then point-read one row.
+  Status IndexQuery(KvEngine* engine, uint64_t order, Histogram* scan_lat,
+                    Histogram* read_lat);
+  Status PointRead(KvEngine* engine, uint64_t order, Histogram* latency);
+
+  /// Recency-skewed order pick over [0, next_order_).
+  uint64_t PickRecentOrder();
+
+  RetailOptions options_;
+  Random rng_;
+  uint64_t next_order_ = 0;
+  Clock* clock_;
+};
+
+}  // namespace bench
+}  // namespace pmblade
+
+#endif  // PMBLADE_BENCHUTIL_RETAIL_WORKLOAD_H_

@@ -1,0 +1,186 @@
+#include "benchutil/runner.h"
+
+#include "core/db_impl.h"
+
+namespace pmblade {
+namespace bench {
+
+const char* EngineConfigName(EngineConfig config) {
+  switch (config) {
+    case EngineConfig::kPmBlade: return "PMBlade";
+    case EngineConfig::kPmBladePm: return "PMBlade-PM";
+    case EngineConfig::kPmBladeSsd: return "PMBlade-SSD";
+    case EngineConfig::kPmbP: return "PMB-P";
+    case EngineConfig::kPmbPI: return "PMB-PI";
+    case EngineConfig::kPmbPIC: return "PMB-PIC";
+    case EngineConfig::kRocksStyle: return "RocksDB";
+    case EngineConfig::kMatrixKvSmall: return "MatrixKV-8";
+    case EngineConfig::kMatrixKvLarge: return "MatrixKV-80";
+  }
+  return "?";
+}
+
+BenchEnv::BenchEnv(const BenchEnvOptions& options) : options_(options) {
+  SsdModelOptions mopts;
+  mopts.inject_latency = options_.inject_ssd_latency;
+  model_.reset(new SsdModel(mopts));
+  sim_env_.reset(new SimEnv(PosixEnv(), model_.get()));
+  PosixEnv()->RemoveDirRecursively(options_.root);
+  PosixEnv()->CreateDir(options_.root);
+}
+
+BenchEnv::~BenchEnv() { CloseAndCleanup(); }
+
+void BenchEnv::CloseAndCleanup() {
+  db_.reset();
+  matrix_.reset();
+  leveled_.reset();
+  engine_ = nullptr;
+  PosixEnv()->RemoveDirRecursively(options_.root);
+}
+
+Status BenchEnv::OpenEngine(EngineConfig config, KvEngine** engine) {
+  CloseAndCleanup();
+  PMBLADE_RETURN_IF_ERROR(PosixEnv()->CreateDir(options_.root));
+  config_ = config;
+  model_->ResetStats();
+  const std::string dbname = options_.root + "/db";
+
+  switch (config) {
+    case EngineConfig::kPmBlade:
+    case EngineConfig::kPmBladePm:
+    case EngineConfig::kPmBladeSsd:
+    case EngineConfig::kPmbP:
+    case EngineConfig::kPmbPI:
+    case EngineConfig::kPmbPIC: {
+      Options opts;
+      opts.env = sim_env_.get();
+      opts.ssd_model = model_.get();
+      opts.memtable_bytes = options_.memtable_bytes;
+      opts.pm_pool_capacity = options_.pm_pool_capacity;
+      opts.pm_latency.inject_latency = options_.inject_pm_latency;
+      opts.partition_boundaries = options_.partition_boundaries;
+      opts.cost.tau_m = options_.l0_budget_large;
+      opts.cost.tau_t = options_.l0_budget_large / 2;
+      opts.cost.tau_w = options_.memtable_bytes * 4;
+      opts.internal_table_target_bytes = options_.memtable_bytes * 4;
+      opts.block_cache_bytes = options_.block_cache_bytes;
+
+      switch (config) {
+        case EngineConfig::kPmBlade:
+          opts.l0_layout = L0Layout::kPmTable;
+          opts.enable_internal_compaction = true;
+          opts.enable_cost_model = true;
+          opts.major.engine = CompactionEngine::kPmBlade;
+          break;
+        case EngineConfig::kPmBladePm:
+          // Large PM level-0 but the conventional compaction policy: whole
+          // level-0 moves down at a table-count threshold.
+          opts.l0_layout = L0Layout::kPmTable;
+          opts.enable_internal_compaction = false;
+          opts.enable_cost_model = false;
+          opts.l0_table_trigger = 8;
+          opts.major.engine = CompactionEngine::kThread;
+          break;
+        case EngineConfig::kPmBladeSsd:
+          opts.l0_layout = L0Layout::kSstable;
+          opts.enable_internal_compaction = false;
+          opts.enable_cost_model = false;
+          opts.l0_table_trigger = 4;
+          opts.major.engine = CompactionEngine::kThread;
+          break;
+        case EngineConfig::kPmbP:
+          opts.l0_layout = L0Layout::kArrayTable;
+          opts.enable_internal_compaction = false;
+          opts.enable_cost_model = false;
+          opts.l0_table_trigger = 8;
+          opts.major.engine = CompactionEngine::kThread;
+          break;
+        case EngineConfig::kPmbPI:
+          opts.l0_layout = L0Layout::kArrayTable;
+          opts.enable_internal_compaction = true;
+          opts.enable_cost_model = true;
+          opts.major.engine = CompactionEngine::kThread;
+          break;
+        case EngineConfig::kPmbPIC:
+          opts.l0_layout = L0Layout::kPmTable;
+          opts.enable_internal_compaction = true;
+          opts.enable_cost_model = true;
+          opts.major.engine = CompactionEngine::kThread;
+          break;
+        default:
+          break;
+      }
+      PMBLADE_RETURN_IF_ERROR(DB::Open(opts, dbname, &db_));
+      engine_ = db_.get();
+      break;
+    }
+
+    case EngineConfig::kRocksStyle: {
+      LeveledDbOptions opts;
+      opts.env = sim_env_.get();
+      opts.memtable_bytes = options_.memtable_bytes;
+      opts.l0_compaction_trigger = 4;
+      opts.levels.level1_target_bytes = options_.memtable_bytes * 4;
+      opts.levels.target_file_bytes = options_.memtable_bytes;
+      opts.block_cache_bytes = options_.block_cache_bytes;
+      PMBLADE_RETURN_IF_ERROR(LeveledDb::Open(opts, dbname, &leveled_));
+      engine_ = leveled_.get();
+      break;
+    }
+
+    case EngineConfig::kMatrixKvSmall:
+    case EngineConfig::kMatrixKvLarge: {
+      MatrixKvOptions opts;
+      opts.env = sim_env_.get();
+      opts.memtable_bytes = options_.memtable_bytes;
+      opts.pm_budget_bytes = config == EngineConfig::kMatrixKvSmall
+                                 ? options_.l0_budget_small
+                                 : options_.l0_budget_large;
+      opts.pm_pool_capacity = options_.pm_pool_capacity;
+      opts.pm_latency.inject_latency = options_.inject_pm_latency;
+      opts.levels.level1_target_bytes = options_.memtable_bytes * 4;
+      opts.levels.target_file_bytes = options_.memtable_bytes;
+      opts.block_cache_bytes = options_.block_cache_bytes;
+      PMBLADE_RETURN_IF_ERROR(MatrixKvDb::Open(opts, dbname, &matrix_));
+      engine_ = matrix_.get();
+      break;
+    }
+  }
+  *engine = engine_;
+  return Status::OK();
+}
+
+uint64_t BenchEnv::PmBytesWritten() const {
+  if (db_ != nullptr) {
+    return static_cast<DBImpl*>(db_.get())->pm_pool()->stats().bytes_written();
+  }
+  if (matrix_ != nullptr) {
+    return matrix_->pm_pool()->stats().bytes_written();
+  }
+  return 0;
+}
+
+uint64_t BenchEnv::UserBytesWritten() const {
+  const DbStatistics* stats = statistics();
+  return stats != nullptr ? stats->user_bytes_written() : 0;
+}
+
+double BenchEnv::PmHitRatio() const {
+  const DbStatistics* stats = statistics();
+  return stats != nullptr ? stats->PmHitRatio() : 0.0;
+}
+
+const DbStatistics* BenchEnv::statistics() const {
+  if (db_ != nullptr) return &db_->statistics();
+  if (matrix_ != nullptr) return &matrix_->statistics();
+  if (leveled_ != nullptr) return &leveled_->statistics();
+  return nullptr;
+}
+
+Status BenchEnv::FlushEngine() {
+  return engine_ != nullptr ? engine_->Flush() : Status::OK();
+}
+
+}  // namespace bench
+}  // namespace pmblade

@@ -1,0 +1,111 @@
+// BenchEnv: shared device simulators + engine factory for the benchmark
+// harnesses. Centralizes the paper's system configurations so every bench
+// builds engines the same way:
+//
+//   PMBlade       — PM table level-0, internal compaction, cost models,
+//                   coroutine major compaction        (all techniques)
+//   PMBlade-PM    — PM level-0 but the conventional whole-level compaction
+//                   policy (no internal compaction, no cost models)
+//   PMBlade-SSD   — level-0 on the SSD (no PM at all)
+//   PMB-P         — PM level-0 with array tables, no internal compaction
+//   PMB-PI        — + internal compaction & cost models (array tables)
+//   PMB-PIC       — + compressed PM tables (thread-based major compaction)
+//   RocksDB-style — the conventional leveled LSM baseline
+//   MatrixKV      — matrix-container baseline (small or large PM budget)
+
+#ifndef PMBLADE_BENCHUTIL_RUNNER_H_
+#define PMBLADE_BENCHUTIL_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/leveled_db.h"
+#include "baseline/matrixkv_db.h"
+#include "core/db.h"
+#include "env/sim_env.h"
+
+namespace pmblade {
+namespace bench {
+
+enum class EngineConfig {
+  kPmBlade,
+  kPmBladePm,
+  kPmBladeSsd,
+  kPmbP,
+  kPmbPI,
+  kPmbPIC,
+  kRocksStyle,
+  kMatrixKvSmall,
+  kMatrixKvLarge,
+};
+
+const char* EngineConfigName(EngineConfig config);
+
+struct BenchEnvOptions {
+  std::string root;  // working directory for DB files + pools
+  bool inject_ssd_latency = true;
+  bool inject_pm_latency = true;
+  uint64_t pm_pool_capacity = 256ull << 20;
+  size_t memtable_bytes = 1 << 20;
+  /// Level-0 budget sizing for the PM-Blade configs (tau_m / tau_t) and the
+  /// MatrixKV budgets. "large" mimics the 80 GB configs, "small" the 8 GB
+  /// MatrixKV default, at bench scale.
+  uint64_t l0_budget_large = 48ull << 20;
+  uint64_t l0_budget_small = 5ull << 20;
+  /// DRAM block cache for SSD-resident tables. Scaled down with the bench
+  /// data sizes (the paper's datasets dwarf its cache; a bench-sized cache
+  /// must not swallow the whole working set or SSD configs never touch the
+  /// device).
+  size_t block_cache_bytes = 256 << 10;
+  std::vector<std::string> partition_boundaries;
+};
+
+/// Owns one SSD model + SimEnv shared by the engine under test, plus the
+/// currently open engine. Construct one per configuration run.
+class BenchEnv {
+ public:
+  explicit BenchEnv(const BenchEnvOptions& options);
+  ~BenchEnv();
+
+  /// Destroys any previous state under root and opens a fresh engine.
+  Status OpenEngine(EngineConfig config, KvEngine** engine);
+
+  /// Total bytes written to the simulated SSD since the engine opened.
+  uint64_t SsdBytesWritten() const { return model_->bytes_written(); }
+  /// Total bytes written to PM (0 for PM-less configs).
+  uint64_t PmBytesWritten() const;
+  /// User payload bytes accepted by the engine.
+  uint64_t UserBytesWritten() const;
+  double PmHitRatio() const;
+  const DbStatistics* statistics() const;
+
+  SsdModel* ssd_model() { return model_.get(); }
+  SimEnv* sim_env() { return sim_env_.get(); }
+  DB* pmblade_db() { return db_.get(); }
+  MatrixKvDb* matrixkv_db() { return matrix_.get(); }
+  LeveledDb* leveled_db() { return leveled_.get(); }
+  EngineConfig config() const { return config_; }
+
+  /// Forces everything down to its resting place (flush; engines compact on
+  /// their own policies).
+  Status FlushEngine();
+
+ private:
+  void CloseAndCleanup();
+
+  BenchEnvOptions options_;
+  std::unique_ptr<SsdModel> model_;
+  std::unique_ptr<SimEnv> sim_env_;
+  EngineConfig config_ = EngineConfig::kPmBlade;
+
+  std::unique_ptr<DB> db_;
+  std::unique_ptr<MatrixKvDb> matrix_;
+  std::unique_ptr<LeveledDb> leveled_;
+  KvEngine* engine_ = nullptr;
+};
+
+}  // namespace bench
+}  // namespace pmblade
+
+#endif  // PMBLADE_BENCHUTIL_RUNNER_H_

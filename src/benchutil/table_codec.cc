@@ -1,0 +1,171 @@
+#include "benchutil/table_codec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "util/coding.h"
+
+namespace pmblade {
+namespace bench {
+
+std::string TableCodec::RowKey(uint64_t primary_key) const {
+  char buf[40];
+  snprintf(buf, sizeof(buf), "r%03u|%016llx", schema_.table_id,
+           static_cast<unsigned long long>(primary_key));
+  return buf;
+}
+
+std::string TableCodec::IndexColumnPrefix(uint32_t column) const {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "i%03u_%02u|", schema_.table_id, column);
+  return buf;
+}
+
+std::string TableCodec::IndexPrefix(uint32_t column,
+                                    const Slice& column_value) const {
+  std::string key = IndexColumnPrefix(column);
+  key.append(column_value.data(), column_value.size());
+  key.push_back('|');
+  return key;
+}
+
+std::string TableCodec::IndexKey(uint32_t column, const Slice& column_value,
+                                 uint64_t primary_key) const {
+  std::string key = IndexPrefix(column, column_value);
+  char buf[24];
+  snprintf(buf, sizeof(buf), "%016llx",
+           static_cast<unsigned long long>(primary_key));
+  key += buf;
+  return key;
+}
+
+void TableCodec::EncodeRow(const std::vector<std::string>& columns,
+                           std::string* row) const {
+  row->clear();
+  PutVarint32(row, static_cast<uint32_t>(columns.size()));
+  for (const auto& value : columns) {
+    PutLengthPrefixedSlice(row, value);
+  }
+}
+
+bool TableCodec::DecodeRow(const Slice& row,
+                           std::vector<std::string>* columns) const {
+  columns->clear();
+  Slice in = row;
+  uint32_t n = 0;
+  if (!GetVarint32(&in, &n)) return false;
+  columns->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice value;
+    if (!GetLengthPrefixedSlice(&in, &value)) return false;
+    columns->push_back(value.ToString());
+  }
+  return in.empty();
+}
+
+bool TableCodec::IsIndexed(uint32_t column) const {
+  return std::find(schema_.indexed_columns.begin(),
+                   schema_.indexed_columns.end(),
+                   column) != schema_.indexed_columns.end();
+}
+
+Status TableCodec::InsertRow(
+    KvEngine* engine, uint64_t primary_key,
+    const std::vector<std::string>& columns) const {
+  if (columns.size() != schema_.num_columns) {
+    return Status::InvalidArgument("column count does not match schema");
+  }
+  std::string row;
+  EncodeRow(columns, &row);
+  PMBLADE_RETURN_IF_ERROR(engine->Put(RowKey(primary_key), row));
+  char pk[24];
+  snprintf(pk, sizeof(pk), "%016llx",
+           static_cast<unsigned long long>(primary_key));
+  for (uint32_t column : schema_.indexed_columns) {
+    PMBLADE_RETURN_IF_ERROR(
+        engine->Put(IndexKey(column, columns[column], primary_key), pk));
+  }
+  return Status::OK();
+}
+
+Status TableCodec::GetRow(KvEngine* engine, uint64_t primary_key,
+                          std::vector<std::string>* columns) const {
+  std::string row;
+  PMBLADE_RETURN_IF_ERROR(engine->Get(RowKey(primary_key), &row));
+  if (!DecodeRow(row, columns)) {
+    return Status::Corruption("malformed row encoding");
+  }
+  return Status::OK();
+}
+
+Status TableCodec::UpdateColumn(KvEngine* engine, uint64_t primary_key,
+                                uint32_t column,
+                                const std::string& value) const {
+  if (column >= schema_.num_columns) {
+    return Status::InvalidArgument("column out of range");
+  }
+  std::vector<std::string> columns;
+  PMBLADE_RETURN_IF_ERROR(GetRow(engine, primary_key, &columns));
+  columns[column] = value;
+  std::string row;
+  EncodeRow(columns, &row);
+  PMBLADE_RETURN_IF_ERROR(engine->Put(RowKey(primary_key), row));
+  if (IsIndexed(column)) {
+    char pk[24];
+    snprintf(pk, sizeof(pk), "%016llx",
+             static_cast<unsigned long long>(primary_key));
+    PMBLADE_RETURN_IF_ERROR(
+        engine->Put(IndexKey(column, value, primary_key), pk));
+  }
+  return Status::OK();
+}
+
+Status TableCodec::IndexQuery(KvEngine* engine, uint32_t column,
+                              const Slice& column_value, int limit,
+                              std::vector<uint64_t>* primary_keys) const {
+  primary_keys->clear();
+  if (!IsIndexed(column)) {
+    return Status::InvalidArgument("column has no index");
+  }
+  std::string prefix = IndexPrefix(column, column_value);
+  std::unique_ptr<Iterator> it(engine->NewScanIterator());
+  for (it->Seek(prefix);
+       it->Valid() && it->key().starts_with(prefix) &&
+       static_cast<int>(primary_keys->size()) < limit;
+       it->Next()) {
+    uint64_t pk = 0;
+    if (!ParsePrimaryKey(it->key(), &pk)) {
+      return Status::Corruption("malformed index key");
+    }
+    // Verify through the row: superseded index entries (the column changed
+    // since) must not count as matches.
+    std::vector<std::string> columns;
+    Status s = GetRow(engine, pk, &columns);
+    if (s.IsNotFound()) continue;  // row deleted
+    PMBLADE_RETURN_IF_ERROR(s);
+    if (Slice(columns[column]) == column_value) {
+      primary_keys->push_back(pk);
+    }
+  }
+  return it->status();
+}
+
+bool TableCodec::ParsePrimaryKey(const Slice& key, uint64_t* primary_key) {
+  // The primary key is the 16-hex-digit suffix of both row and index keys.
+  if (key.size() < 16) return false;
+  const char* hex = key.data() + key.size() - 16;
+  uint64_t value = 0;
+  for (int i = 0; i < 16; ++i) {
+    char c = hex[i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= c - '0';
+    else if (c >= 'a' && c <= 'f') value |= c - 'a' + 10;
+    else return false;
+  }
+  *primary_key = value;
+  return true;
+}
+
+}  // namespace bench
+}  // namespace pmblade

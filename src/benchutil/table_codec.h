@@ -1,0 +1,90 @@
+// Record/index-table codecs over the key-value store — the database-table
+// layer the paper's benchmark_kv tool adds on top of db_bench ("support for
+// creating record tables and index tables on key-value stores").
+//
+// A record table stores rows under "r<table>|<pk>" with the row encoded as
+// length-prefixed column values. An index table maps
+// "i<table>_<index>|<column-value>|<pk>" -> <pk>, so an index query is a
+// prefix scan followed by point reads — exactly the read pattern of the
+// paper's workload (Section VI-D).
+
+#ifndef PMBLADE_BENCHUTIL_TABLE_CODEC_H_
+#define PMBLADE_BENCHUTIL_TABLE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kv_engine.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pmblade {
+namespace bench {
+
+/// Schema of one record table: column count and which columns carry
+/// secondary indexes.
+struct TableSchema {
+  uint32_t table_id = 0;
+  uint32_t num_columns = 10;
+  std::vector<uint32_t> indexed_columns;  // column ids with an index table
+};
+
+/// Encodes/decodes rows and computes the KV-level keys for a schema.
+class TableCodec {
+ public:
+  explicit TableCodec(const TableSchema& schema) : schema_(schema) {}
+
+  // ---- key construction ----
+  std::string RowKey(uint64_t primary_key) const;
+  std::string IndexKey(uint32_t column, const Slice& column_value,
+                       uint64_t primary_key) const;
+  /// Prefix matching all index entries of `column` with `column_value`.
+  std::string IndexPrefix(uint32_t column, const Slice& column_value) const;
+  /// Prefix matching all index entries of `column`.
+  std::string IndexColumnPrefix(uint32_t column) const;
+
+  // ---- row encoding ----
+  /// Serializes `columns` (one value per column, schema order) into *row.
+  void EncodeRow(const std::vector<std::string>& columns,
+                 std::string* row) const;
+  /// Parses an encoded row. Returns false on malformed input.
+  bool DecodeRow(const Slice& row, std::vector<std::string>* columns) const;
+
+  // ---- engine-level operations ----
+  /// Writes the row and all its index entries (old index entries for
+  /// changed values are superseded, not removed — LSM semantics; index
+  /// scans must verify through the row, as the paper's workload does).
+  Status InsertRow(KvEngine* engine, uint64_t primary_key,
+                   const std::vector<std::string>& columns) const;
+
+  /// Reads and decodes a row.
+  Status GetRow(KvEngine* engine, uint64_t primary_key,
+                std::vector<std::string>* columns) const;
+
+  /// Updates one column of an existing row (read-modify-write), refreshing
+  /// the column's index entry if indexed.
+  Status UpdateColumn(KvEngine* engine, uint64_t primary_key,
+                      uint32_t column, const std::string& value) const;
+
+  /// Index query: scans up to `limit` index entries for `column_value` and
+  /// point-reads each referenced row. Returns the matching primary keys.
+  Status IndexQuery(KvEngine* engine, uint32_t column,
+                    const Slice& column_value, int limit,
+                    std::vector<uint64_t>* primary_keys) const;
+
+  const TableSchema& schema() const { return schema_; }
+
+  /// Parses the primary key out of a row or index key; false if malformed.
+  static bool ParsePrimaryKey(const Slice& key, uint64_t* primary_key);
+
+ private:
+  bool IsIndexed(uint32_t column) const;
+
+  TableSchema schema_;
+};
+
+}  // namespace bench
+}  // namespace pmblade
+
+#endif  // PMBLADE_BENCHUTIL_TABLE_CODEC_H_

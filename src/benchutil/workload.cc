@@ -1,0 +1,97 @@
+#include "benchutil/workload.h"
+
+#include <cstdio>
+
+namespace pmblade {
+namespace bench {
+
+KeyGenerator::KeyGenerator(const KeySpec& spec)
+    : spec_(spec), uniform_(spec.seed) {
+  switch (spec_.distribution) {
+    case Distribution::kZipfian:
+      if (spec_.scramble) {
+        scrambled_.reset(new ScrambledZipfianGenerator(
+            spec_.num_keys, spec_.zipf_theta, spec_.seed));
+      } else {
+        zipf_.reset(new ZipfianGenerator(spec_.num_keys, spec_.zipf_theta,
+                                         spec_.seed));
+      }
+      break;
+    case Distribution::kLatest:
+      latest_.reset(new LatestGenerator(spec_.num_keys, spec_.zipf_theta,
+                                        spec_.seed));
+      break;
+    case Distribution::kUniform:
+    case Distribution::kSequential:
+      break;
+  }
+}
+
+uint64_t KeyGenerator::NextIndex() {
+  switch (spec_.distribution) {
+    case Distribution::kUniform:
+      return uniform_.Uniform(spec_.num_keys);
+    case Distribution::kZipfian:
+      return spec_.scramble ? scrambled_->Next() : zipf_->Next();
+    case Distribution::kLatest:
+      return latest_->Next();
+    case Distribution::kSequential: {
+      uint64_t index = sequential_next_;
+      sequential_next_ = (sequential_next_ + 1) % spec_.num_keys;
+      return index;
+    }
+  }
+  return 0;
+}
+
+std::string KeyGenerator::KeyAt(uint64_t index) const {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%s%0*llu", spec_.prefix.c_str(), spec_.digits,
+           static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string KeyGenerator::Next() { return KeyAt(NextIndex()); }
+
+std::vector<std::string> KeyGenerator::PartitionBoundaries(
+    int partitions) const {
+  std::vector<std::string> boundaries;
+  for (int i = 1; i < partitions; ++i) {
+    uint64_t index = spec_.num_keys * static_cast<uint64_t>(i) / partitions;
+    boundaries.push_back(KeyAt(index));
+  }
+  return boundaries;
+}
+
+std::string ValueGenerator::For(uint64_t key_index) {
+  // Deterministic per key index so re-reads can verify; ~50% compressible.
+  static const char* kPhrases[] = {
+      "order-status:paid;", "delivery:pending;", "warehouse:shanghai;",
+      "rider:unassigned;",  "coupon:applied;",
+  };
+  std::string value;
+  value.reserve(size_);
+  Random local(key_index * 2654435761u + 1);
+  while (value.size() < size_) {
+    value += kPhrases[local.Uniform(5)];
+    size_t filler = std::min<size_t>(8, size_ - value.size());
+    local.RandomBytes(filler, &value);
+  }
+  value.resize(size_);
+  return value;
+}
+
+OpChooser::OpChooser(const OpMix& mix, uint64_t seed)
+    : mix_(mix), rng_(seed) {}
+
+OpType OpChooser::Next() {
+  double r = rng_.NextDouble();
+  if ((r -= mix_.read) < 0) return OpType::kRead;
+  if ((r -= mix_.update) < 0) return OpType::kUpdate;
+  if ((r -= mix_.insert) < 0) return OpType::kInsert;
+  if ((r -= mix_.scan) < 0) return OpType::kScan;
+  return OpType::kReadModifyWrite;
+}
+
+}  // namespace bench
+}  // namespace pmblade

@@ -1,0 +1,97 @@
+// Workload generation: keys, values, distributions and operation mixes for
+// the benchmark harnesses.
+
+#ifndef PMBLADE_BENCHUTIL_WORKLOAD_H_
+#define PMBLADE_BENCHUTIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace pmblade {
+namespace bench {
+
+enum class Distribution { kUniform, kZipfian, kLatest, kSequential };
+
+struct KeySpec {
+  std::string prefix = "user";
+  int digits = 8;              // zero-padded numeric suffix width
+  uint64_t num_keys = 100000;
+  Distribution distribution = Distribution::kZipfian;
+  double zipf_theta = 0.99;
+  /// Scatter hot Zipfian items over the key space (YCSB behaviour).
+  bool scramble = true;
+  uint64_t seed = 42;
+};
+
+/// Draws key indices per the spec and formats them as key strings.
+class KeyGenerator {
+ public:
+  explicit KeyGenerator(const KeySpec& spec);
+
+  /// Next key per the configured distribution.
+  std::string Next();
+  /// The key string for a specific index (for verification / loading).
+  std::string KeyAt(uint64_t index) const;
+  uint64_t NextIndex();
+
+  const KeySpec& spec() const { return spec_; }
+
+  /// Interior partition boundaries that split this generator's key space
+  /// into `partitions` equal ranges (feeds Options::partition_boundaries).
+  std::vector<std::string> PartitionBoundaries(int partitions) const;
+
+ private:
+  KeySpec spec_;
+  Random uniform_;
+  uint64_t sequential_next_ = 0;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  std::unique_ptr<ScrambledZipfianGenerator> scrambled_;
+  std::unique_ptr<LatestGenerator> latest_;
+};
+
+/// Deterministic, pseudo-compressible values: a repeated dictionary phrase
+/// seeded by the key index plus random filler. `size` bytes exactly.
+class ValueGenerator {
+ public:
+  explicit ValueGenerator(size_t value_size, uint64_t seed = 7)
+      : size_(value_size), rng_(seed) {}
+
+  std::string For(uint64_t key_index);
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_;
+  Random rng_;
+};
+
+/// Operation mix for a run phase.
+struct OpMix {
+  double read = 0.0;
+  double update = 0.0;
+  double insert = 0.0;
+  double scan = 0.0;
+  double read_modify_write = 0.0;
+};
+
+enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+/// Samples operations according to an OpMix.
+class OpChooser {
+ public:
+  OpChooser(const OpMix& mix, uint64_t seed);
+  OpType Next();
+
+ private:
+  OpMix mix_;
+  Random rng_;
+};
+
+}  // namespace bench
+}  // namespace pmblade
+
+#endif  // PMBLADE_BENCHUTIL_WORKLOAD_H_

@@ -1,0 +1,142 @@
+#include "benchutil/ycsb.h"
+
+#include <memory>
+
+#include "util/clock.h"
+
+namespace pmblade {
+namespace bench {
+
+const char* YcsbName(YcsbWorkload workload) {
+  switch (workload) {
+    case YcsbWorkload::kLoad: return "Load";
+    case YcsbWorkload::kA: return "A";
+    case YcsbWorkload::kB: return "B";
+    case YcsbWorkload::kC: return "C";
+    case YcsbWorkload::kD: return "D";
+    case YcsbWorkload::kE: return "E";
+    case YcsbWorkload::kF: return "F";
+  }
+  return "?";
+}
+
+namespace {
+
+OpMix MixFor(YcsbWorkload workload) {
+  switch (workload) {
+    case YcsbWorkload::kLoad: return {.insert = 1.0};
+    case YcsbWorkload::kA: return {.read = 0.5, .update = 0.5};
+    case YcsbWorkload::kB: return {.read = 0.95, .update = 0.05};
+    case YcsbWorkload::kC: return {.read = 1.0};
+    case YcsbWorkload::kD: return {.read = 0.95, .insert = 0.05};
+    case YcsbWorkload::kE: return {.insert = 0.05, .scan = 0.95};
+    case YcsbWorkload::kF: return {.read = 0.5, .read_modify_write = 0.5};
+  }
+  return {};
+}
+
+Distribution DistFor(YcsbWorkload workload) {
+  return workload == YcsbWorkload::kD ? Distribution::kLatest
+                                      : Distribution::kZipfian;
+}
+
+}  // namespace
+
+Status YcsbLoad(KvEngine* engine, const YcsbOptions& options,
+                YcsbResult* result) {
+  *result = YcsbResult{};
+  result->workload = YcsbWorkload::kLoad;
+  Clock* clock = SystemClock();
+  KeySpec spec;
+  spec.prefix = options.key_prefix;
+  spec.num_keys = options.record_count;
+  spec.seed = options.seed;
+  KeyGenerator keys(spec);
+  ValueGenerator values(options.value_size, options.seed);
+
+  const uint64_t start = clock->NowNanos();
+  for (uint64_t i = 0; i < options.record_count; ++i) {
+    const uint64_t op_start = clock->NowNanos();
+    PMBLADE_RETURN_IF_ERROR(engine->Put(keys.KeyAt(i), values.For(i)));
+    result->insert_latency.Add(clock->NowNanos() - op_start);
+  }
+  result->operations = options.record_count;
+  result->duration_nanos = clock->NowNanos() - start;
+  return Status::OK();
+}
+
+Status YcsbRun(KvEngine* engine, YcsbWorkload workload,
+               const YcsbOptions& options, YcsbResult* result) {
+  *result = YcsbResult{};
+  result->workload = workload;
+  Clock* clock = SystemClock();
+
+  KeySpec spec;
+  spec.prefix = options.key_prefix;
+  spec.num_keys = options.record_count;
+  spec.distribution = DistFor(workload);
+  spec.zipf_theta = options.zipf_theta;
+  spec.seed = options.seed + 1;
+  KeyGenerator keys(spec);
+  ValueGenerator values(options.value_size, options.seed + 2);
+  OpChooser chooser(MixFor(workload), options.seed + 3);
+  Random rng(options.seed + 4);
+
+  uint64_t insert_cursor = options.record_count;
+
+  const uint64_t start = clock->NowNanos();
+  for (uint64_t i = 0; i < options.operation_count; ++i) {
+    OpType op = chooser.Next();
+    const uint64_t op_start = clock->NowNanos();
+    switch (op) {
+      case OpType::kRead: {
+        std::string value;
+        Status s = engine->Get(keys.Next(), &value);
+        if (!s.ok() && !s.IsNotFound()) return s;
+        result->read_latency.Add(clock->NowNanos() - op_start);
+        break;
+      }
+      case OpType::kUpdate: {
+        uint64_t index = keys.NextIndex();
+        PMBLADE_RETURN_IF_ERROR(
+            engine->Put(keys.KeyAt(index), values.For(index)));
+        result->update_latency.Add(clock->NowNanos() - op_start);
+        break;
+      }
+      case OpType::kInsert: {
+        uint64_t index = insert_cursor++;
+        PMBLADE_RETURN_IF_ERROR(
+            engine->Put(keys.KeyAt(index), values.For(index)));
+        result->insert_latency.Add(clock->NowNanos() - op_start);
+        break;
+      }
+      case OpType::kScan: {
+        std::unique_ptr<Iterator> it(engine->NewScanIterator());
+        it->Seek(keys.Next());
+        int len = 1 + static_cast<int>(rng.Uniform(options.max_scan_length));
+        for (int j = 0; j < len && it->Valid(); ++j) {
+          it->Next();
+        }
+        PMBLADE_RETURN_IF_ERROR(it->status());
+        result->scan_latency.Add(clock->NowNanos() - op_start);
+        break;
+      }
+      case OpType::kReadModifyWrite: {
+        uint64_t index = keys.NextIndex();
+        std::string key = keys.KeyAt(index);
+        std::string value;
+        Status s = engine->Get(key, &value);
+        if (!s.ok() && !s.IsNotFound()) return s;
+        PMBLADE_RETURN_IF_ERROR(engine->Put(key, values.For(index)));
+        result->update_latency.Add(clock->NowNanos() - op_start);
+        break;
+      }
+    }
+  }
+  result->operations = options.operation_count;
+  result->duration_nanos = clock->NowNanos() - start;
+  return Status::OK();
+}
+
+}  // namespace bench
+}  // namespace pmblade

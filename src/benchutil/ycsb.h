@@ -1,0 +1,64 @@
+// YCSB core workloads (Cooper et al., SoCC '10), parameterized as in the
+// paper's Fig. 12 evaluation: Load (bulk insert) plus workloads A-F.
+//
+//   A: 50% read / 50% update, zipfian
+//   B: 95% read /  5% update, zipfian
+//   C: 100% read,             zipfian
+//   D: 95% read /  5% insert, latest
+//   E: 95% scan /  5% insert, zipfian (scan length uniform 1..100)
+//   F: 50% read / 50% read-modify-write, zipfian
+
+#ifndef PMBLADE_BENCHUTIL_YCSB_H_
+#define PMBLADE_BENCHUTIL_YCSB_H_
+
+#include <string>
+
+#include "benchutil/workload.h"
+#include "core/kv_engine.h"
+#include "util/histogram.h"
+
+namespace pmblade {
+namespace bench {
+
+enum class YcsbWorkload { kLoad, kA, kB, kC, kD, kE, kF };
+
+const char* YcsbName(YcsbWorkload workload);
+
+struct YcsbOptions {
+  uint64_t record_count = 50000;
+  uint64_t operation_count = 50000;
+  size_t value_size = 1024;
+  double zipf_theta = 0.99;
+  int max_scan_length = 100;
+  uint64_t seed = 42;
+  std::string key_prefix = "user";
+};
+
+struct YcsbResult {
+  YcsbWorkload workload;
+  uint64_t operations = 0;
+  uint64_t duration_nanos = 0;
+  Histogram read_latency;
+  Histogram update_latency;
+  Histogram scan_latency;
+  Histogram insert_latency;
+
+  double ThroughputOpsPerSec() const {
+    return duration_nanos == 0
+               ? 0.0
+               : static_cast<double>(operations) * 1e9 / duration_nanos;
+  }
+};
+
+/// Bulk-loads `record_count` records (the YCSB load phase).
+Status YcsbLoad(KvEngine* engine, const YcsbOptions& options,
+                YcsbResult* result);
+
+/// Runs one workload phase against a loaded engine.
+Status YcsbRun(KvEngine* engine, YcsbWorkload workload,
+               const YcsbOptions& options, YcsbResult* result);
+
+}  // namespace bench
+}  // namespace pmblade
+
+#endif  // PMBLADE_BENCHUTIL_YCSB_H_

@@ -1,0 +1,76 @@
+#include "compaction/cost_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pmblade {
+
+bool CostModel::ShouldCompactForReads(const PartitionCounters& p) const {
+  if (p.unsorted_tables < params_.min_unsorted_for_internal) return false;
+  // Eq. 1: n̂ʳ * (n/2) * I_b - I_p / t̂_p > 0
+  double benefit_rate =
+      p.reads_per_sec * (static_cast<double>(p.unsorted_tables) / 2.0) *
+      params_.i_b;
+  double cost_rate = params_.i_p / params_.t_p;
+  return benefit_rate > cost_rate;
+}
+
+bool CostModel::ShouldCompactForWrites(const PartitionCounters& p) const {
+  if (p.size_bytes < params_.tau_w) return false;
+  if (p.unsorted_tables < params_.min_unsorted_for_internal) return false;
+  // Eq. 2 with n_bef ≈ n^w and the duplicate count (n_bef - n_aft) ≈ n^u:
+  // updates are what create redundant versions in the PM tables.
+  double saved_on_ssd = static_cast<double>(p.updates) * params_.i_s;
+  double spent_on_pm = static_cast<double>(p.writes) * params_.i_p;
+  return saved_on_ssd > spent_on_pm;
+}
+
+uint64_t CostModel::AdaptiveTauT(uint64_t reads, uint64_t writes,
+                                 double max_factor) const {
+  if (max_factor < 1.0) max_factor = 1.0;
+  uint64_t total = reads + writes;
+  if (total == 0) return params_.tau_t;
+  double read_share = static_cast<double>(reads) / total;
+  // Linear ramp: read_share <= 0.5 -> 1.0x; read_share = 1.0 -> max_factor.
+  double scale = 1.0;
+  if (read_share > 0.5) {
+    scale = 1.0 + (read_share - 0.5) * 2.0 * (max_factor - 1.0);
+  }
+  return static_cast<uint64_t>(params_.tau_t * scale);
+}
+
+std::vector<size_t> CostModel::SelectRetained(
+    const std::vector<PartitionCounters>& partitions,
+    uint64_t tau_t_override) const {
+  const uint64_t budget =
+      tau_t_override != 0 ? tau_t_override : params_.tau_t;
+  std::vector<size_t> order(partitions.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // Hottest first: reads per byte.
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double ha = partitions[a].size_bytes > 0
+                    ? static_cast<double>(partitions[a].reads) /
+                          static_cast<double>(partitions[a].size_bytes)
+                    : 0.0;
+    double hb = partitions[b].size_bytes > 0
+                    ? static_cast<double>(partitions[b].reads) /
+                          static_cast<double>(partitions[b].size_bytes)
+                    : 0.0;
+    if (ha != hb) return ha > hb;
+    return partitions[a].partition_id < partitions[b].partition_id;
+  });
+
+  std::vector<size_t> retained;
+  uint64_t used = 0;
+  for (size_t idx : order) {
+    uint64_t s = partitions[idx].size_bytes;
+    if (used + s <= budget) {
+      retained.push_back(idx);
+      used += s;
+    }
+  }
+  std::sort(retained.begin(), retained.end());
+  return retained;
+}
+
+}  // namespace pmblade

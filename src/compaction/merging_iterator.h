@@ -1,0 +1,24 @@
+// MergingIterator: a forward/backward mergesort cursor over N child
+// iterators, used by every compaction (minor, internal, major) and by DB
+// scans.
+
+#ifndef PMBLADE_COMPACTION_MERGING_ITERATOR_H_
+#define PMBLADE_COMPACTION_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/comparator.h"
+#include "util/iterator.h"
+
+namespace pmblade {
+
+/// Takes ownership of the children. `comparator` must order the children's
+/// keys (typically the InternalKeyComparator). Children with equal keys are
+/// returned in child-index order, so callers must place newer sources first.
+Iterator* NewMergingIterator(const Comparator* comparator,
+                             std::vector<Iterator*> children);
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_COMPACTION_MERGING_ITERATOR_H_

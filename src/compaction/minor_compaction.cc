@@ -1,0 +1,108 @@
+#include "compaction/minor_compaction.h"
+
+#include "pmtable/array_table.h"
+#include "pmtable/pm_table_builder.h"
+#include "pmtable/snappy_table.h"
+#include "sstable/ssd_l0_table.h"
+#include "sstable/table_builder.h"
+
+namespace pmblade {
+
+L0TableFactory::L0TableFactory(const L0FactoryOptions& options, PmPool* pool,
+                               Env* ssd_env)
+    : options_(options), pool_(pool), ssd_env_(ssd_env) {}
+
+Status L0TableFactory::BuildFrom(Iterator* input, L0TableRef* table) {
+  table->reset();
+  if (!input->Valid()) return input->status();
+
+  switch (options_.layout) {
+    case L0Layout::kPmTable: {
+      PmTableBuilder builder(pool_, options_.pm_table);
+      for (; input->Valid(); input->Next()) {
+        builder.Add(input->key(), input->value());
+      }
+      PMBLADE_RETURN_IF_ERROR(input->status());
+      if (builder.num_entries() == 0) return Status::OK();
+      std::shared_ptr<PmTable> t;
+      PMBLADE_RETURN_IF_ERROR(builder.Finish(&t));
+      *table = std::move(t);
+      return Status::OK();
+    }
+
+    case L0Layout::kArrayTable: {
+      ArrayTableBuilder builder(pool_);
+      for (; input->Valid(); input->Next()) {
+        builder.Add(input->key(), input->value());
+      }
+      PMBLADE_RETURN_IF_ERROR(input->status());
+      if (builder.num_entries() == 0) return Status::OK();
+      std::shared_ptr<ArrayTable> t;
+      PMBLADE_RETURN_IF_ERROR(builder.Finish(&t));
+      *table = std::move(t);
+      return Status::OK();
+    }
+
+    case L0Layout::kSnappyTable:
+    case L0Layout::kSnappyGroupTable: {
+      uint32_t group = options_.layout == L0Layout::kSnappyTable
+                           ? 1
+                           : options_.snappy_group_size;
+      SnappyTableBuilder builder(pool_, group);
+      uint64_t added = 0;
+      for (; input->Valid(); input->Next()) {
+        builder.Add(input->key(), input->value());
+        ++added;
+      }
+      PMBLADE_RETURN_IF_ERROR(input->status());
+      if (added == 0) return Status::OK();
+      std::shared_ptr<SnappyTable> t;
+      PMBLADE_RETURN_IF_ERROR(builder.Finish(&t));
+      *table = std::move(t);
+      return Status::OK();
+    }
+
+    case L0Layout::kSstable: {
+      uint64_t file_number = NextFileNumber();
+      char name[64];
+      snprintf(name, sizeof(name), "/%06llu.sst",
+               static_cast<unsigned long long>(file_number));
+      std::string path = options_.ssd_dir + name;
+
+      std::unique_ptr<WritableFile> file;
+      PMBLADE_RETURN_IF_ERROR(ssd_env_->NewWritableFile(path, &file));
+      TableBuilderOptions topts;
+      topts.comparator = options_.icmp;
+      topts.filter_policy = options_.filter_policy;
+      topts.block_size = options_.block_size;
+      TableBuilder builder(topts, file.get());
+      for (; input->Valid(); input->Next()) {
+        builder.Add(input->key(), input->value());
+      }
+      PMBLADE_RETURN_IF_ERROR(input->status());
+      if (builder.NumEntries() == 0) {
+        builder.Abandon();
+        file->Close();
+        ssd_env_->RemoveFile(path);
+        return Status::OK();
+      }
+      PMBLADE_RETURN_IF_ERROR(builder.Finish());
+      PMBLADE_RETURN_IF_ERROR(file->Sync());
+      PMBLADE_RETURN_IF_ERROR(file->Close());
+
+      TableReaderOptions ropts;
+      ropts.comparator = options_.icmp;
+      ropts.filter_policy = options_.filter_policy;
+      ropts.block_cache = options_.block_cache;
+      ropts.file_number = file_number;
+      std::shared_ptr<SsdL0Table> t;
+      PMBLADE_RETURN_IF_ERROR(
+          SsdL0Table::Open(ssd_env_, path, file_number, ropts, &t));
+      *table = std::move(t);
+      return Status::OK();
+    }
+  }
+  return Status::NotSupported("unknown L0 layout");
+}
+
+}  // namespace pmblade

@@ -1,0 +1,134 @@
+#include "compress/lz.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace pmblade {
+namespace lz {
+
+// Format:
+//   varint64: uncompressed length
+//   sequence of tags:
+//     literal: 0x00 | (len-1)<<1  as varint32, followed by len bytes
+//     copy:    0x01 | (len)<<1    as varint32, then varint32 offset (>0)
+// Matches are found with a 1-deep hash table over 4-byte sequences.
+
+namespace {
+
+constexpr int kHashBits = 13;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr size_t kMinMatch = 4;
+
+inline uint32_t HashQuad(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 0x1e35a7bdu) >> (32 - kHashBits);
+}
+
+void EmitLiteral(const char* p, size_t len, std::string* out) {
+  while (len > 0) {
+    size_t run = len;
+    PutVarint32(out, static_cast<uint32_t>(((run - 1) << 1) | 0));
+    out->append(p, run);
+    p += run;
+    len -= run;
+  }
+}
+
+void EmitCopy(size_t len, size_t offset, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>((len << 1) | 1));
+  PutVarint32(out, static_cast<uint32_t>(offset));
+}
+
+}  // namespace
+
+size_t MaxCompressedLength(size_t n) {
+  // Worst case: one literal covering everything + headers.
+  return n + n / 128 + 32;
+}
+
+void Compress(const Slice& input, std::string* output) {
+  PutVarint64(output, input.size());
+  const char* base = input.data();
+  const char* ip = base;
+  const char* end = base + input.size();
+  const char* literal_start = ip;
+
+  if (input.size() >= kMinMatch + 4) {
+    uint32_t table[kHashSize];
+    memset(table, 0xff, sizeof(table));
+    const char* match_limit = end - kMinMatch;
+
+    while (ip <= match_limit) {
+      uint32_t h = HashQuad(ip);
+      uint32_t candidate = table[h];
+      table[h] = static_cast<uint32_t>(ip - base);
+      if (candidate != 0xffffffffu &&
+          memcmp(base + candidate, ip, kMinMatch) == 0) {
+        // Extend the match forward.
+        const char* m = base + candidate + kMinMatch;
+        const char* p = ip + kMinMatch;
+        while (p < end && *m == *p) {
+          ++m;
+          ++p;
+        }
+        size_t match_len = p - ip;
+        size_t offset = ip - (base + candidate);
+        if (ip > literal_start) {
+          EmitLiteral(literal_start, ip - literal_start, output);
+        }
+        EmitCopy(match_len, offset, output);
+        ip += match_len;
+        literal_start = ip;
+        continue;
+      }
+      ++ip;
+    }
+  }
+  if (end > literal_start) {
+    EmitLiteral(literal_start, end - literal_start, output);
+  }
+}
+
+Status Decompress(const Slice& input, std::string* output) {
+  Slice in = input;
+  uint64_t expected = 0;
+  if (!GetVarint64(&in, &expected)) {
+    return Status::Corruption("lz: bad length header");
+  }
+  const size_t out_base = output->size();
+  output->reserve(out_base + expected);
+
+  while (in.size() > 0) {
+    uint32_t tag = 0;
+    if (!GetVarint32(&in, &tag)) return Status::Corruption("lz: bad tag");
+    if ((tag & 1) == 0) {
+      // Literal run.
+      size_t len = (tag >> 1) + 1;
+      if (in.size() < len) return Status::Corruption("lz: short literal");
+      output->append(in.data(), len);
+      in.remove_prefix(len);
+    } else {
+      size_t len = tag >> 1;
+      uint32_t offset = 0;
+      if (!GetVarint32(&in, &offset) || offset == 0) {
+        return Status::Corruption("lz: bad copy offset");
+      }
+      size_t produced = output->size() - out_base;
+      if (offset > produced) return Status::Corruption("lz: offset too far");
+      // Byte-by-byte copy supports overlapping matches (RLE-style).
+      size_t src = output->size() - offset;
+      for (size_t i = 0; i < len; ++i) {
+        output->push_back((*output)[src + i]);
+      }
+    }
+  }
+  if (output->size() - out_base != expected) {
+    return Status::Corruption("lz: length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace lz
+}  // namespace pmblade

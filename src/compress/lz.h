@@ -1,0 +1,33 @@
+// Byte-oriented LZ compressor in the spirit of Snappy: a stream of
+// literal-run and back-reference (copy) tags with a greedy hash-table match
+// finder. This stands in for the Snappy library in the Array-snappy /
+// Array-snappy-group PM-table baselines (Fig. 6) and for optional SSTable
+// block compression. It deliberately has Snappy's cost profile: cheap but
+// non-trivial compression, and decompression that must run before any byte
+// of the payload can be examined.
+
+#ifndef PMBLADE_COMPRESS_LZ_H_
+#define PMBLADE_COMPRESS_LZ_H_
+
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pmblade {
+namespace lz {
+
+/// Appends the compressed form of `input` to `*output`.
+void Compress(const Slice& input, std::string* output);
+
+/// Appends the decompressed form of `input` (as produced by Compress) to
+/// `*output`. Returns Corruption on malformed input.
+Status Decompress(const Slice& input, std::string* output);
+
+/// Maximum possible size of the compressed form of `n` input bytes.
+size_t MaxCompressedLength(size_t n);
+
+}  // namespace lz
+}  // namespace pmblade
+
+#endif  // PMBLADE_COMPRESS_LZ_H_

@@ -1,0 +1,50 @@
+#include "compress/prefix.h"
+
+#include <cstring>
+
+namespace pmblade {
+namespace prefix {
+
+size_t CommonPrefixLength(const Slice& a, const Slice& b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+size_t CommonPrefixLengthAll(const std::vector<Slice>& keys) {
+  if (keys.empty()) return 0;
+  // The common prefix of a sorted run equals the common prefix of its first
+  // and last element; we don't assume sortedness here, so fold over all.
+  size_t len = keys[0].size();
+  for (size_t i = 1; i < keys.size() && len > 0; ++i) {
+    size_t c = CommonPrefixLength(keys[0], keys[i]);
+    if (c < len) len = c;
+  }
+  return len;
+}
+
+Slice TableIdComponent(const Slice& key) {
+  const char* sep = static_cast<const char*>(
+      memchr(key.data(), '|', key.size()));
+  if (sep == nullptr) return Slice(key.data(), 0);
+  // Include the separator so the remainder never starts with '|'.
+  return Slice(key.data(), sep - key.data() + 1);
+}
+
+void FixedWidthSlot(const Slice& key, size_t width, char* out) {
+  size_t n = std::min(width, key.size());
+  memcpy(out, key.data(), n);
+  if (n < width) memset(out + n, 0, width - n);
+}
+
+int CompareToSlot(const Slice& key, const char* slot, size_t width) {
+  char buf[64];
+  // Stack slot for common widths; heap never needed (width <= 64 enforced by
+  // the PM table builder).
+  FixedWidthSlot(key, width, buf);
+  return memcmp(buf, slot, width);
+}
+
+}  // namespace prefix
+}  // namespace pmblade

@@ -1,0 +1,40 @@
+// Prefix-compression helpers shared by the PM table (meta-layer extraction,
+// group common prefixes) and the SSTable restart-point encoding.
+
+#ifndef PMBLADE_COMPRESS_PREFIX_H_
+#define PMBLADE_COMPRESS_PREFIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace pmblade {
+namespace prefix {
+
+/// Length of the longest common prefix of `a` and `b`.
+size_t CommonPrefixLength(const Slice& a, const Slice& b);
+
+/// Length of the longest common prefix across all of `keys` (0 if empty).
+size_t CommonPrefixLengthAll(const std::vector<Slice>& keys);
+
+/// Extracts the "table id" component of a database key. Keys produced by the
+/// record/index codecs look like "<tableid>|rest..."; keys with no '|' have
+/// an empty table-id. The returned Slice views into `key`.
+Slice TableIdComponent(const Slice& key);
+
+/// Pads/truncates the first `width` bytes of `key` into a fixed-width,
+/// memcmp-comparable slot (zero padded; zero sorts first, matching byte
+/// order for shorter keys).
+void FixedWidthSlot(const Slice& key, size_t width, char* out);
+
+/// Compares a probe key against a fixed-width slot: returns <0/0/>0 for the
+/// ordering of `key`'s slot form vs `slot`. Exact tie on the slot does not
+/// imply full-key equality (the slot is a truncation).
+int CompareToSlot(const Slice& key, const char* slot, size_t width);
+
+}  // namespace prefix
+}  // namespace pmblade
+
+#endif  // PMBLADE_COMPRESS_PREFIX_H_

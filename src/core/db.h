@@ -1,0 +1,86 @@
+// pmblade::DB — the public API of the PM-Blade storage engine.
+//
+// A DB is a partitioned LSM-tree whose level-0 lives in (simulated)
+// persistent memory: writes land in a DRAM memtable backed by a WAL; minor
+// compaction flushes memtable segments to PM tables per partition; internal
+// compaction keeps level-0 sorted and deduplicated on cost grounds
+// (Eqs. 1-2); major compaction moves the cold partitions' data to level-1
+// SSTables on the SSD while keeping the hot partitions in PM (Eq. 3),
+// executed by the coroutine compaction engine.
+
+#ifndef PMBLADE_CORE_DB_H_
+#define PMBLADE_CORE_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "core/kv_engine.h"
+#include "core/options.h"
+#include "core/statistics.h"
+#include "memtable/write_batch.h"
+#include "util/iterator.h"
+
+namespace pmblade {
+
+class DB : public KvEngine {
+ public:
+  /// Opens (creating or recovering) the database rooted at `dbname`.
+  static Status Open(const Options& options, const std::string& dbname,
+                     std::unique_ptr<DB>* db);
+
+  ~DB() override = default;
+
+  // ---- writes ----
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& options, WriteBatch* batch) = 0;
+
+  // ---- reads ----
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+  /// Iterator over live (user key, value) pairs at the read snapshot.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  // ---- snapshots ----
+  virtual uint64_t GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(uint64_t snapshot) = 0;
+
+  // ---- maintenance ----
+  /// Flushes the memtable to level-0 (minor compaction).
+  virtual Status FlushMemTable() = 0;
+  /// Forces internal compaction of every partition with unsorted tables.
+  virtual Status CompactLevel0() = 0;
+  /// Forces major compaction (level-0 -> level-1); when `respect_cost_model`
+  /// the Eq. 3 retained set stays in PM, otherwise everything moves down.
+  virtual Status CompactToLevel1(bool respect_cost_model) = 0;
+
+  // ---- introspection ----
+  virtual const DbStatistics& statistics() const = 0;
+  virtual DbStatistics& statistics() = 0;
+  /// Named properties: "pmblade.l0-bytes", "pmblade.l1-bytes",
+  /// "pmblade.num-partitions", "pmblade.pm-used-bytes",
+  /// "pmblade.num-unsorted-tables", "pmblade.num-sorted-tables".
+  virtual bool GetProperty(const std::string& property, uint64_t* value) = 0;
+
+  // ---- KvEngine facade (latest-snapshot convenience) ----
+  Status Put(const Slice& key, const Slice& value) override {
+    return Put(WriteOptions(), key, value);
+  }
+  Status Delete(const Slice& key) override {
+    return Delete(WriteOptions(), key);
+  }
+  Status Get(const Slice& key, std::string* value) override {
+    return Get(ReadOptions(), key, value);
+  }
+  Iterator* NewScanIterator() override { return NewIterator(ReadOptions()); }
+  Status Flush() override { return FlushMemTable(); }
+  std::string Name() const override { return "pmblade"; }
+};
+
+/// Destroys the database rooted at `dbname` (files + PM pool).
+Status DestroyDB(const Options& options, const std::string& dbname);
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_DB_H_

@@ -1,0 +1,924 @@
+#include "core/db_impl.h"
+
+#include <algorithm>
+
+#include "compaction/merging_iterator.h"
+#include "core/version.h"
+#include "pmtable/array_table.h"
+#include "pmtable/snappy_table.h"
+#include "sstable/ssd_l0_table.h"
+#include "util/coding.h"
+
+namespace pmblade {
+
+namespace {
+
+std::string WalFileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "/wal-%06llu.log",
+           static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+std::string SstFileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "/%06llu.sst",
+           static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+/// Bounds a sorted internal-key iterator to user keys < `end` (empty end =
+/// unbounded). Used to slice the immutable memtable per partition.
+class BoundedIterator final : public Iterator {
+ public:
+  BoundedIterator(Iterator* base, std::string end_user_key)
+      : base_(base), end_(std::move(end_user_key)) {}
+
+  bool Valid() const override {
+    if (!base_->Valid()) return false;
+    if (end_.empty()) return true;
+    return ExtractUserKey(base_->key()).compare(Slice(end_)) < 0;
+  }
+  void SeekToFirst() override {}  // base pre-positioned by the caller
+  void SeekToLast() override {}
+  void Seek(const Slice&) override {}
+  void Next() override { base_->Next(); }
+  void Prev() override {}
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  Iterator* base_;
+  std::string end_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Open / Init / recovery
+// ---------------------------------------------------------------------------
+
+Status DB::Open(const Options& options, const std::string& dbname,
+                std::unique_ptr<DB>* db) {
+  db->reset();
+  auto impl = std::make_unique<DBImpl>(options, dbname);
+  PMBLADE_RETURN_IF_ERROR(impl->Init());
+  *db = std::move(impl);
+  return Status::OK();
+}
+
+Status DestroyDB(const Options& options, const std::string& dbname) {
+  Env* env = options.env != nullptr ? options.env : PosixEnv();
+  if (!options.pm_pool_path.empty() && env->FileExists(options.pm_pool_path)) {
+    env->RemoveFile(options.pm_pool_path);
+  }
+  if (!env->FileExists(dbname)) return Status::OK();
+  return env->RemoveDirRecursively(dbname);
+}
+
+DBImpl::DBImpl(const Options& options, const std::string& dbname)
+    : options_(options), dbname_(dbname), icmp_(BytewiseComparator()) {}
+
+DBImpl::~DBImpl() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_file_ != nullptr) wal_file_->Close();
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+}
+
+Status DBImpl::Init() {
+  PMBLADE_RETURN_IF_ERROR(options_.Sanitize());
+  env_ = options_.env;
+  raw_env_ = options_.raw_env;
+  clock_ = options_.clock;
+
+  if (env_->FileExists(dbname_) && options_.error_if_exists) {
+    return Status::InvalidArgument(dbname_ + " already exists");
+  }
+  if (!env_->FileExists(dbname_)) {
+    if (!options_.create_if_missing) {
+      return Status::NotFound(dbname_ + " does not exist");
+    }
+  }
+  PMBLADE_RETURN_IF_ERROR(env_->CreateDir(dbname_));
+
+  if (options_.ssd_model != nullptr) {
+    model_ = options_.ssd_model;
+  } else {
+    SsdModelOptions mopts;
+    mopts.inject_latency = false;
+    mopts.clock = clock_;
+    owned_model_.reset(new SsdModel(mopts));
+    model_ = owned_model_.get();
+  }
+
+  filter_policy_.reset(new BloomFilterPolicy(options_.bloom_bits_per_key));
+  block_cache_.reset(new BlockCache(options_.block_cache_bytes));
+
+  // PM pool (always opened; cheap when unused by the layout).
+  std::string pool_path = options_.pm_pool_path.empty()
+                              ? dbname_ + "/pool.pm"
+                              : options_.pm_pool_path;
+  PmPoolOptions popts;
+  popts.capacity = options_.pm_pool_capacity;
+  popts.latency = options_.pm_latency;
+  popts.clock = clock_;
+  PMBLADE_RETURN_IF_ERROR(PmPool::Open(pool_path, popts, &pool_));
+
+  // Factories. Level-1 is always SSTables; level-0 layout is configurable.
+  L0FactoryOptions l1opts;
+  l1opts.layout = L0Layout::kSstable;
+  l1opts.icmp = &icmp_;
+  l1opts.filter_policy = filter_policy_.get();
+  l1opts.block_cache = block_cache_.get();
+  l1opts.block_size = options_.block_size;
+  l1opts.ssd_dir = dbname_;
+  l1_factory_.reset(new L0TableFactory(l1opts, pool_.get(), env_));
+
+  if (options_.l0_layout == L0Layout::kSstable) {
+    l0_factory_.reset();  // level-0 shares the level-1 factory
+  } else {
+    L0FactoryOptions l0opts = l1opts;
+    l0opts.layout = options_.l0_layout;
+    l0opts.pm_table = options_.pm_table;
+    l0_factory_.reset(new L0TableFactory(l0opts, pool_.get(), env_));
+  }
+
+  cost_model_.reset(new CostModel(options_.cost));
+
+  mem_ = new MemTable(icmp_);
+  mem_->Ref();
+
+  // Recover or bootstrap.
+  ManifestState state;
+  Status s = ReadManifest(env_, dbname_, &state);
+  if (s.ok()) {
+    l1_factory_->set_next_file_number(state.next_file_number);
+    last_sequence_ = state.last_sequence;
+    PMBLADE_RETURN_IF_ERROR(RecoverPartitions(state));
+    if (state.wal_number != 0) {
+      PMBLADE_RETURN_IF_ERROR(ReplayWal(state.wal_number));
+    }
+  } else if (s.IsNotFound()) {
+    // Fresh DB: create partitions from the configured boundaries.
+    std::string prev;
+    for (const auto& boundary : options_.partition_boundaries) {
+      partitions_.push_back(std::make_unique<Partition>(
+          next_partition_id_++, prev, boundary, clock_));
+      prev = boundary;
+    }
+    partitions_.push_back(std::make_unique<Partition>(
+        next_partition_id_++, prev, std::string(), clock_));
+  } else {
+    return s;
+  }
+
+  PMBLADE_RETURN_IF_ERROR(NewWal());
+  return PersistManifest();
+}
+
+Status DBImpl::RecoverPartitions(const ManifestState& state) {
+  partitions_.clear();
+
+  std::set<uint64_t> referenced_pm_ids;
+  std::set<uint64_t> referenced_files;
+
+  TableReaderOptions ropts;
+  ropts.comparator = &icmp_;
+  ropts.filter_policy = filter_policy_.get();
+  ropts.block_cache = block_cache_.get();
+
+  auto open_pm = [&](uint64_t id, L0TableRef* table) -> Status {
+    referenced_pm_ids.insert(id);
+    auto objects = pool_->ListObjects();
+    uint32_t kind = 0;
+    for (const auto& info : objects) {
+      if (info.id == id) {
+        kind = info.kind;
+        break;
+      }
+    }
+    switch (kind) {
+      case kPmTableObject: {
+        std::shared_ptr<PmTable> t;
+        PMBLADE_RETURN_IF_ERROR(PmTable::Open(pool_.get(), id, &t));
+        *table = std::move(t);
+        return Status::OK();
+      }
+      case kArrayTableObject: {
+        std::shared_ptr<ArrayTable> t;
+        PMBLADE_RETURN_IF_ERROR(ArrayTable::Open(pool_.get(), id, &t));
+        *table = std::move(t);
+        return Status::OK();
+      }
+      case kSnappyTableObject:
+      case kSnappyGroupTableObject: {
+        std::shared_ptr<SnappyTable> t;
+        PMBLADE_RETURN_IF_ERROR(SnappyTable::Open(pool_.get(), id, &t));
+        *table = std::move(t);
+        return Status::OK();
+      }
+      default:
+        return Status::Corruption("manifest references missing pm object");
+    }
+  };
+
+  auto open_sst = [&](uint64_t number, L0TableRef* table) -> Status {
+    referenced_files.insert(number);
+    TableReaderOptions opts = ropts;
+    opts.file_number = number;
+    std::shared_ptr<SsdL0Table> t;
+    PMBLADE_RETURN_IF_ERROR(SsdL0Table::Open(
+        env_, SstFileName(dbname_, number), number, opts, &t));
+    *table = std::move(t);
+    return Status::OK();
+  };
+
+  for (const auto& mp : state.partitions) {
+    auto partition = std::make_unique<Partition>(mp.id, mp.begin_key,
+                                                 mp.end_key, clock_);
+    next_partition_id_ = std::max(next_partition_id_, mp.id + 1);
+    for (uint64_t id : mp.unsorted_pm_ids) {
+      L0TableRef t;
+      PMBLADE_RETURN_IF_ERROR(open_pm(id, &t));
+      partition->unsorted().push_back(std::move(t));
+    }
+    for (uint64_t id : mp.sorted_pm_ids) {
+      L0TableRef t;
+      PMBLADE_RETURN_IF_ERROR(open_pm(id, &t));
+      partition->sorted_run().push_back(std::move(t));
+    }
+    for (uint64_t number : mp.unsorted_file_numbers) {
+      L0TableRef t;
+      PMBLADE_RETURN_IF_ERROR(open_sst(number, &t));
+      partition->unsorted().push_back(std::move(t));
+    }
+    for (uint64_t number : mp.sorted_file_numbers) {
+      L0TableRef t;
+      PMBLADE_RETURN_IF_ERROR(open_sst(number, &t));
+      partition->sorted_run().push_back(std::move(t));
+    }
+    for (uint64_t number : mp.l1_file_numbers) {
+      L0TableRef t;
+      PMBLADE_RETURN_IF_ERROR(open_sst(number, &t));
+      partition->l1_run().push_back(std::move(t));
+    }
+    partitions_.push_back(std::move(partition));
+  }
+
+  // Garbage-collect pool objects an interrupted compaction left behind.
+  for (const auto& info : pool_->ListObjects()) {
+    if (referenced_pm_ids.count(info.id) == 0) {
+      pool_->Free(info.id);
+    }
+  }
+  // Garbage-collect orphan .sst files.
+  std::vector<std::string> children;
+  if (env_->GetChildren(dbname_, &children).ok()) {
+    for (const auto& child : children) {
+      if (child.size() > 4 &&
+          child.compare(child.size() - 4, 4, ".sst") == 0) {
+        uint64_t number = strtoull(child.c_str(), nullptr, 10);
+        if (referenced_files.count(number) == 0) {
+          env_->RemoveFile(dbname_ + "/" + child);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DBImpl::ReplayWal(uint64_t wal_number) {
+  const std::string fname = WalFileName(dbname_, wal_number);
+  if (!env_->FileExists(fname)) return Status::OK();
+
+  std::unique_ptr<SequentialFile> file;
+  PMBLADE_RETURN_IF_ERROR(env_->NewSequentialFile(fname, &file));
+
+  struct LogReporter : wal::Reader::Reporter {
+    Logger* logger;
+    void Corruption(size_t bytes, const Status& status) override {
+      PMBLADE_WARN(logger, "wal replay dropped %zu bytes: %s", bytes,
+                   status.ToString().c_str());
+    }
+  } reporter;
+  reporter.logger = options_.logger;
+
+  wal::Reader reader(file.get(), &reporter);
+  Slice record;
+  std::string scratch;
+  while (reader.ReadRecord(&record, &scratch)) {
+    if (record.size() < 12) continue;
+    WriteBatch batch;
+    batch.SetContentsFrom(record);
+    Status s = batch.InsertInto(mem_);
+    if (!s.ok()) return s;
+    SequenceNumber end_seq = batch.Sequence() + batch.Count() - 1;
+    if (end_seq > last_sequence_) last_sequence_ = end_seq;
+  }
+  // The recovered memtable will be flushed on the normal triggers; the old
+  // WAL is deleted once a new one exists and the manifest points at it.
+  return Status::OK();
+}
+
+Status DBImpl::NewWal() {
+  uint64_t old_number = wal_number_;
+  wal_number_ = l1_factory_->NextFileNumber();
+  std::unique_ptr<WritableFile> file;
+  PMBLADE_RETURN_IF_ERROR(
+      env_->NewWritableFile(WalFileName(dbname_, wal_number_), &file));
+  if (wal_file_ != nullptr) wal_file_->Close();
+  wal_file_ = std::move(file);
+  wal_.reset(new wal::Writer(wal_file_.get()));
+  (void)old_number;  // deleted by the caller after the manifest commits
+  return Status::OK();
+}
+
+Status DBImpl::PersistManifest() {
+  ManifestState state;
+  state.next_file_number = l1_factory_->peek_next_file_number();
+  state.last_sequence = last_sequence_;
+  state.wal_number = wal_number_;
+  for (const auto& partition : partitions_) {
+    ManifestPartition mp;
+    mp.id = partition->id();
+    mp.begin_key = partition->begin_key();
+    mp.end_key = partition->end_key();
+    const bool ssd_l0 = options_.l0_layout == L0Layout::kSstable;
+    for (const auto& table : partition->unsorted()) {
+      (ssd_l0 ? mp.unsorted_file_numbers : mp.unsorted_pm_ids)
+          .push_back(table->id());
+    }
+    for (const auto& table : partition->sorted_run()) {
+      (ssd_l0 ? mp.sorted_file_numbers : mp.sorted_pm_ids)
+          .push_back(table->id());
+    }
+    for (const auto& table : partition->l1_run()) {
+      mp.l1_file_numbers.push_back(table->id());
+    }
+    state.partitions.push_back(std::move(mp));
+  }
+  return WriteManifest(env_, dbname_, state);
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status DBImpl::Put(const WriteOptions& options, const Slice& key,
+                   const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* batch) {
+  const uint64_t start = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  PMBLADE_RETURN_IF_ERROR(MakeRoomForWrite());
+
+  batch->SetSequence(last_sequence_ + 1);
+  last_sequence_ += batch->Count();
+
+  PMBLADE_RETURN_IF_ERROR(wal_->AddRecord(batch->rep()));
+  if (options.sync || options_.sync_wal) {
+    PMBLADE_RETURN_IF_ERROR(wal_file_->Sync());
+  }
+
+  // Partition write/update counters for the cost model. Update detection
+  // probes only the memtable (cheap, DRAM): hot keys rewritten within a
+  // memtable window are what Eq. 2 cares about.
+  struct CounterHandler : WriteBatch::Handler {
+    DBImpl* db;
+    void Put(const Slice& key, const Slice&) override {
+      Partition* p = db->FindPartition(key);
+      if (p == nullptr) return;
+      std::string unused;
+      Status st;
+      LookupKey lkey(key, kMaxSequenceNumber);
+      bool is_update = db->mem_->Get(lkey, &unused, &st);
+      p->NoteWrite(is_update);
+    }
+    void Delete(const Slice& key) override {
+      Partition* p = db->FindPartition(key);
+      if (p != nullptr) p->NoteWrite(true);
+    }
+  } handler;
+  handler.db = this;
+  PMBLADE_RETURN_IF_ERROR(batch->Iterate(&handler));
+
+  PMBLADE_RETURN_IF_ERROR(batch->InsertInto(mem_));
+  stats_.RecordWrite(batch->ApproximateSize(), clock_->NowNanos() - start);
+  return Status::OK();
+}
+
+Status DBImpl::MakeRoomForWrite() {
+  if (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
+    return FlushMemTableLocked();
+  }
+  return Status::OK();
+}
+
+Status DBImpl::FlushMemTable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushMemTableLocked();
+}
+
+Status DBImpl::FlushMemTableLocked() {
+  if (mem_->num_entries() == 0) return Status::OK();
+
+  imm_ = mem_;
+  mem_ = new MemTable(icmp_);
+  mem_->Ref();
+  uint64_t old_wal = wal_number_;
+  PMBLADE_RETURN_IF_ERROR(NewWal());
+
+  L0TableFactory* factory =
+      l0_factory_ != nullptr ? l0_factory_.get() : l1_factory_.get();
+
+  // Slice the immutable memtable into per-partition level-0 tables.
+  std::vector<Partition*> touched;
+  std::unique_ptr<Iterator> it(imm_->NewIterator());
+  it->SeekToFirst();
+  for (auto& partition : partitions_) {
+    if (!it->Valid()) break;
+    // Skip partitions before the iterator's position.
+    if (!partition->end_key().empty() &&
+        ExtractUserKey(it->key()).compare(
+            Slice(partition->end_key())) >= 0) {
+      continue;
+    }
+    BoundedIterator bounded(it.get(), partition->end_key());
+    L0TableRef table;
+    PMBLADE_RETURN_IF_ERROR(factory->BuildFrom(&bounded, &table));
+    if (table != nullptr) {
+      // Newest first.
+      partition->unsorted().insert(partition->unsorted().begin(), table);
+      touched.push_back(partition.get());
+    }
+  }
+  PMBLADE_RETURN_IF_ERROR(it->status());
+  it.reset();
+
+  imm_->Unref();
+  imm_ = nullptr;
+  stats_.AddFlush();
+
+  PMBLADE_RETURN_IF_ERROR(PersistManifest());
+  env_->RemoveFile(WalFileName(dbname_, old_wal));
+
+  return MaybeScheduleCompactions(touched);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction scheduling (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+Status DBImpl::MaybeScheduleCompactions(
+    const std::vector<Partition*>& touched) {
+  if (options_.enable_cost_model) {
+    if (options_.enable_internal_compaction) {
+      for (Partition* partition : touched) {
+        PartitionCounters counters = partition->Counters();
+        if (cost_model_->ShouldCompactForReads(counters) ||
+            cost_model_->ShouldCompactForWrites(counters)) {
+          PMBLADE_RETURN_IF_ERROR(
+              RunInternalCompactionOnPartition(partition));
+        }
+      }
+    }
+
+    uint64_t total_l0 = 0;
+    for (const auto& partition : partitions_) {
+      total_l0 += partition->L0Bytes();
+    }
+    // PM-pressure backstop: also trigger when the pool itself runs short.
+    bool pool_pressure =
+        pool_->FreeBytes() < pool_->capacity() / 8 &&
+        options_.l0_layout != L0Layout::kSstable;
+    if (cost_model_->MajorCompactionDue(total_l0) || pool_pressure) {
+      std::vector<PartitionCounters> all;
+      uint64_t recent_reads = 0, recent_writes = 0;
+      for (const auto& partition : partitions_) {
+        all.push_back(partition->Counters());
+        recent_reads += all.back().reads;
+        recent_writes += all.back().writes;
+      }
+      uint64_t tau_t = 0;  // 0 = the configured default
+      if (options_.adaptive_tau_t) {
+        tau_t = cost_model_->AdaptiveTauT(recent_reads, recent_writes,
+                                          options_.tau_t_max_factor);
+      }
+      std::vector<size_t> retained = cost_model_->SelectRetained(all, tau_t);
+      std::set<size_t> keep(retained.begin(), retained.end());
+      std::vector<Partition*> victims;
+      for (size_t i = 0; i < partitions_.size(); ++i) {
+        if (keep.count(i) == 0 && partitions_[i]->L0Bytes() > 0) {
+          victims.push_back(partitions_[i].get());
+        }
+      }
+      if (!victims.empty()) {
+        PMBLADE_RETURN_IF_ERROR(RunMajorCompactionOnPartitions(victims));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Conventional policy (PMBlade-PM): when any partition accumulates
+  // l0_table_trigger level-0 tables, compact the ENTIRE level-0 down.
+  bool due = false;
+  for (const auto& partition : partitions_) {
+    if (partition->unsorted().size() + partition->sorted_run().size() >=
+        options_.l0_table_trigger) {
+      due = true;
+      break;
+    }
+  }
+  if (pool_->FreeBytes() < pool_->capacity() / 8 &&
+      options_.l0_layout != L0Layout::kSstable) {
+    due = true;
+  }
+  if (due) {
+    std::vector<Partition*> victims;
+    for (const auto& partition : partitions_) {
+      if (partition->L0Bytes() > 0) victims.push_back(partition.get());
+    }
+    if (!victims.empty()) {
+      PMBLADE_RETURN_IF_ERROR(RunMajorCompactionOnPartitions(victims));
+    }
+  }
+  return Status::OK();
+}
+
+Status DBImpl::RunInternalCompactionOnPartition(Partition* partition) {
+  if (partition->unsorted().empty() && partition->sorted_run().size() <= 1) {
+    return Status::OK();
+  }
+  std::vector<L0TableRef> inputs = partition->unsorted();  // newest first
+  for (const auto& table : partition->sorted_run()) inputs.push_back(table);
+
+  L0TableFactory* factory =
+      l0_factory_ != nullptr ? l0_factory_.get() : l1_factory_.get();
+
+  InternalCompactionOptions copts;
+  copts.target_table_bytes = options_.internal_table_target_bytes;
+  copts.drop_tombstones = partition->l1_run().empty();
+  copts.oldest_snapshot = OldestLiveSnapshot();
+  copts.clock = clock_;
+
+  std::vector<L0TableRef> outputs;
+  InternalCompactionStats cstats;
+  PMBLADE_RETURN_IF_ERROR(RunInternalCompaction(
+      copts, icmp_, inputs, factory, &outputs, &cstats));
+
+  std::vector<L0TableRef> old_unsorted = std::move(partition->unsorted());
+  std::vector<L0TableRef> old_sorted = std::move(partition->sorted_run());
+  partition->unsorted().clear();
+  partition->sorted_run() = std::move(outputs);
+  partition->ResetCounters();
+  stats_.AddInternalCompaction(cstats.input_bytes, cstats.output_bytes);
+
+  PMBLADE_RETURN_IF_ERROR(PersistManifest());
+  for (auto& table : old_unsorted) table->Destroy();
+  for (auto& table : old_sorted) table->Destroy();
+
+  PMBLADE_INFO(options_.logger,
+               "internal compaction p%llu: %llu->%llu tables, released %lld B",
+               static_cast<unsigned long long>(partition->id()),
+               static_cast<unsigned long long>(cstats.input_tables),
+               static_cast<unsigned long long>(cstats.output_tables),
+               static_cast<long long>(cstats.bytes_released()));
+  return Status::OK();
+}
+
+Status DBImpl::RunMajorCompactionOnPartitions(
+    const std::vector<Partition*>& victims) {
+  std::vector<CompactionSubtaskInput> subtasks;
+  subtasks.reserve(victims.size());
+  for (Partition* partition : victims) {
+    CompactionSubtaskInput sub;
+    uint64_t l0_bytes = partition->L0Bytes();
+    uint64_t l1_bytes = partition->L1Bytes();
+    sub.ssd_input_fraction =
+        (l0_bytes + l1_bytes) > 0
+            ? static_cast<double>(l1_bytes) / (l0_bytes + l1_bytes)
+            : 0.0;
+    if (options_.l0_layout == L0Layout::kSstable) sub.ssd_input_fraction = 1.0;
+    // Capture the table sets by value so iterators outlive version edits.
+    std::vector<L0TableRef> unsorted = partition->unsorted();
+    std::vector<L0TableRef> sorted = partition->sorted_run();
+    std::vector<L0TableRef> l1 = partition->l1_run();
+    const InternalKeyComparator* icmp = &icmp_;
+    sub.make_input = [unsorted, sorted, l1, icmp]() -> Iterator* {
+      std::vector<Iterator*> children;
+      for (const auto& table : unsorted) {
+        children.push_back(table->NewIterator());
+      }
+      children.push_back(NewRunIterator(icmp, sorted));
+      children.push_back(NewRunIterator(icmp, l1));
+      Iterator* merged = NewMergingIterator(icmp, std::move(children));
+      merged->SeekToFirst();
+      return merged;
+    };
+    subtasks.push_back(std::move(sub));
+  }
+
+  MajorCompactionOptions mopts = options_.major;
+  mopts.oldest_snapshot = OldestLiveSnapshot();
+  mopts.drop_tombstones = true;  // level-1 is the bottom level
+  mopts.clock = clock_;
+  MajorCompactor compactor(raw_env_, model_, l1_factory_.get(), mopts);
+
+  std::vector<CompactionOutputMeta> outputs;
+  MajorCompactionStats mstats;
+  PMBLADE_RETURN_IF_ERROR(compactor.Run(subtasks, &outputs, &mstats));
+
+  // Install: per victim, the (single) output replaces L0 + old L1.
+  TableReaderOptions ropts;
+  ropts.comparator = &icmp_;
+  ropts.filter_policy = filter_policy_.get();
+  ropts.block_cache = block_cache_.get();
+
+  std::vector<L0TableRef> doomed;
+  for (size_t v = 0; v < victims.size(); ++v) {
+    Partition* partition = victims[v];
+    std::vector<L0TableRef> new_l1;
+    for (const auto& meta : outputs) {
+      if (meta.subtask_index != v) continue;
+      TableReaderOptions opts = ropts;
+      opts.file_number = meta.file_number;
+      std::shared_ptr<SsdL0Table> table;
+      PMBLADE_RETURN_IF_ERROR(SsdL0Table::Open(env_, meta.path,
+                                               meta.file_number, opts,
+                                               &table));
+      new_l1.push_back(std::move(table));
+    }
+    for (auto& t : partition->unsorted()) doomed.push_back(t);
+    for (auto& t : partition->sorted_run()) doomed.push_back(t);
+    for (auto& t : partition->l1_run()) doomed.push_back(t);
+    partition->unsorted().clear();
+    partition->sorted_run().clear();
+    partition->l1_run() = std::move(new_l1);
+    partition->ResetCounters();
+  }
+  stats_.AddMajorCompaction(mstats.ssd_bytes_written);
+
+  PMBLADE_RETURN_IF_ERROR(PersistManifest());
+  for (auto& table : doomed) table->Destroy();
+
+  PMBLADE_INFO(options_.logger,
+               "major compaction: %zu partitions, %llu records in, %llu out",
+               victims.size(),
+               static_cast<unsigned long long>(mstats.input_records),
+               static_cast<unsigned long long>(mstats.output_records));
+  return Status::OK();
+}
+
+Status DBImpl::CompactLevel0() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& partition : partitions_) {
+    PMBLADE_RETURN_IF_ERROR(
+        RunInternalCompactionOnPartition(partition.get()));
+  }
+  return Status::OK();
+}
+
+Status DBImpl::CompactToLevel1(bool respect_cost_model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PMBLADE_RETURN_IF_ERROR(FlushMemTableLocked());
+
+  std::set<size_t> keep;
+  if (respect_cost_model && options_.enable_cost_model) {
+    std::vector<PartitionCounters> all;
+    for (const auto& partition : partitions_) {
+      all.push_back(partition->Counters());
+    }
+    std::vector<size_t> retained = cost_model_->SelectRetained(all);
+    keep.insert(retained.begin(), retained.end());
+  }
+  std::vector<Partition*> victims;
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    if (keep.count(i) == 0 && partitions_[i]->L0Bytes() > 0) {
+      victims.push_back(partitions_[i].get());
+    }
+  }
+  if (victims.empty()) return Status::OK();
+  return RunMajorCompactionOnPartitions(victims);
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+Partition* DBImpl::FindPartition(const Slice& user_key) {
+  // Partitions are sorted by range; binary search on end keys.
+  size_t lo = 0, hi = partitions_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    const std::string& end = partitions_[mid]->end_key();
+    if (!end.empty() && user_key.compare(Slice(end)) >= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < partitions_.size() ? partitions_[lo].get() : nullptr;
+}
+
+SequenceNumber DBImpl::OldestLiveSnapshot() const {
+  if (live_snapshots_.empty()) return kMaxSequenceNumber;
+  return *live_snapshots_.begin();
+}
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  const uint64_t start = clock_->NowNanos();
+
+  MemTable* mem = nullptr;
+  MemTable* imm = nullptr;
+  SequenceNumber snapshot;
+  std::vector<L0TableRef> unsorted;
+  std::vector<L0TableRef> sorted;
+  std::vector<L0TableRef> l1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = options.snapshot != 0 ? options.snapshot : last_sequence_;
+    mem = mem_;
+    mem->Ref();
+    if (imm_ != nullptr) {
+      imm = imm_;
+      imm->Ref();
+    }
+    Partition* partition = FindPartition(key);
+    if (partition != nullptr) {
+      partition->NoteRead();
+      unsorted = partition->unsorted();
+      sorted = partition->sorted_run();
+      l1 = partition->l1_run();
+    }
+  }
+
+  LookupKey lkey(key, snapshot);
+  Status result = Status::NotFound();
+  ReadSource source = ReadSource::kNotFound;
+  bool answered = false;
+
+  std::string local_value;
+  Status probe_status;
+  if (mem->Get(lkey, &local_value, &probe_status)) {
+    answered = true;
+    source = ReadSource::kMemtable;
+    result = probe_status;
+  }
+  if (!answered && imm != nullptr &&
+      imm->Get(lkey, &local_value, &probe_status)) {
+    answered = true;
+    source = ReadSource::kMemtable;
+    result = probe_status;
+  }
+  if (!answered) {
+    for (const auto& table : unsorted) {
+      bool found = false;
+      Status s = L0TableGet(*table, icmp_, lkey, &local_value, &found,
+                            &probe_status);
+      if (!s.ok()) {
+        mem->Unref();
+        if (imm != nullptr) imm->Unref();
+        return s;
+      }
+      if (found) {
+        answered = true;
+        source = ReadSource::kPmLevel0;
+        result = probe_status;
+        break;
+      }
+    }
+  }
+  if (!answered && !sorted.empty()) {
+    bool found = false;
+    Status s =
+        RunGet(sorted, icmp_, lkey, &local_value, &found, &probe_status);
+    if (!s.ok()) {
+      mem->Unref();
+      if (imm != nullptr) imm->Unref();
+      return s;
+    }
+    if (found) {
+      answered = true;
+      source = ReadSource::kPmLevel0;
+      result = probe_status;
+    }
+  }
+  if (!answered && !l1.empty()) {
+    bool found = false;
+    Status s = RunGet(l1, icmp_, lkey, &local_value, &found, &probe_status);
+    if (!s.ok()) {
+      mem->Unref();
+      if (imm != nullptr) imm->Unref();
+      return s;
+    }
+    if (found) {
+      answered = true;
+      source = ReadSource::kSsdLevel1;
+      result = probe_status;
+    }
+  }
+
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+
+  if (answered && result.ok()) {
+    value->swap(local_value);
+  } else if (!answered) {
+    result = Status::NotFound();
+    source = ReadSource::kNotFound;
+  } else {
+    source = ReadSource::kNotFound;  // tombstone
+  }
+  stats_.RecordRead(source, clock_->NowNanos() - start);
+  return result;
+}
+
+std::vector<Iterator*> DBImpl::CollectInternalIterators() {
+  // Caller holds mu_. Partitions are range-disjoint, so their tables go
+  // behind one lazy concatenating iterator: a scan pays for the partition
+  // under its cursor, not the whole database.
+  std::vector<Iterator*> children;
+  children.push_back(mem_->NewIterator());
+  if (imm_ != nullptr) children.push_back(imm_->NewIterator());
+  std::vector<PartitionSnapshot> parts;
+  parts.reserve(partitions_.size());
+  for (const auto& partition : partitions_) {
+    PartitionSnapshot snap;
+    snap.begin_key = partition->begin_key();
+    snap.end_key = partition->end_key();
+    snap.unsorted = partition->unsorted();
+    snap.sorted_run = partition->sorted_run();
+    snap.l1_run = partition->l1_run();
+    parts.push_back(std::move(snap));
+  }
+  children.push_back(NewPartitionConcatIterator(&icmp_, std::move(parts)));
+  return children;
+}
+
+uint64_t DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_snapshots_.insert(last_sequence_);
+  return last_sequence_;
+}
+
+void DBImpl::ReleaseSnapshot(uint64_t snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_snapshots_.find(snapshot);
+  if (it != live_snapshots_.end()) live_snapshots_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (property == "pmblade.l0-bytes") {
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->L0Bytes();
+    *value = total;
+    return true;
+  }
+  if (property == "pmblade.l1-bytes") {
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->L1Bytes();
+    *value = total;
+    return true;
+  }
+  if (property == "pmblade.num-partitions") {
+    *value = partitions_.size();
+    return true;
+  }
+  if (property == "pmblade.pm-used-bytes") {
+    *value = pool_->UsedBytes();
+    return true;
+  }
+  if (property == "pmblade.num-unsorted-tables") {
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->unsorted().size();
+    *value = total;
+    return true;
+  }
+  if (property == "pmblade.num-sorted-tables") {
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->sorted_run().size();
+    *value = total;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pmblade

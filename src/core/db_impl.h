@@ -1,0 +1,124 @@
+// DBImpl: the engine behind pmblade::DB.
+//
+// Threading model: writes are serialized by the DB mutex; flush and
+// compaction run inline on the triggering writer (the paper's write-stall
+// behaviour emerges naturally), while the major-compaction engine
+// parallelizes internally with its own worker threads + coroutines.
+
+#ifndef PMBLADE_CORE_DB_IMPL_H_
+#define PMBLADE_CORE_DB_IMPL_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compaction/cost_model.h"
+#include "compaction/internal_compaction.h"
+#include "compaction/major_compaction.h"
+#include "compaction/minor_compaction.h"
+#include "core/db.h"
+#include "core/manifest.h"
+#include "core/partition.h"
+#include "env/sim_env.h"
+#include "memtable/skiplist_memtable.h"
+#include "memtable/wal.h"
+#include "sstable/block_cache.h"
+#include "util/bloom.h"
+
+namespace pmblade {
+
+class DBImpl final : public DB {
+ public:
+  DBImpl(const Options& options, const std::string& dbname);
+  ~DBImpl() override;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  uint64_t GetSnapshot() override;
+  void ReleaseSnapshot(uint64_t snapshot) override;
+  Status FlushMemTable() override;
+  Status CompactLevel0() override;
+  Status CompactToLevel1(bool respect_cost_model) override;
+  const DbStatistics& statistics() const override { return stats_; }
+  DbStatistics& statistics() override { return stats_; }
+  bool GetProperty(const std::string& property, uint64_t* value) override;
+
+  // Used by DB::Open.
+  Status Init();
+
+  // Exposed for tests/benches.
+  PmPool* pm_pool() { return pool_.get(); }
+  SsdModel* ssd_model() { return model_; }
+  const Options& options() const { return options_; }
+
+ private:
+  friend class DBUserIterator;
+
+  struct RecordedRead;
+
+  // ---- startup ----
+  Status RecoverPartitions(const ManifestState& state);
+  Status ReplayWal(uint64_t wal_number);
+  Status NewWal();
+
+  // ---- write path (mutex held unless noted) ----
+  Status MakeRoomForWrite();
+  Status FlushMemTableLocked();
+  /// Runs Algorithm 1 for the partitions touched by the last flush.
+  Status MaybeScheduleCompactions(const std::vector<Partition*>& touched);
+  Status RunInternalCompactionOnPartition(Partition* partition);
+  Status RunMajorCompactionOnPartitions(
+      const std::vector<Partition*>& victims);
+
+  Status PersistManifest();
+
+  // ---- read path ----
+  Partition* FindPartition(const Slice& user_key);
+  SequenceNumber OldestLiveSnapshot() const;
+
+  /// Builds the children for a merged internal iterator at a snapshot.
+  std::vector<Iterator*> CollectInternalIterators();
+
+  Options options_;
+  std::string dbname_;
+  Env* env_ = nullptr;
+  Env* raw_env_ = nullptr;
+  SsdModel* model_ = nullptr;
+  std::unique_ptr<SsdModel> owned_model_;
+  Clock* clock_ = nullptr;
+
+  InternalKeyComparator icmp_;
+  std::unique_ptr<BloomFilterPolicy> filter_policy_;
+  std::unique_ptr<BlockCache> block_cache_;
+  std::unique_ptr<PmPool> pool_;
+  std::unique_ptr<L0TableFactory> l0_factory_;     // level-0 layout
+  std::unique_ptr<L0TableFactory> l1_factory_;     // SSTables for level-1
+  std::unique_ptr<CostModel> cost_model_;
+
+  std::mutex mu_;
+  MemTable* mem_ = nullptr;
+  MemTable* imm_ = nullptr;  // only during flush (inline), else nullptr
+  std::unique_ptr<WritableFile> wal_file_;
+  std::unique_ptr<wal::Writer> wal_;
+  uint64_t wal_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+
+  std::vector<std::unique_ptr<Partition>> partitions_;  // ascending ranges
+  uint64_t next_partition_id_ = 1;
+
+  std::multiset<uint64_t> live_snapshots_;
+
+  DbStatistics stats_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_DB_IMPL_H_

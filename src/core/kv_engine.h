@@ -1,0 +1,35 @@
+// KvEngine: the minimal engine-agnostic facade the benchmark harness drives,
+// implemented by pmblade::DB and by the comparison engines (the conventional
+// leveled LSM and the MatrixKV-style store).
+
+#ifndef PMBLADE_CORE_KV_ENGINE_H_
+#define PMBLADE_CORE_KV_ENGINE_H_
+
+#include <string>
+
+#include "util/iterator.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pmblade {
+
+class KvEngine {
+ public:
+  virtual ~KvEngine() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+
+  /// Iterator over live (user key, value) pairs, ascending.
+  virtual Iterator* NewScanIterator() = 0;
+
+  /// Forces all buffered writes down to the storage layers (memtable flush).
+  virtual Status Flush() = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_KV_ENGINE_H_

@@ -1,0 +1,108 @@
+#include "core/manifest.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/slice.h"
+
+namespace pmblade {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x504d424du;  // "PMBM"
+constexpr uint32_t kFormatVersion = 1;
+
+void PutIdVector(std::string* dst, const std::vector<uint64_t>& ids) {
+  PutVarint32(dst, static_cast<uint32_t>(ids.size()));
+  for (uint64_t id : ids) PutVarint64(dst, id);
+}
+
+bool GetIdVector(Slice* in, std::vector<uint64_t>* ids) {
+  uint32_t n = 0;
+  if (!GetVarint32(in, &n)) return false;
+  ids->clear();
+  ids->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    if (!GetVarint64(in, &id)) return false;
+    ids->push_back(id);
+  }
+  return true;
+}
+}  // namespace
+
+Status WriteManifest(Env* env, const std::string& dbname,
+                     const ManifestState& state) {
+  std::string body;
+  PutFixed32(&body, kManifestMagic);
+  PutFixed32(&body, kFormatVersion);
+  PutVarint64(&body, state.next_file_number);
+  PutVarint64(&body, state.last_sequence);
+  PutVarint64(&body, state.wal_number);
+  PutVarint32(&body, static_cast<uint32_t>(state.partitions.size()));
+  for (const auto& p : state.partitions) {
+    PutVarint64(&body, p.id);
+    PutLengthPrefixedSlice(&body, p.begin_key);
+    PutLengthPrefixedSlice(&body, p.end_key);
+    PutIdVector(&body, p.unsorted_pm_ids);
+    PutIdVector(&body, p.sorted_pm_ids);
+    PutIdVector(&body, p.unsorted_file_numbers);
+    PutIdVector(&body, p.sorted_file_numbers);
+    PutIdVector(&body, p.l1_file_numbers);
+  }
+  PutFixed32(&body, crc32c::Value(body.data(), body.size()));
+
+  const std::string tmp = dbname + "/MANIFEST.tmp";
+  const std::string final_name = dbname + "/MANIFEST";
+  PMBLADE_RETURN_IF_ERROR(WriteStringToFile(env, body, tmp));
+  return env->RenameFile(tmp, final_name);
+}
+
+Status ReadManifest(Env* env, const std::string& dbname,
+                    ManifestState* state) {
+  std::string body;
+  PMBLADE_RETURN_IF_ERROR(
+      ReadFileToString(env, dbname + "/MANIFEST", &body));
+  if (body.size() < 12) return Status::Corruption("manifest too short");
+
+  uint32_t stored_crc = DecodeFixed32(body.data() + body.size() - 4);
+  if (crc32c::Value(body.data(), body.size() - 4) != stored_crc) {
+    return Status::Corruption("manifest crc mismatch");
+  }
+
+  Slice in(body.data(), body.size() - 4);
+  if (in.size() < 8 || DecodeFixed32(in.data()) != kManifestMagic) {
+    return Status::Corruption("manifest bad magic");
+  }
+  uint32_t version = DecodeFixed32(in.data() + 4);
+  if (version != kFormatVersion) {
+    return Status::NotSupported("manifest format version unsupported");
+  }
+  in.remove_prefix(8);
+
+  *state = ManifestState{};
+  uint32_t num_partitions = 0;
+  if (!GetVarint64(&in, &state->next_file_number) ||
+      !GetVarint64(&in, &state->last_sequence) ||
+      !GetVarint64(&in, &state->wal_number) ||
+      !GetVarint32(&in, &num_partitions)) {
+    return Status::Corruption("manifest truncated header");
+  }
+  state->partitions.resize(num_partitions);
+  for (auto& p : state->partitions) {
+    Slice begin_key, end_key;
+    if (!GetVarint64(&in, &p.id) ||
+        !GetLengthPrefixedSlice(&in, &begin_key) ||
+        !GetLengthPrefixedSlice(&in, &end_key) ||
+        !GetIdVector(&in, &p.unsorted_pm_ids) ||
+        !GetIdVector(&in, &p.sorted_pm_ids) ||
+        !GetIdVector(&in, &p.unsorted_file_numbers) ||
+        !GetIdVector(&in, &p.sorted_file_numbers) ||
+        !GetIdVector(&in, &p.l1_file_numbers)) {
+      return Status::Corruption("manifest truncated partition");
+    }
+    p.begin_key = begin_key.ToString();
+    p.end_key = end_key.ToString();
+  }
+  return Status::OK();
+}
+
+}  // namespace pmblade

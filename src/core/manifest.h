@@ -1,0 +1,56 @@
+// Manifest: the durable metadata snapshot of the DB. Because table counts
+// are modest, pmblade rewrites a full snapshot on every metadata change and
+// installs it with an atomic rename (MANIFEST.tmp -> MANIFEST), rather than
+// maintaining an append-only edit log. Contents:
+//
+//   * format version, next file number, last sequence hint, WAL number
+//   * every partition: [begin, end) keys, the PM-pool object ids of its
+//     unsorted tables (newest first) and sorted run, and its level-1
+//     SSTable files (number, size)
+//
+// Recovery: load the manifest, reopen PM tables by pool object id, reopen
+// level-1 SSTables by file number, garbage-collect unreferenced pool
+// objects and orphan .sst files, then replay the WAL.
+
+#ifndef PMBLADE_CORE_MANIFEST_H_
+#define PMBLADE_CORE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "util/status.h"
+
+namespace pmblade {
+
+struct ManifestPartition {
+  uint64_t id = 0;
+  std::string begin_key;
+  std::string end_key;
+  std::vector<uint64_t> unsorted_pm_ids;  // newest first
+  std::vector<uint64_t> sorted_pm_ids;    // ascending key order
+  /// Unsorted level-0 SSTable file numbers (PMBlade-SSD layout only).
+  std::vector<uint64_t> unsorted_file_numbers;
+  std::vector<uint64_t> sorted_file_numbers;
+  std::vector<uint64_t> l1_file_numbers;  // ascending key order
+};
+
+struct ManifestState {
+  uint64_t next_file_number = 1;
+  uint64_t last_sequence = 0;
+  uint64_t wal_number = 0;
+  std::vector<ManifestPartition> partitions;
+};
+
+/// Serializes `state` and atomically installs it as <dbname>/MANIFEST.
+Status WriteManifest(Env* env, const std::string& dbname,
+                     const ManifestState& state);
+
+/// Loads <dbname>/MANIFEST; NotFound if the DB has never committed one.
+Status ReadManifest(Env* env, const std::string& dbname,
+                    ManifestState* state);
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_MANIFEST_H_

@@ -1,0 +1,28 @@
+#include "core/options.h"
+
+namespace pmblade {
+
+Status Options::Sanitize() {
+  if (env == nullptr) env = PosixEnv();
+  if (raw_env == nullptr) raw_env = PosixEnv();
+  if (logger == nullptr) logger = NullLogger();
+  if (clock == nullptr) clock = SystemClock();
+  if (memtable_bytes < 4096) {
+    return Status::InvalidArgument("memtable_bytes must be >= 4096");
+  }
+  if (pm_pool_capacity < (1 << 20)) {
+    return Status::InvalidArgument("pm_pool_capacity must be >= 1 MiB");
+  }
+  for (size_t i = 1; i < partition_boundaries.size(); ++i) {
+    if (partition_boundaries[i - 1] >= partition_boundaries[i]) {
+      return Status::InvalidArgument(
+          "partition_boundaries must be strictly ascending");
+    }
+  }
+  if (major.concurrency < 1) major.concurrency = 1;
+  if (major.worker_threads < 1) major.worker_threads = 1;
+  if (major.max_io_q < 1) major.max_io_q = 1;
+  return Status::OK();
+}
+
+}  // namespace pmblade

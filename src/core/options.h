@@ -1,0 +1,105 @@
+// Options for opening a pmblade::DB, plus per-operation read/write options.
+
+#ifndef PMBLADE_CORE_OPTIONS_H_
+#define PMBLADE_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compaction/cost_model.h"
+#include "compaction/major_compaction.h"
+#include "compaction/minor_compaction.h"
+#include "env/env.h"
+#include "env/ssd_model.h"
+#include "pm/pm_pool.h"
+#include "pmtable/pm_table.h"
+#include "util/logging.h"
+
+namespace pmblade {
+
+struct Options {
+  // ---- environments / devices ----
+  /// Filesystem the engine reads/writes SSTables, WAL and manifest through.
+  /// Pass a SimEnv to get SSD timing; defaults to PosixEnv().
+  Env* env = nullptr;
+  /// Unsimulated filesystem used by the major-compaction engines (their I/O
+  /// timing is charged explicitly through `ssd_model`). Defaults to
+  /// PosixEnv().
+  Env* raw_env = nullptr;
+  /// SSD timing/accounting model shared with `env`'s SimEnv, used by major
+  /// compaction and the coroutine I/O gate. May be nullptr (a private,
+  /// injection-free model is created).
+  SsdModel* ssd_model = nullptr;
+
+  // ---- persistent memory (level-0) ----
+  /// Path of the PM pool file; empty = "<dbname>/pool.pm".
+  std::string pm_pool_path;
+  uint64_t pm_pool_capacity = 256ull << 20;
+  PmLatencyOptions pm_latency;
+  /// Physical layout of level-0 tables (PMB-P/PMB-PI use kArrayTable;
+  /// PMBlade-SSD uses kSstable).
+  L0Layout l0_layout = L0Layout::kPmTable;
+  PmTableOptions pm_table;
+
+  // ---- write path ----
+  size_t memtable_bytes = 4 << 20;
+  bool sync_wal = false;
+
+  // ---- partitioning ----
+  /// Interior user-key boundaries splitting the keyspace into
+  /// boundaries.size()+1 range partitions. Empty = single partition.
+  std::vector<std::string> partition_boundaries;
+
+  // ---- compaction policy ----
+  /// Master switch for internal compaction (PMB-P turns it off).
+  bool enable_internal_compaction = true;
+  /// Use the cost models (Eqs. 1-3). When false, fall back to the
+  /// conventional policy: internal compaction never runs on cost grounds and
+  /// a major compaction of the WHOLE level-0 triggers when any partition
+  /// accumulates `l0_table_trigger` tables (the PMBlade-PM configuration).
+  bool enable_cost_model = true;
+  uint32_t l0_table_trigger = 8;
+  CostModelParams cost;
+  /// Adapt τ_t to the traffic mix (Section IV-C): when reads dominate, PM
+  /// fills slowly and more of it can be spent on retention. τ_t scales up
+  /// to `tau_t_max_factor` as the read share goes from 1/2 to 1.
+  bool adaptive_tau_t = false;
+  double tau_t_max_factor = 2.0;
+  /// Internal compaction output table target size.
+  uint64_t internal_table_target_bytes = 4ull << 20;
+  MajorCompactionOptions major;
+
+  // ---- SSTables ----
+  size_t block_size = 4096;
+  int bloom_bits_per_key = 10;
+  size_t block_cache_bytes = 8 << 20;
+
+  // ---- misc ----
+  Logger* logger = nullptr;  // defaults to NullLogger()
+  Clock* clock = nullptr;    // defaults to SystemClock()
+  /// Create the DB if missing; error if it exists and this is false... both
+  /// default to the forgiving behaviour.
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  /// Fills unset pointers with defaults; validates invariants.
+  Status Sanitize();
+};
+
+struct ReadOptions {
+  /// 0 = read at the latest sequence; otherwise a snapshot sequence obtained
+  /// from DB::GetSnapshot().
+  uint64_t snapshot = 0;
+  bool verify_checksums = true;
+};
+
+struct WriteOptions {
+  /// Sync the WAL before acknowledging (overrides Options::sync_wal when
+  /// true).
+  bool sync = false;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_OPTIONS_H_

@@ -1,0 +1,114 @@
+// Partition: one key-range shard of the partitioned LSM-tree (Section III).
+// A partition owns:
+//   * a list of UNSORTED level-0 tables (newest first, mutually
+//     overlapping — flushed memtable segments),
+//   * one SORTED level-0 run (non-overlapping tables, the output of the
+//     last internal compaction),
+//   * one level-1 run on the SSD (non-overlapping SSTables),
+//   * the counters the cost models consume (n_i, n_i^r, n_i^w, n_i^u,
+//     reads/sec), reset whenever the partition is compacted.
+
+#ifndef PMBLADE_CORE_PARTITION_H_
+#define PMBLADE_CORE_PARTITION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compaction/cost_model.h"
+#include "memtable/internal_key.h"
+#include "pmtable/l0_table.h"
+#include "util/clock.h"
+
+namespace pmblade {
+
+class Partition {
+ public:
+  /// `begin` inclusive, `end` exclusive over user keys; empty begin = -inf,
+  /// empty end = +inf.
+  Partition(uint64_t id, std::string begin, std::string end, Clock* clock)
+      : id_(id), begin_(std::move(begin)), end_(std::move(end)),
+        clock_(clock), counter_epoch_nanos_(clock->NowNanos()) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& begin_key() const { return begin_; }
+  const std::string& end_key() const { return end_; }
+
+  bool Contains(const Slice& user_key) const {
+    if (!begin_.empty() && user_key.compare(Slice(begin_)) < 0) return false;
+    if (!end_.empty() && user_key.compare(Slice(end_)) >= 0) return false;
+    return true;
+  }
+
+  // ---- table sets (caller holds the DB mutex) ----
+  std::vector<L0TableRef>& unsorted() { return unsorted_; }
+  std::vector<L0TableRef>& sorted_run() { return sorted_run_; }
+  std::vector<L0TableRef>& l1_run() { return l1_run_; }
+  const std::vector<L0TableRef>& unsorted() const { return unsorted_; }
+  const std::vector<L0TableRef>& sorted_run() const { return sorted_run_; }
+  const std::vector<L0TableRef>& l1_run() const { return l1_run_; }
+
+  /// Total level-0 bytes (s_i).
+  uint64_t L0Bytes() const {
+    uint64_t total = 0;
+    for (const auto& table : unsorted_) total += table->size_bytes();
+    for (const auto& table : sorted_run_) total += table->size_bytes();
+    return total;
+  }
+  uint64_t L1Bytes() const {
+    uint64_t total = 0;
+    for (const auto& table : l1_run_) total += table->size_bytes();
+    return total;
+  }
+
+  // ---- cost-model counters ----
+  void NoteRead() { ++reads_; }
+  void NoteWrite(bool is_update) {
+    ++writes_;
+    if (is_update) ++updates_;
+  }
+
+  /// Snapshot of counters in the cost model's shape.
+  PartitionCounters Counters() const {
+    PartitionCounters counters;
+    counters.partition_id = id_;
+    counters.unsorted_tables = static_cast<uint32_t>(unsorted_.size());
+    counters.sorted_tables = static_cast<uint32_t>(sorted_run_.size());
+    counters.size_bytes = L0Bytes();
+    counters.reads = reads_;
+    counters.writes = writes_;
+    counters.updates = updates_;
+    uint64_t elapsed = clock_->NowNanos() - counter_epoch_nanos_;
+    counters.reads_per_sec =
+        elapsed > 0 ? static_cast<double>(reads_) * 1e9 / elapsed : 0.0;
+    return counters;
+  }
+
+  /// Called after any compaction touches this partition ("re-zeroed when a
+  /// major compaction or internal compaction occurs").
+  void ResetCounters() {
+    reads_ = 0;
+    writes_ = 0;
+    updates_ = 0;
+    counter_epoch_nanos_ = clock_->NowNanos();
+  }
+
+ private:
+  uint64_t id_;
+  std::string begin_;
+  std::string end_;
+  Clock* clock_;
+
+  std::vector<L0TableRef> unsorted_;   // newest first
+  std::vector<L0TableRef> sorted_run_; // ascending key order
+  std::vector<L0TableRef> l1_run_;     // ascending key order
+
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t updates_ = 0;
+  uint64_t counter_epoch_nanos_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_PARTITION_H_

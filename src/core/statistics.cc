@@ -1,0 +1,45 @@
+#include "core/statistics.h"
+
+#include <cstdio>
+
+namespace pmblade {
+
+void DbStatistics::Reset() {
+  for (auto& counter : reads_by_source_) counter.store(0);
+  writes_.store(0);
+  scans_.store(0);
+  scan_entries_.store(0);
+  user_bytes_written_.store(0);
+  flushes_.store(0);
+  internal_compactions_.store(0);
+  internal_compaction_bytes_in_.store(0);
+  internal_compaction_bytes_out_.store(0);
+  major_compactions_.store(0);
+  major_compaction_bytes_.store(0);
+  std::lock_guard<std::mutex> lock(mu_);
+  get_latency_.Clear();
+  put_latency_.Clear();
+  scan_latency_.Clear();
+}
+
+std::string DbStatistics::ToString() const {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "reads: mem=%llu pm=%llu ssd=%llu miss=%llu (pm-hit %.1f%%)\n"
+           "writes=%llu (%llu B) scans=%llu\n"
+           "flushes=%llu internal-compactions=%llu major-compactions=%llu",
+           static_cast<unsigned long long>(reads(ReadSource::kMemtable)),
+           static_cast<unsigned long long>(reads(ReadSource::kPmLevel0)),
+           static_cast<unsigned long long>(reads(ReadSource::kSsdLevel1)),
+           static_cast<unsigned long long>(reads(ReadSource::kNotFound)),
+           PmHitRatio() * 100.0,
+           static_cast<unsigned long long>(writes()),
+           static_cast<unsigned long long>(user_bytes_written()),
+           static_cast<unsigned long long>(scans()),
+           static_cast<unsigned long long>(flushes()),
+           static_cast<unsigned long long>(internal_compactions()),
+           static_cast<unsigned long long>(major_compactions()));
+  return buf;
+}
+
+}  // namespace pmblade

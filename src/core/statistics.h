@@ -1,0 +1,121 @@
+// DB-level runtime statistics: operation counts, where reads were served
+// from (memtable / PM level-0 / SSD), latency histograms, and the traffic
+// totals the write-amplification experiments report.
+
+#ifndef PMBLADE_CORE_STATISTICS_H_
+#define PMBLADE_CORE_STATISTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace pmblade {
+
+/// Which layer answered a read.
+enum class ReadSource {
+  kMemtable = 0,
+  kPmLevel0 = 1,
+  kSsdLevel1 = 2,
+  kNotFound = 3,
+};
+constexpr int kNumReadSources = 4;
+
+class DbStatistics {
+ public:
+  void RecordRead(ReadSource source, uint64_t latency_nanos) {
+    reads_by_source_[static_cast<int>(source)].fetch_add(
+        1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    get_latency_.Add(latency_nanos);
+  }
+  void RecordWrite(uint64_t bytes, uint64_t latency_nanos) {
+    user_bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    put_latency_.Add(latency_nanos);
+  }
+  void RecordScan(uint64_t entries, uint64_t latency_nanos) {
+    scans_.fetch_add(1, std::memory_order_relaxed);
+    scan_entries_.fetch_add(entries, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    scan_latency_.Add(latency_nanos);
+  }
+
+  void AddFlush() { flushes_.fetch_add(1, std::memory_order_relaxed); }
+  void AddInternalCompaction(uint64_t bytes_in, uint64_t bytes_out) {
+    internal_compactions_.fetch_add(1, std::memory_order_relaxed);
+    internal_compaction_bytes_in_.fetch_add(bytes_in,
+                                            std::memory_order_relaxed);
+    internal_compaction_bytes_out_.fetch_add(bytes_out,
+                                             std::memory_order_relaxed);
+  }
+  void AddMajorCompaction(uint64_t bytes_written) {
+    major_compactions_.fetch_add(1, std::memory_order_relaxed);
+    major_compaction_bytes_.fetch_add(bytes_written,
+                                      std::memory_order_relaxed);
+  }
+
+  uint64_t reads(ReadSource source) const {
+    return reads_by_source_[static_cast<int>(source)].load();
+  }
+  uint64_t total_reads() const {
+    uint64_t total = 0;
+    for (const auto& counter : reads_by_source_) total += counter.load();
+    return total;
+  }
+  /// Fraction of successful reads answered without touching the SSD.
+  double PmHitRatio() const {
+    uint64_t fast = reads(ReadSource::kMemtable) + reads(ReadSource::kPmLevel0);
+    uint64_t slow = reads(ReadSource::kSsdLevel1);
+    uint64_t total = fast + slow;
+    return total == 0 ? 0.0 : static_cast<double>(fast) / total;
+  }
+
+  uint64_t writes() const { return writes_.load(); }
+  uint64_t user_bytes_written() const { return user_bytes_written_.load(); }
+  uint64_t flushes() const { return flushes_.load(); }
+  uint64_t internal_compactions() const { return internal_compactions_.load(); }
+  uint64_t major_compactions() const { return major_compactions_.load(); }
+  uint64_t scans() const { return scans_.load(); }
+
+  Histogram GetLatencyHistogram() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return get_latency_;
+  }
+  Histogram PutLatencyHistogram() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return put_latency_;
+  }
+  Histogram ScanLatencyHistogram() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return scan_latency_;
+  }
+
+  void Reset();
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> reads_by_source_[kNumReadSources] = {};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> scans_{0};
+  std::atomic<uint64_t> scan_entries_{0};
+  std::atomic<uint64_t> user_bytes_written_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> internal_compactions_{0};
+  std::atomic<uint64_t> internal_compaction_bytes_in_{0};
+  std::atomic<uint64_t> internal_compaction_bytes_out_{0};
+  std::atomic<uint64_t> major_compactions_{0};
+  std::atomic<uint64_t> major_compaction_bytes_{0};
+
+  mutable std::mutex mu_;
+  Histogram get_latency_;
+  Histogram put_latency_;
+  Histogram scan_latency_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_STATISTICS_H_

@@ -1,0 +1,55 @@
+// Version helpers: iterators over table runs and read-path lookups shared by
+// the DB implementation.
+
+#ifndef PMBLADE_CORE_VERSION_H_
+#define PMBLADE_CORE_VERSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "memtable/internal_key.h"
+#include "pmtable/l0_table.h"
+#include "util/iterator.h"
+
+namespace pmblade {
+
+/// Concatenating iterator over a RUN: a vector of non-overlapping tables in
+/// ascending key order. Seek binary-searches table boundaries, then the
+/// table. The run vector is copied (shared_ptrs), so the iterator stays
+/// valid across version changes.
+Iterator* NewRunIterator(const InternalKeyComparator* icmp,
+                         std::vector<L0TableRef> run);
+
+/// Point lookup in a run: picks the single candidate table by boundary
+/// binary search. Same out-parameters as L0TableGet.
+Status RunGet(const std::vector<L0TableRef>& run,
+              const InternalKeyComparator& icmp, const LookupKey& lkey,
+              std::string* value, bool* found, Status* result_status);
+
+/// A snapshot of one partition's table sets, taken under the DB mutex so
+/// iterators survive version changes.
+struct PartitionSnapshot {
+  std::string begin_key;  // user keys; empty = unbounded
+  std::string end_key;
+  std::vector<L0TableRef> unsorted;  // newest first
+  std::vector<L0TableRef> sorted_run;
+  std::vector<L0TableRef> l1_run;
+};
+
+/// Lazy concatenating iterator over range-disjoint partitions: only the
+/// partition under the cursor has its tables open, so a Seek costs one
+/// partition's worth of child seeks instead of the whole database's.
+Iterator* NewPartitionConcatIterator(const InternalKeyComparator* icmp,
+                                     std::vector<PartitionSnapshot> parts);
+
+/// Wraps a merged internal-key iterator into the user-visible view at
+/// `snapshot`: hides newer-than-snapshot entries, surfaces only the newest
+/// visible version per user key, skips tombstones. Takes ownership of
+/// `internal`. Shared by pmblade::DB and the baseline engines.
+Iterator* NewUserIterator(Iterator* internal,
+                          const InternalKeyComparator* icmp,
+                          SequenceNumber snapshot);
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_VERSION_H_

@@ -1,0 +1,4 @@
+// IoGate is header-only; anchor translation unit.
+#include "coro/io_gate.h"
+
+namespace pmblade {}

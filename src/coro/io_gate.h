@@ -1,0 +1,48 @@
+// IoGate: the paper's coroutine I/O scheduling policy (Section V-C).
+//
+//   q_flush = max(q - q_comp - q_cli, 0)
+//
+// where q is the user-set maximum concurrent I/O budget, q_comp the live
+// count of compaction read I/Os and q_cli the live count of client I/Os on
+// the SSD. The flush coroutine may only have q_flush write I/Os in flight,
+// so writes soak up idle device capacity and back off when foreground
+// traffic needs it.
+
+#ifndef PMBLADE_CORO_IO_GATE_H_
+#define PMBLADE_CORO_IO_GATE_H_
+
+#include <algorithm>
+
+#include "env/ssd_model.h"
+
+namespace pmblade {
+
+class IoGate {
+ public:
+  /// `max_concurrent` is q; typical value 4-8 depending on the device.
+  IoGate(SsdModel* model, int max_concurrent)
+      : model_(model), q_(max_concurrent) {}
+
+  /// How many additional flush (S3) I/Os may start right now.
+  int FlushBudget() const {
+    int q_comp = model_->Inflight(IoClass::kCompaction);
+    int q_cli = model_->Inflight(IoClass::kClient);
+    int q_flush_inflight = model_->Inflight(IoClass::kFlush);
+    int allowed = std::max(q_ - q_comp - q_cli, 0);
+    return std::max(allowed - q_flush_inflight, 0);
+  }
+
+  /// Whether a compaction read (S1) may start (bounded by q overall).
+  bool ReadAllowed() const { return model_->InflightTotal() < q_; }
+
+  int q() const { return q_; }
+  SsdModel* model() const { return model_; }
+
+ private:
+  SsdModel* model_;
+  int q_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORO_IO_GATE_H_

@@ -1,0 +1,139 @@
+// CoroScheduler: a single-threaded cooperative scheduler for compaction
+// coroutines (Section V of the paper).
+//
+// Primitives:
+//   * Spawn(Task)          — register a coroutine; it starts on Run().
+//   * Yield()              — awaitable; requeue at the back of the ready
+//                            queue (interleaves compaction coroutines).
+//   * SleepUntil(nanos)    — awaitable; park until the clock reaches the
+//                            deadline (how simulated I/O completions are
+//                            awaited: BeginIo gives a completion time, the
+//                            coroutine sleeps until it).
+//   * Event                — awaitable condition with Notify()/NotifyAll();
+//                            the flush coroutine parks on one until merge
+//                            output arrives or shutdown is requested.
+//
+// Run() drives everything: resume ready coroutines; when none are ready,
+// advance the clock to the earliest sleeper's deadline. Time spent inside
+// coroutine frames is accumulated as CPU-busy time (resume slices), which is
+// exactly the numerator of the paper's CPU-utilization metric (Fig. 9(a)).
+
+#ifndef PMBLADE_CORO_SCHEDULER_H_
+#define PMBLADE_CORO_SCHEDULER_H_
+
+#include <coroutine>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "coro/task.h"
+#include "util/clock.h"
+
+namespace pmblade {
+
+class CoroScheduler {
+ public:
+  explicit CoroScheduler(Clock* clock = nullptr);
+  ~CoroScheduler();
+
+  CoroScheduler(const CoroScheduler&) = delete;
+  CoroScheduler& operator=(const CoroScheduler&) = delete;
+
+  /// Registers a coroutine; it becomes ready immediately.
+  void Spawn(Task task);
+
+  /// Runs until every spawned coroutine has completed.
+  void Run();
+
+  /// Total time spent executing coroutine frames (CPU-busy numerator).
+  uint64_t cpu_busy_nanos() const { return cpu_busy_nanos_; }
+  /// Wall time of the last Run() call.
+  uint64_t wall_nanos() const { return wall_nanos_; }
+
+  Clock* clock() const { return clock_; }
+
+  // ---- awaitables ----
+
+  struct YieldAwaiter {
+    CoroScheduler* scheduler;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      scheduler->ready_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  YieldAwaiter Yield() { return YieldAwaiter{this}; }
+
+  struct SleepAwaiter {
+    CoroScheduler* scheduler;
+    uint64_t wake_at_nanos;
+    bool await_ready() const noexcept {
+      return scheduler->clock_->NowNanos() >= wake_at_nanos;
+    }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      scheduler->sleepers_.push(Sleeper{wake_at_nanos, h});
+    }
+    void await_resume() const noexcept {}
+  };
+  /// Parks the caller until the clock reaches `wake_at_nanos`.
+  SleepAwaiter SleepUntil(uint64_t wake_at_nanos) {
+    return SleepAwaiter{this, wake_at_nanos};
+  }
+  SleepAwaiter SleepFor(uint64_t nanos) {
+    return SleepAwaiter{this, clock_->NowNanos() + nanos};
+  }
+
+  /// A cooperative condition: co_await parks until someone calls Notify.
+  /// Spurious wakeups are possible (waiters recheck their condition).
+  class Event {
+   public:
+    explicit Event(CoroScheduler* scheduler) : scheduler_(scheduler) {}
+
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) noexcept {
+        event->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    Awaiter operator co_await() noexcept { return Awaiter{this}; }
+
+    /// Moves all waiters to the ready queue.
+    void NotifyAll() {
+      for (auto h : waiters_) scheduler_->ready_.push_back(h);
+      waiters_.clear();
+    }
+
+    bool has_waiters() const { return !waiters_.empty(); }
+
+   private:
+    friend struct Awaiter;
+    CoroScheduler* scheduler_;
+    std::vector<std::coroutine_handle<>> waiters_;
+  };
+
+ private:
+  friend struct YieldAwaiter;
+  friend struct SleepAwaiter;
+
+  struct Sleeper {
+    uint64_t wake_at_nanos;
+    std::coroutine_handle<> handle;
+    bool operator>(const Sleeper& other) const {
+      return wake_at_nanos > other.wake_at_nanos;
+    }
+  };
+
+  Clock* clock_;
+  std::deque<std::coroutine_handle<>> ready_;
+  std::priority_queue<Sleeper, std::vector<Sleeper>, std::greater<Sleeper>>
+      sleepers_;
+  std::vector<std::coroutine_handle<Task::promise_type>> tasks_;
+  uint64_t cpu_busy_nanos_ = 0;
+  uint64_t wall_nanos_ = 0;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORO_SCHEDULER_H_

@@ -1,0 +1,72 @@
+// Task: a lazily started C++20 coroutine managed by CoroScheduler. Tasks are
+// fire-and-forget from the scheduler's perspective: the scheduler resumes
+// them until completion and destroys the frame at final suspend.
+
+#ifndef PMBLADE_CORO_TASK_H_
+#define PMBLADE_CORO_TASK_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+namespace pmblade {
+
+class CoroScheduler;
+
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    // Final suspend keeps the frame alive; the scheduler observes done() and
+    // destroys it. This avoids resuming a destroyed handle.
+    std::suspend_always final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+
+    CoroScheduler* scheduler = nullptr;
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { Destroy(); }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  /// Releases ownership of the frame to the caller (the scheduler).
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORO_TASK_H_

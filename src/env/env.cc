@@ -1,0 +1,45 @@
+#include "env/env.h"
+
+namespace pmblade {
+
+Status Env::RemoveDirRecursively(const std::string& dirname) {
+  std::vector<std::string> children;
+  Status s = GetChildren(dirname, &children);
+  if (!s.ok()) return s;
+  for (const auto& child : children) {
+    if (child == "." || child == "..") continue;
+    const std::string path = dirname + "/" + child;
+    // Try as file first; fall back to directory.
+    if (!RemoveFile(path).ok()) {
+      PMBLADE_RETURN_IF_ERROR(RemoveDirRecursively(path));
+    }
+  }
+  return RemoveDir(dirname);
+}
+
+Status ReadFileToString(Env* env, const std::string& fname,
+                        std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  PMBLADE_RETURN_IF_ERROR(env->NewSequentialFile(fname, &file));
+  static constexpr size_t kBufSize = 64 * 1024;
+  std::string scratch(kBufSize, '\0');
+  while (true) {
+    Slice fragment;
+    PMBLADE_RETURN_IF_ERROR(file->Read(kBufSize, &fragment, scratch.data()));
+    if (fragment.empty()) break;
+    data->append(fragment.data(), fragment.size());
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(Env* env, const Slice& data,
+                         const std::string& fname) {
+  std::unique_ptr<WritableFile> file;
+  PMBLADE_RETURN_IF_ERROR(env->NewWritableFile(fname, &file));
+  PMBLADE_RETURN_IF_ERROR(file->Append(data));
+  PMBLADE_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+}  // namespace pmblade

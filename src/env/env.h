@@ -1,0 +1,87 @@
+// Filesystem abstraction (LevelDB-style Env): sequential / random-access /
+// writable files plus directory operations. The engine talks only to Env, so
+// the SSD latency model can be injected transparently (see sim_env.h).
+
+#ifndef PMBLADE_ENV_ENV_H_
+#define PMBLADE_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pmblade {
+
+/// Read-to-end file handle used by WAL/manifest replay.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes. `*result` points into `scratch` (which must have
+  /// room for n bytes). A short/empty result at EOF is not an error.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// Positional-read file handle used by table readers. Thread-safe.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+/// Append-only file handle used by table builders, WAL and manifest writers.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  /// Durably persists everything appended so far.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  /// Recursively deletes a directory tree (test/bench convenience).
+  Status RemoveDirRecursively(const std::string& dirname);
+};
+
+/// The process-wide POSIX Env; singleton. No latency injection.
+Env* PosixEnv();
+
+/// Convenience: reads the whole file into *data.
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+/// Convenience: writes (replaces) the file with `data`, syncing it.
+Status WriteStringToFile(Env* env, const Slice& data,
+                         const std::string& fname);
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_ENV_ENV_H_

@@ -1,0 +1,237 @@
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "env/env.h"
+
+namespace pmblade {
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) {
+    return Status::NotFound(context + ": " + strerror(err));
+  }
+  return Status::IOError(context + ": " + strerror(err));
+}
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ssize_t r = ::read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      *result = Slice(scratch, r);
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, static_cast<off_t>(n), SEEK_CUR) == -1) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, scratch + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      if (r == 0) break;  // EOF
+      got += static_cast<size_t>(r);
+    }
+    *result = Slice(scratch, got);
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {
+    buf_.reserve(kBufSize);
+  }
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) Close();
+  }
+
+  Status Append(const Slice& data) override {
+    if (buf_.size() + data.size() <= kBufSize) {
+      buf_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    PMBLADE_RETURN_IF_ERROR(FlushBuffer());
+    if (data.size() <= kBufSize) {
+      buf_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    return WriteRaw(data.data(), data.size());
+  }
+
+  Status Flush() override { return FlushBuffer(); }
+
+  Status Sync() override {
+    PMBLADE_RETURN_IF_ERROR(FlushBuffer());
+    if (::fdatasync(fd_) != 0) return PosixError(fname_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Status s = FlushBuffer();
+    if (::close(fd_) != 0 && s.ok()) s = PosixError(fname_, errno);
+    fd_ = -1;
+    return s;
+  }
+
+ private:
+  static constexpr size_t kBufSize = 64 * 1024;
+
+  Status FlushBuffer() {
+    if (buf_.empty()) return Status::OK();
+    Status s = WriteRaw(buf_.data(), buf_.size());
+    buf_.clear();
+    return s;
+  }
+
+  Status WriteRaw(const char* data, size_t n) {
+    while (n > 0) {
+      ssize_t r = ::write(fd_, data, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      data += r;
+      n -= static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  std::string fname_;
+  int fd_;
+  std::string buf_;
+};
+
+class PosixEnvImpl final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return PosixError(fname, errno);
+    result->reset(new PosixSequentialFile(fname, fd));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return PosixError(fname, errno);
+    result->reset(new PosixRandomAccessFile(fname, fd));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd = ::open(fname.c_str(),
+                    O_TRUNC | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) return PosixError(fname, errno);
+    result->reset(new PosixWritableFile(fname, fd));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return ::access(fname.c_str(), F_OK) == 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return PosixError(dir, errno);
+    struct dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      if (strcmp(entry->d_name, ".") == 0 || strcmp(entry->d_name, "..") == 0) {
+        continue;
+      }
+      result->emplace_back(entry->d_name);
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (::unlink(fname.c_str()) != 0) return PosixError(fname, errno);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    if (::mkdir(dirname.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    if (::rmdir(dirname.c_str()) != 0) return PosixError(dirname, errno);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct stat st;
+    if (::stat(fname.c_str(), &st) != 0) {
+      *size = 0;
+      return PosixError(fname, errno);
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    if (::rename(src.c_str(), target.c_str()) != 0) {
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* PosixEnv() {
+  static PosixEnvImpl singleton;
+  return &singleton;
+}
+
+}  // namespace pmblade

@@ -1,0 +1,123 @@
+#include "env/sim_env.h"
+#include <atomic>
+
+namespace pmblade {
+namespace {
+
+class SimSequentialFile final : public SequentialFile {
+ public:
+  SimSequentialFile(std::unique_ptr<SequentialFile> base, SsdModel* model,
+                    IoClass klass)
+      : base_(std::move(base)), model_(model), klass_(klass) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok() && !result->empty()) {
+      // A SequentialFile is a sequential stream by construction; only the
+      // first read pays the full seek cost.
+      model_->OnRead(result->size(), klass_, /*sequential=*/!first_read_);
+      first_read_ = false;
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  SsdModel* model_;
+  IoClass klass_;
+  bool first_read_ = true;
+};
+
+class SimRandomAccessFile final : public RandomAccessFile {
+ public:
+  SimRandomAccessFile(std::unique_ptr<RandomAccessFile> base, SsdModel* model,
+                      IoClass klass)
+      : base_(std::move(base)), model_(model), klass_(klass) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      // Reads continuing exactly (or nearly — block trailers make table
+      // scans read at small gaps) where the last one ended behave like a
+      // prefetched sequential stream.
+      uint64_t expected = last_end_.load(std::memory_order_relaxed);
+      bool sequential =
+          expected != 0 && offset >= expected && offset - expected <= 64;
+      last_end_.store(offset + result->size(), std::memory_order_relaxed);
+      model_->OnRead(result->size(), klass_, sequential);
+    }
+    return s;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  SsdModel* model_;
+  IoClass klass_;
+  mutable std::atomic<uint64_t> last_end_{0};
+};
+
+class SimWritableFile final : public WritableFile {
+ public:
+  SimWritableFile(std::unique_ptr<WritableFile> base, SsdModel* model,
+                  IoClass klass)
+      : base_(std::move(base)), model_(model), klass_(klass) {}
+
+  Status Append(const Slice& data) override {
+    Status s = base_->Append(data);
+    if (s.ok()) model_->OnWrite(data.size(), klass_);
+    return s;
+  }
+
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  SsdModel* model_;
+  IoClass klass_;
+};
+
+}  // namespace
+
+Status SimEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> base_file;
+  PMBLADE_RETURN_IF_ERROR(base_->NewSequentialFile(fname, &base_file));
+  result->reset(
+      new SimSequentialFile(std::move(base_file), model_, IoClass::kClient));
+  return Status::OK();
+}
+
+Status SimEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* result) {
+  return NewRandomAccessFileWithClass(fname, IoClass::kClient, result);
+}
+
+Status SimEnv::NewRandomAccessFileWithClass(
+    const std::string& fname, IoClass klass,
+    std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  PMBLADE_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &base_file));
+  result->reset(new SimRandomAccessFile(std::move(base_file), model_, klass));
+  return Status::OK();
+}
+
+Status SimEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* result) {
+  return NewWritableFileWithClass(fname, IoClass::kClient, result);
+}
+
+Status SimEnv::NewWritableFileWithClass(
+    const std::string& fname, IoClass klass,
+    std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base_file;
+  PMBLADE_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base_file));
+  result->reset(new SimWritableFile(std::move(base_file), model_, klass));
+  return Status::OK();
+}
+
+}  // namespace pmblade

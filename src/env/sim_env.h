@@ -1,0 +1,72 @@
+// SimEnv: an Env decorator that routes every file read/write through an
+// SsdModel, so the whole engine experiences SSD-like timing and the model
+// accumulates byte/latency statistics. Per-file I/O class tagging lets the
+// compaction code mark its I/Os as IoClass::kCompaction while foreground
+// reads count as clients.
+
+#ifndef PMBLADE_ENV_SIM_ENV_H_
+#define PMBLADE_ENV_SIM_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "env/ssd_model.h"
+
+namespace pmblade {
+
+class SimEnv final : public Env {
+ public:
+  /// Neither pointer is owned; both must outlive the SimEnv.
+  SimEnv(Env* base, SsdModel* model) : base_(base), model_(model) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+
+  /// Variants that tag the file's I/Os with a specific class.
+  Status NewRandomAccessFileWithClass(
+      const std::string& fname, IoClass klass,
+      std::unique_ptr<RandomAccessFile>* result);
+  Status NewWritableFileWithClass(const std::string& fname, IoClass klass,
+                                  std::unique_ptr<WritableFile>* result);
+
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+  SsdModel* model() const { return model_; }
+  Env* base() const { return base_; }
+
+ private:
+  Env* base_;
+  SsdModel* model_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_ENV_SIM_ENV_H_

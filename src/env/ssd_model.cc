@@ -1,0 +1,107 @@
+#include "env/ssd_model.h"
+
+namespace pmblade {
+
+SsdModel::SsdModel(const SsdModelOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : SystemClock()) {
+  for (auto& c : inflight_) c.store(0, std::memory_order_relaxed);
+}
+
+uint64_t SsdModel::ComputeLatency(bool is_write, size_t bytes,
+                                  int queue_before, bool sequential) const {
+  double base = is_write ? options_.write_base_nanos
+                         : options_.read_base_nanos;
+  if (!is_write && sequential) {
+    base *= options_.sequential_read_base_factor;
+  }
+  double per_byte = is_write ? options_.write_nanos_per_byte
+                             : options_.read_nanos_per_byte;
+  return static_cast<uint64_t>(base) +
+         static_cast<uint64_t>(per_byte * static_cast<double>(bytes)) +
+         static_cast<uint64_t>(queue_before) * options_.queue_penalty_nanos;
+}
+
+void SsdModel::NoteBegin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (busy_count_ == 0) busy_since_ = clock_->NowNanos();
+  ++busy_count_;
+}
+
+void SsdModel::NoteEnd() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --busy_count_;
+  if (busy_count_ == 0) busy_nanos_ += clock_->NowNanos() - busy_since_;
+}
+
+uint64_t SsdModel::OnRead(size_t bytes, IoClass klass, bool sequential) {
+  Ticket t = BeginIo(/*is_write=*/false, bytes, klass, sequential);
+  if (options_.inject_latency) clock_->SleepForNanos(t.latency_nanos);
+  EndIo(t);
+  return t.latency_nanos;
+}
+
+uint64_t SsdModel::OnWrite(size_t bytes, IoClass klass) {
+  Ticket t = BeginIo(/*is_write=*/true, bytes, klass);
+  if (options_.inject_latency) clock_->SleepForNanos(t.latency_nanos);
+  EndIo(t);
+  return t.latency_nanos;
+}
+
+SsdModel::Ticket SsdModel::BeginIo(bool is_write, size_t bytes,
+                                   IoClass klass, bool sequential) {
+  int queue_before = InflightTotal();
+  inflight_[static_cast<int>(klass)].fetch_add(1, std::memory_order_relaxed);
+  NoteBegin();
+
+  Ticket t;
+  t.is_write = is_write;
+  t.klass = klass;
+  t.latency_nanos = ComputeLatency(is_write, bytes, queue_before, sequential);
+  t.complete_at_nanos = clock_->NowNanos() + t.latency_nanos;
+  service_nanos_.fetch_add(ComputeLatency(is_write, bytes, 0, sequential),
+                           std::memory_order_relaxed);
+
+  if (is_write) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void SsdModel::EndIo(const Ticket& ticket) {
+  inflight_[static_cast<int>(ticket.klass)].fetch_sub(
+      1, std::memory_order_relaxed);
+  NoteEnd();
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_hist_.Add(ticket.latency_nanos);
+}
+
+uint64_t SsdModel::BusyNanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t busy = busy_nanos_;
+  if (busy_count_ > 0) busy += clock_->NowNanos() - busy_since_;
+  return busy;
+}
+
+Histogram SsdModel::LatencySnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_hist_;
+}
+
+void SsdModel::ResetStats() {
+  bytes_read_.store(0);
+  bytes_written_.store(0);
+  reads_.store(0);
+  writes_.store(0);
+  service_nanos_.store(0);
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_hist_.Clear();
+  busy_nanos_ = 0;
+  if (busy_count_ > 0) busy_since_ = clock_->NowNanos();
+}
+
+}  // namespace pmblade

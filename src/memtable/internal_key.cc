@@ -1,0 +1,72 @@
+#include "memtable/internal_key.h"
+
+#include "util/coding.h"
+
+namespace pmblade {
+
+void AppendInternalKey(std::string* result, const Slice& user_key,
+                       SequenceNumber seq, ValueType type) {
+  result->append(user_key.data(), user_key.size());
+  PutFixed64(result, PackSequenceAndType(seq, type));
+}
+
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
+  if (internal_key.size() < 8) return false;
+  uint64_t tag = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  result->user_key = ExtractUserKey(internal_key);
+  result->sequence = UnpackSequence(tag);
+  result->type = UnpackType(tag);
+  return result->type <= kTypeValue;
+}
+
+uint64_t ExtractTag(const Slice& internal_key) {
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+}
+
+int InternalKeyComparator::Compare(const Slice& a, const Slice& b) const {
+  int r = user_comparator_->Compare(ExtractUserKey(a), ExtractUserKey(b));
+  if (r == 0) {
+    // Larger tag (newer) sorts first.
+    uint64_t atag = ExtractTag(a);
+    uint64_t btag = ExtractTag(b);
+    if (atag > btag) r = -1;
+    else if (atag < btag) r = +1;
+  }
+  return r;
+}
+
+void InternalKeyComparator::FindShortestSeparator(std::string* start,
+                                                  const Slice& limit) const {
+  // Shorten the user-key portion; re-attach a max tag so the separator still
+  // sorts before any real entry with that user key.
+  Slice user_start = ExtractUserKey(*start);
+  Slice user_limit = ExtractUserKey(limit);
+  std::string tmp(user_start.data(), user_start.size());
+  user_comparator_->FindShortestSeparator(&tmp, user_limit);
+  if (tmp.size() < user_start.size() &&
+      user_comparator_->Compare(user_start, tmp) < 0) {
+    PutFixed64(&tmp, PackSequenceAndType(kMaxSequenceNumber,
+                                         kValueTypeForSeek));
+    *start = tmp;
+  }
+}
+
+void InternalKeyComparator::FindShortSuccessor(std::string* key) const {
+  Slice user_key = ExtractUserKey(*key);
+  std::string tmp(user_key.data(), user_key.size());
+  user_comparator_->FindShortSuccessor(&tmp);
+  if (tmp.size() < user_key.size() &&
+      user_comparator_->Compare(user_key, tmp) < 0) {
+    PutFixed64(&tmp, PackSequenceAndType(kMaxSequenceNumber,
+                                         kValueTypeForSeek));
+    *key = tmp;
+  }
+}
+
+LookupKey::LookupKey(const Slice& user_key, SequenceNumber seq) {
+  rep_.reserve(user_key.size() + 8);
+  rep_.append(user_key.data(), user_key.size());
+  PutFixed64(&rep_, PackSequenceAndType(seq, kValueTypeForSeek));
+}
+
+}  // namespace pmblade

@@ -1,0 +1,80 @@
+// MemTable: an arena-backed skiplist keyed by internal keys. Writers append
+// under the DB write lock (single writer at a time); readers traverse
+// concurrently without locks (release/acquire on node pointers).
+
+#ifndef PMBLADE_MEMTABLE_SKIPLIST_MEMTABLE_H_
+#define PMBLADE_MEMTABLE_SKIPLIST_MEMTABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "memtable/internal_key.h"
+#include "util/arena.h"
+#include "util/iterator.h"
+#include "util/random.h"
+
+namespace pmblade {
+
+class MemTable {
+ public:
+  explicit MemTable(const InternalKeyComparator& comparator);
+  ~MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Reference counting: the DB holds one ref; flush jobs take another while
+  /// reading an immutable memtable.
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  /// Adds an entry. `type` distinguishes values from tombstones.
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  /// Point lookup at snapshot embedded in `key`. Returns true if this
+  /// memtable has an answer: value (s OK) or tombstone (s NotFound).
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+  /// Iterator over internal-key entries, newest version of each user key
+  /// first. key() is the encoded internal key.
+  Iterator* NewIterator();
+
+  /// Approximate DRAM consumed (drives flush triggering).
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node;
+  class Iter;
+
+  static constexpr int kMaxHeight = 12;
+
+  int RandomHeight();
+  Node* NewNode(const Slice& encoded_entry, int height);
+  /// First node with entry key >= `key` (internal-key order).
+  Node* FindGreaterOrEqual(const Slice& key, Node** prev) const;
+  Node* FindLessThan(const Slice& key) const;
+  Node* FindLast() const;
+  int CompareEntryToKey(const Node* node, const Slice& key) const;
+  static Slice EntryKey(const Node* node);
+  static Slice EntryValue(const Node* node);
+
+  InternalKeyComparator comparator_;
+  Arena arena_;
+  Random rnd_;
+  Node* head_;
+  std::atomic<int> max_height_{1};
+  std::atomic<int> refs_{0};
+  std::atomic<uint64_t> num_entries_{0};
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_MEMTABLE_SKIPLIST_MEMTABLE_H_

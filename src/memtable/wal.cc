@@ -1,0 +1,217 @@
+#include "memtable/wal.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace pmblade {
+namespace wal {
+
+Writer::Writer(WritableFile* dest, uint64_t dest_length)
+    : dest_(dest), block_offset_(dest_length % kBlockSize) {
+  for (int i = 0; i <= kMaxRecordType; ++i) {
+    char t = static_cast<char>(i);
+    type_crc_[i] = crc32c::Value(&t, 1);
+  }
+}
+
+Status Writer::AddRecord(const Slice& record) {
+  const char* ptr = record.data();
+  size_t left = record.size();
+
+  Status s;
+  bool begin = true;
+  do {
+    const size_t leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Pad the block trailer with zeroes and move to a new block.
+      if (leftover > 0) {
+        static const char kZeroes[kHeaderSize] = {0};
+        s = dest_->Append(Slice(kZeroes, leftover));
+        if (!s.ok()) return s;
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t fragment_length = (left < avail) ? left : avail;
+
+    RecordType type;
+    const bool end = (left == fragment_length);
+    if (begin && end) type = kFullType;
+    else if (begin) type = kFirstType;
+    else if (end) type = kLastType;
+    else type = kMiddleType;
+
+    s = EmitPhysicalRecord(type, ptr, fragment_length);
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (s.ok() && left > 0);
+  return s;
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* ptr,
+                                  size_t length) {
+  char header[kHeaderSize];
+  header[4] = static_cast<char>(length & 0xff);
+  header[5] = static_cast<char>(length >> 8);
+  header[6] = static_cast<char>(type);
+
+  uint32_t crc = crc32c::Extend(type_crc_[type], ptr, length);
+  EncodeFixed32(header, crc32c::Mask(crc));
+
+  Status s = dest_->Append(Slice(header, kHeaderSize));
+  if (s.ok()) {
+    s = dest_->Append(Slice(ptr, length));
+    if (s.ok()) s = dest_->Flush();
+  }
+  block_offset_ += kHeaderSize + length;
+  return s;
+}
+
+Reader::Reader(SequentialFile* file, Reporter* reporter, bool checksum)
+    : file_(file),
+      reporter_(reporter),
+      checksum_(checksum),
+      backing_store_(new char[kBlockSize]) {}
+
+void Reader::ReportCorruption(uint64_t bytes, const char* reason) {
+  ReportDrop(bytes, Status::Corruption(reason));
+}
+
+void Reader::ReportDrop(uint64_t bytes, const Status& reason) {
+  if (reporter_ != nullptr) {
+    reporter_->Corruption(static_cast<size_t>(bytes), reason);
+  }
+}
+
+bool Reader::ReadRecord(Slice* record, std::string* scratch) {
+  scratch->clear();
+  record->clear();
+  bool in_fragmented_record = false;
+
+  Slice fragment;
+  while (true) {
+    const unsigned int record_type = ReadPhysicalRecord(&fragment);
+    switch (record_type) {
+      case kFullType:
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "partial record without end");
+        }
+        *record = fragment;
+        return true;
+
+      case kFirstType:
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "partial record without end");
+        }
+        scratch->assign(fragment.data(), fragment.size());
+        in_fragmented_record = true;
+        break;
+
+      case kMiddleType:
+        if (!in_fragmented_record) {
+          ReportCorruption(fragment.size(), "missing start of record");
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+        }
+        break;
+
+      case kLastType:
+        if (!in_fragmented_record) {
+          ReportCorruption(fragment.size(), "missing start of record");
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+          *record = Slice(*scratch);
+          return true;
+        }
+        break;
+
+      case kEof:
+        if (in_fragmented_record) {
+          // Writer died mid-record; drop the partial tail.
+          scratch->clear();
+        }
+        return false;
+
+      case kBadRecord:
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "error in middle of record");
+          in_fragmented_record = false;
+          scratch->clear();
+        }
+        break;
+
+      default:
+        ReportCorruption(fragment.size() + scratch->size(),
+                         "unknown record type");
+        in_fragmented_record = false;
+        scratch->clear();
+        break;
+    }
+  }
+}
+
+unsigned int Reader::ReadPhysicalRecord(Slice* result) {
+  while (true) {
+    if (buffer_.size() < kHeaderSize) {
+      if (!eof_) {
+        buffer_.clear();
+        Status status =
+            file_->Read(kBlockSize, &buffer_, backing_store_.get());
+        if (!status.ok()) {
+          buffer_.clear();
+          ReportDrop(kBlockSize, status);
+          eof_ = true;
+          return kEof;
+        }
+        if (buffer_.size() < kBlockSize) eof_ = true;
+        continue;
+      }
+      // Truncated header at EOF: assume writer died mid-header.
+      buffer_.clear();
+      return kEof;
+    }
+
+    const char* header = buffer_.data();
+    const uint32_t a = static_cast<uint8_t>(header[4]);
+    const uint32_t b = static_cast<uint8_t>(header[5]);
+    const unsigned int type = static_cast<uint8_t>(header[6]);
+    const uint32_t length = a | (b << 8);
+    if (kHeaderSize + length > buffer_.size()) {
+      size_t drop_size = buffer_.size();
+      buffer_.clear();
+      if (!eof_) {
+        ReportCorruption(drop_size, "bad record length");
+        return kBadRecord;
+      }
+      return kEof;
+    }
+
+    if (type == kZeroType && length == 0) {
+      // Zeroed padding; skip the rest of the buffer.
+      buffer_.clear();
+      return kBadRecord;
+    }
+
+    if (checksum_) {
+      uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
+      uint32_t actual_crc = crc32c::Value(header + 6, 1 + length);
+      if (actual_crc != expected_crc) {
+        size_t drop_size = buffer_.size();
+        buffer_.clear();
+        ReportCorruption(drop_size, "checksum mismatch");
+        return kBadRecord;
+      }
+    }
+
+    *result = Slice(header + kHeaderSize, length);
+    buffer_.remove_prefix(kHeaderSize + length);
+    return type;
+  }
+}
+
+}  // namespace wal
+}  // namespace pmblade

@@ -1,0 +1,61 @@
+// WriteBatch: an atomic group of Put/Delete operations, serialized in the
+// exact form written to the WAL so replay is byte-identical.
+
+#ifndef PMBLADE_MEMTABLE_WRITE_BATCH_H_
+#define PMBLADE_MEMTABLE_WRITE_BATCH_H_
+
+#include <string>
+
+#include "memtable/internal_key.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pmblade {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  WriteBatch() { Clear(); }
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  /// Number of operations in the batch.
+  uint32_t Count() const;
+
+  /// Total serialized size in bytes.
+  size_t ApproximateSize() const { return rep_.size(); }
+
+  /// Callback-style traversal of the batch contents.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  // ---- internal (WAL / memtable plumbing) ----
+
+  /// Serialized representation: fixed64 base-sequence | fixed32 count |
+  /// records (kTypeValue key value | kTypeDeletion key).
+  const std::string& rep() const { return rep_; }
+  void SetContentsFrom(const Slice& contents);
+
+  SequenceNumber Sequence() const;
+  void SetSequence(SequenceNumber seq);
+
+  /// Applies the batch into `mem` with sequence numbers starting at
+  /// Sequence().
+  Status InsertInto(MemTable* mem) const;
+
+ private:
+  static constexpr size_t kHeader = 12;
+  std::string rep_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_MEMTABLE_WRITE_BATCH_H_

@@ -1,0 +1,347 @@
+#include "pm/pm_pool.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace pmblade {
+
+// On-media layout:
+//   [header: 64 B]
+//     0..7    magic "PMBLADE1"
+//     8..15   fixed64 capacity (data area bytes)
+//     16..19  fixed32 dir_slots
+//     20..27  fixed64 next_id
+//     28..31  fixed32 header crc (of bytes 0..27)
+//   [directory: dir_slots * 32 B]
+//     each slot:
+//       0..7    fixed64 id          (0 = empty slot)
+//       8..15   fixed64 offset      (relative to data area)
+//       16..23  fixed64 size
+//       24..27  fixed32 kind
+//       28..31  fixed32 state       (1 = live, else free)
+//   [data area: capacity bytes]
+//
+// A slot is claimed by writing all fields then persisting state=kLive last;
+// an interrupted allocation leaves state != kLive and is garbage-collected
+// by the free-map rebuild at open.
+
+namespace {
+constexpr char kMagic[8] = {'P', 'M', 'B', 'L', 'A', 'D', 'E', '1'};
+constexpr uint64_t kHeaderSize = 64;
+constexpr uint64_t kSlotSize = 32;
+constexpr uint32_t kStateLive = 1;
+constexpr uint64_t kAlign = 64;
+
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) & ~(a - 1); }
+
+uint32_t DirSlotsForCapacity(uint64_t capacity) {
+  // One slot per 64 KiB of capacity, clamped to [1024, 1M] slots.
+  uint64_t slots = capacity / (64 * 1024);
+  if (slots < 1024) slots = 1024;
+  if (slots > (1u << 20)) slots = 1u << 20;
+  return static_cast<uint32_t>(slots);
+}
+}  // namespace
+
+Status PmPool::Open(const std::string& path, const PmPoolOptions& options,
+                    std::unique_ptr<PmPool>* pool) {
+  std::unique_ptr<PmPool> p(new PmPool());
+  PMBLADE_RETURN_IF_ERROR(p->Init(path, options));
+  *pool = std::move(p);
+  return Status::OK();
+}
+
+Status PmPool::Init(const std::string& path, const PmPoolOptions& options) {
+  path_ = path;
+  latency_ = options.latency;
+  clock_ = options.clock != nullptr ? options.clock : SystemClock();
+  sync_on_persist_ = options.sync_on_persist;
+  capacity_ = AlignUp(options.capacity, kAlign);
+  dir_slots_ = DirSlotsForCapacity(capacity_);
+  data_start_ = AlignUp(kHeaderSize + uint64_t{dir_slots_} * kSlotSize, 4096);
+  mapped_size_ = data_start_ + capacity_;
+
+  bool existed = ::access(path.c_str(), F_OK) == 0;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("pm pool open " + path + ": " + strerror(errno));
+  }
+
+  if (existed) {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError("pm pool stat: " + std::string(strerror(errno)));
+    }
+    if (st.st_size == 0) {
+      existed = false;  // empty file: treat as fresh
+    }
+  }
+
+  if (!existed) {
+    if (::ftruncate(fd_, static_cast<off_t>(mapped_size_)) != 0) {
+      return Status::IOError("pm pool truncate: " +
+                             std::string(strerror(errno)));
+    }
+  }
+
+  void* addr = ::mmap(nullptr, mapped_size_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd_, 0);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("pm pool mmap: " + std::string(strerror(errno)));
+  }
+  base_ = static_cast<char*>(addr);
+
+  if (!existed) {
+    // Format a fresh pool.
+    memcpy(base_, kMagic, 8);
+    EncodeFixed64(base_ + 8, capacity_);
+    EncodeFixed32(base_ + 16, dir_slots_);
+    EncodeFixed64(base_ + 20, next_id_);
+    EncodeFixed32(base_ + 28, crc32c::Value(base_, 28));
+    memset(base_ + kHeaderSize, 0, dir_slots_ * kSlotSize);
+    Persist(base_, data_start_);
+  } else {
+    if (memcmp(base_, kMagic, 8) != 0) {
+      return Status::Corruption("pm pool: bad magic in " + path);
+    }
+    uint64_t disk_capacity = DecodeFixed64(base_ + 8);
+    uint32_t disk_slots = DecodeFixed32(base_ + 16);
+    if (crc32c::Value(base_, 28) != DecodeFixed32(base_ + 28)) {
+      return Status::Corruption("pm pool: header crc mismatch");
+    }
+    if (disk_capacity != capacity_ || disk_slots != dir_slots_) {
+      return Status::InvalidArgument(
+          "pm pool: capacity mismatch with existing pool");
+    }
+    next_id_ = DecodeFixed64(base_ + 20);
+  }
+
+  RebuildFreeMap();
+  return Status::OK();
+}
+
+PmPool::~PmPool() {
+  if (base_ != nullptr) {
+    // Persist the id high-water mark so recovered pools keep ids unique.
+    EncodeFixed64(base_ + 20, next_id_);
+    EncodeFixed32(base_ + 28, crc32c::Value(base_, 28));
+    ::msync(base_, data_start_, MS_SYNC);
+    ::munmap(base_, mapped_size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+char* PmPool::DirEntry(uint32_t slot) const {
+  return base_ + kHeaderSize + uint64_t{slot} * kSlotSize;
+}
+
+void PmPool::RebuildFreeMap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.clear();
+  slot_of_id_.clear();
+  free_extents_.clear();
+
+  // Collect live objects from the directory.
+  for (uint32_t slot = 0; slot < dir_slots_; ++slot) {
+    const char* e = DirEntry(slot);
+    uint64_t id = DecodeFixed64(e);
+    if (id == 0) continue;
+    uint32_t state = DecodeFixed32(e + 28);
+    if (state != kStateLive) continue;
+    ObjectInfo info;
+    info.id = id;
+    info.offset = DecodeFixed64(e + 8);
+    info.size = DecodeFixed64(e + 16);
+    info.kind = DecodeFixed32(e + 24);
+    objects_[id] = info;
+    slot_of_id_[id] = slot;
+    if (id >= next_id_) next_id_ = id + 1;
+  }
+
+  // Free space = complement of live extents, coalesced.
+  uint64_t cursor = 0;
+  std::map<uint64_t, uint64_t> live;  // offset -> aligned size
+  for (const auto& [id, info] : objects_) {
+    live[info.offset] = AlignUp(info.size, kAlign);
+  }
+  for (const auto& [off, size] : live) {
+    if (off > cursor) free_extents_[cursor] = off - cursor;
+    cursor = off + size;
+  }
+  if (cursor < capacity_) free_extents_[cursor] = capacity_ - cursor;
+}
+
+Status PmPool::AllocateExtent(uint64_t size, uint64_t* offset) {
+  // First fit. mu_ held by caller.
+  for (auto it = free_extents_.begin(); it != free_extents_.end(); ++it) {
+    if (it->second >= size) {
+      *offset = it->first;
+      uint64_t remaining = it->second - size;
+      uint64_t new_off = it->first + size;
+      free_extents_.erase(it);
+      if (remaining > 0) free_extents_[new_off] = remaining;
+      return Status::OK();
+    }
+  }
+  return Status::Busy("pm pool: out of space");
+}
+
+void PmPool::FreeExtent(uint64_t offset, uint64_t size) {
+  // mu_ held by caller. Insert and coalesce with neighbors.
+  auto [it, inserted] = free_extents_.emplace(offset, size);
+  (void)inserted;
+  // Merge with next.
+  auto next = std::next(it);
+  if (next != free_extents_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_extents_.erase(next);
+  }
+  // Merge with previous.
+  if (it != free_extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_extents_.erase(it);
+    }
+  }
+}
+
+Status PmPool::Allocate(uint64_t size, uint32_t kind, ObjectInfo* info,
+                        char** data) {
+  if (size == 0) return Status::InvalidArgument("pm pool: zero-size object");
+  uint64_t aligned = AlignUp(size, kAlign);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t offset = 0;
+  PMBLADE_RETURN_IF_ERROR(AllocateExtent(aligned, &offset));
+
+  // Find a free directory slot.
+  uint32_t slot = dir_slots_;
+  for (uint32_t i = 0; i < dir_slots_; ++i) {
+    const char* e = DirEntry(i);
+    if (DecodeFixed64(e) == 0 || DecodeFixed32(e + 28) != kStateLive) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == dir_slots_) {
+    FreeExtent(offset, aligned);
+    return Status::Busy("pm pool: directory full");
+  }
+
+  uint64_t id = next_id_++;
+  char* e = DirEntry(slot);
+  EncodeFixed64(e, id);
+  EncodeFixed64(e + 8, offset);
+  EncodeFixed64(e + 16, size);
+  EncodeFixed32(e + 24, kind);
+  Persist(e, 28);
+  EncodeFixed32(e + 28, kStateLive);  // commit point
+  Persist(e + 28, 4);
+
+  info->id = id;
+  info->offset = offset;
+  info->size = size;
+  info->kind = kind;
+  objects_[id] = *info;
+  slot_of_id_[id] = slot;
+  *data = base_ + data_start_ + offset;
+  return Status::OK();
+}
+
+Status PmPool::Free(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("pm pool: no such object");
+  }
+  uint32_t slot = slot_of_id_[id];
+  char* e = DirEntry(slot);
+  EncodeFixed32(e + 28, 0);  // not live
+  Persist(e + 28, 4);
+  EncodeFixed64(e, 0);       // release the slot
+  Persist(e, 8);
+
+  FreeExtent(it->second.offset, AlignUp(it->second.size, kAlign));
+  slot_of_id_.erase(id);
+  objects_.erase(it);
+  return Status::OK();
+}
+
+char* PmPool::DataFor(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return nullptr;
+  return base_ + data_start_ + it->second.offset;
+}
+
+std::vector<PmPool::ObjectInfo> PmPool::ListObjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectInfo> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, info] : objects_) out.push_back(info);
+  return out;
+}
+
+void PmPool::Persist(const char* addr, size_t len) {
+  stats_.AddPersist();
+  if (latency_.inject_latency) {
+    clock_->SleepForNanos(latency_.persist_nanos);
+  }
+  if (sync_on_persist_) {
+    // msync requires page-aligned addresses.
+    uintptr_t start = reinterpret_cast<uintptr_t>(addr) & ~uintptr_t{4095};
+    uintptr_t end = reinterpret_cast<uintptr_t>(addr) + len;
+    ::msync(reinterpret_cast<void*>(start), end - start, MS_SYNC);
+  }
+}
+
+void PmPool::InjectRead(size_t bytes, uint64_t accesses) {
+  stats_.AddRead(bytes, accesses);
+  if (!latency_.inject_latency) return;
+  uint64_t nanos =
+      accesses * latency_.read_access_nanos +
+      static_cast<uint64_t>(latency_.read_nanos_per_byte * bytes);
+  clock_->SleepForNanos(nanos);
+}
+
+void PmPool::InjectWrite(size_t bytes) {
+  stats_.AddWrite(bytes);
+  if (!latency_.inject_latency) return;
+  uint64_t nanos =
+      static_cast<uint64_t>(latency_.write_nanos_per_byte * bytes);
+  clock_->SleepForNanos(nanos);
+}
+
+uint64_t PmPool::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t used = 0;
+  for (const auto& [id, info] : objects_) used += AlignUp(info.size, kAlign);
+  return used;
+}
+
+uint64_t PmPool::FreeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t free_bytes = 0;
+  for (const auto& [off, size] : free_extents_) free_bytes += size;
+  return free_bytes;
+}
+
+uint64_t PmPool::LargestFreeExtent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t largest = 0;
+  for (const auto& [off, size] : free_extents_) {
+    if (size > largest) largest = size;
+  }
+  return largest;
+}
+
+}  // namespace pmblade

@@ -1,0 +1,18 @@
+#include "pm/pm_stats.h"
+
+#include <cstdio>
+
+namespace pmblade {
+
+std::string PmStats::ToString() const {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "pm: read=%lluB (%llu accesses) written=%lluB persists=%llu",
+           static_cast<unsigned long long>(bytes_read()),
+           static_cast<unsigned long long>(read_accesses()),
+           static_cast<unsigned long long>(bytes_written()),
+           static_cast<unsigned long long>(persists()));
+  return buf;
+}
+
+}  // namespace pmblade

@@ -1,0 +1,48 @@
+// Counters for simulated persistent-memory traffic. PM write amplification
+// (Fig. 8(a), Fig. 11(a) report PM and SSD bytes separately) and read
+// accounting come from here.
+
+#ifndef PMBLADE_PM_PM_STATS_H_
+#define PMBLADE_PM_PM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pmblade {
+
+class PmStats {
+ public:
+  void AddRead(uint64_t bytes, uint64_t accesses) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_accesses_.fetch_add(accesses, std::memory_order_relaxed);
+  }
+  void AddWrite(uint64_t bytes) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddPersist() { persists_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t bytes_read() const { return bytes_read_.load(); }
+  uint64_t bytes_written() const { return bytes_written_.load(); }
+  uint64_t read_accesses() const { return read_accesses_.load(); }
+  uint64_t persists() const { return persists_.load(); }
+
+  void Reset() {
+    bytes_read_.store(0);
+    bytes_written_.store(0);
+    read_accesses_.store(0);
+    persists_.store(0);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> read_accesses_{0};
+  std::atomic<uint64_t> persists_{0};
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_PM_PM_STATS_H_

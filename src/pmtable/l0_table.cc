@@ -1,0 +1,38 @@
+#include "pmtable/l0_table.h"
+
+namespace pmblade {
+
+Status L0TableGet(const L0Table& table, const InternalKeyComparator& icmp,
+                  const LookupKey& lkey, std::string* value, bool* found,
+                  Status* result_status) {
+  *found = false;
+  // Fast range rejection on the cached boundaries.
+  const Comparator* ucmp = icmp.user_comparator();
+  if (table.num_entries() == 0) return Status::OK();
+  if (ucmp->Compare(lkey.user_key(), ExtractUserKey(table.smallest())) < 0 ||
+      ucmp->Compare(lkey.user_key(), ExtractUserKey(table.largest())) > 0) {
+    return Status::OK();
+  }
+
+  std::unique_ptr<Iterator> it(table.NewIterator());
+  it->Seek(lkey.internal_key());
+  if (!it->Valid()) return it->status();
+
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(it->key(), &parsed)) {
+    return Status::Corruption("l0 table: malformed internal key");
+  }
+  if (ucmp->Compare(parsed.user_key, lkey.user_key()) != 0) {
+    return it->status();  // different user key: not present here
+  }
+  *found = true;
+  if (parsed.type == kTypeDeletion) {
+    *result_status = Status::NotFound();
+  } else {
+    value->assign(it->value().data(), it->value().size());
+    *result_status = Status::OK();
+  }
+  return it->status();
+}
+
+}  // namespace pmblade

@@ -1,0 +1,74 @@
+// L0Table: the uniform interface over level-0 table implementations.
+//
+// PM-Blade's level-0 is a set of tables flushed from the memtable. The
+// engine supports several physical layouts behind this interface so the
+// paper's configurations are all expressible:
+//   * PmTable           — the paper's three-layer prefix-compressed layout
+//   * ArrayTable        — uncompressed data+metadata arrays (MatrixKV-style)
+//   * ArraySnappyTable  — per-pair LZ compression       (Fig. 6 baseline)
+//   * ArraySnappyGroupTable — per-8-pair LZ compression (Fig. 6 baseline)
+//   * SsdL0Table        — an SSTable on the simulated SSD (PMBlade-SSD)
+//
+// Entries are internal keys (user_key ⊕ seq ⊕ type) in ascending internal
+// order; tables are immutable once built.
+
+#ifndef PMBLADE_PMTABLE_L0_TABLE_H_
+#define PMBLADE_PMTABLE_L0_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "memtable/internal_key.h"
+#include "util/iterator.h"
+#include "util/status.h"
+
+namespace pmblade {
+
+/// Object kinds registered in the PM pool directory.
+enum PmObjectKind : uint32_t {
+  kPmTableObject = 1,
+  kArrayTableObject = 2,
+  kSnappyTableObject = 3,
+  kSnappyGroupTableObject = 4,
+};
+
+class L0Table {
+ public:
+  virtual ~L0Table() = default;
+
+  /// Iterator over (internal key, value); caller owns it. The iterator must
+  /// keep the table alive independently of the caller's reference.
+  virtual Iterator* NewIterator() const = 0;
+
+  virtual uint64_t num_entries() const = 0;
+  /// Storage footprint in bytes (PM object size or SSD file size).
+  virtual uint64_t size_bytes() const = 0;
+
+  /// Smallest/largest internal keys (cached at open; valid for the table's
+  /// lifetime). Empty table => empty slices.
+  virtual Slice smallest() const = 0;
+  virtual Slice largest() const = 0;
+
+  /// Monotonic creation id; among overlapping *unsorted* tables, larger id
+  /// means newer data and must be consulted first.
+  virtual uint64_t id() const = 0;
+
+  /// Releases the underlying storage (PM object or SSD file). Called once,
+  /// when the table leaves the version; outstanding iterators keep the
+  /// in-memory handle alive but the storage is gone afterwards.
+  virtual Status Destroy() = 0;
+};
+
+using L0TableRef = std::shared_ptr<L0Table>;
+
+/// Generic point lookup over any L0Table. Searches for `lkey`'s user key at
+/// its snapshot; on a value hit fills *value and returns found=true/OK; on a
+/// tombstone returns found=true and NotFound status via *result_status.
+Status L0TableGet(const L0Table& table, const InternalKeyComparator& icmp,
+                  const LookupKey& lkey, std::string* value, bool* found,
+                  Status* result_status);
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_PMTABLE_L0_TABLE_H_

@@ -1,0 +1,94 @@
+// PmTable: the paper's compressed level-0 table (Section IV-A, Fig. 2(b)).
+//
+// Three-layer layout inside one PM-pool object:
+//
+//   [header 64 B]
+//   [meta layer]   distinct "table id" key components (length-prefixed);
+//                  extracted once per table instead of repeated per key
+//   [prefix layer] one fixed-width slot per group: the first `prefix_width`
+//                  bytes of the group's first key *remainder* (key with its
+//                  meta component stripped), zero-padded, memcmp-comparable
+//   [group index]  per group: entry-layer offset, entry count, meta id,
+//                  common-prefix length (over remainders, <= prefix_width)
+//   [entry layer]  per entry: varint suffix_len | varint value_len |
+//                  suffix bytes | value bytes, where
+//                  full_key = meta[group.meta_id] ++ slot[0:common_len] ++
+//                             suffix
+//
+// Groups hold up to `group_size` entries (8 or 16) and never straddle a meta
+// boundary, so slot order within one meta range equals full-key order.
+//
+// Point lookup (the paper's read path): binary-search the metas, then the
+// prefix slots of that meta's group range (one PM access per probe — the
+// array layout needs two), then sequentially scan <= group_size entries.
+
+#ifndef PMBLADE_PMTABLE_PM_TABLE_H_
+#define PMBLADE_PMTABLE_PM_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pm/pm_pool.h"
+#include "pmtable/l0_table.h"
+#include "util/comparator.h"
+
+namespace pmblade {
+
+struct PmTableOptions {
+  uint32_t group_size = 16;     // entries per group (paper: 8 or 16)
+  uint32_t prefix_width = 8;    // fixed slot width in bytes, <= 64
+};
+
+class PmTable : public L0Table,
+                public std::enable_shared_from_this<PmTable> {
+ public:
+  /// Opens a PM table stored as pool object `id`. Validates the header and
+  /// caches boundary keys in DRAM.
+  static Status Open(PmPool* pool, uint64_t id,
+                     std::shared_ptr<PmTable>* table);
+
+  Iterator* NewIterator() const override;
+  uint64_t num_entries() const override { return num_entries_; }
+  uint64_t size_bytes() const override { return size_bytes_; }
+  Slice smallest() const override { return smallest_; }
+  Slice largest() const override { return largest_; }
+  uint64_t id() const override { return id_; }
+  Status Destroy() override { return pool_->Free(id_); }
+
+  uint32_t num_groups() const { return num_groups_; }
+  uint32_t num_metas() const { return num_metas_; }
+
+ private:
+  friend class PmTableIter;
+  PmTable() = default;
+
+  Status Validate();
+
+  // Decoded layout pointers (into the pool mapping).
+  const char* base_ = nullptr;
+  const char* meta_layer_ = nullptr;
+  const char* prefix_layer_ = nullptr;
+  const char* group_index_ = nullptr;
+  const char* entry_layer_ = nullptr;
+  const char* limit_ = nullptr;
+
+  PmPool* pool_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t size_bytes_ = 0;
+  uint32_t num_entries_ = 0;
+  uint32_t num_groups_ = 0;
+  uint32_t num_metas_ = 0;
+  uint32_t group_size_ = 0;
+  uint32_t prefix_width_ = 0;
+
+  // DRAM-side caches built at open.
+  std::vector<Slice> metas_;            // views into the meta layer
+  std::vector<uint32_t> meta_group_begin_;  // first group of each meta (+end)
+  std::string smallest_;
+  std::string largest_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_PMTABLE_PM_TABLE_H_

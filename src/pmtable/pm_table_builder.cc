@@ -1,0 +1,153 @@
+#include "pmtable/pm_table_builder.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "compress/prefix.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace pmblade {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'M', 'T', '1'};
+constexpr uint32_t kHeaderSize = 64;
+}  // namespace
+
+PmTableBuilder::PmTableBuilder(PmPool* pool, const PmTableOptions& options)
+    : pool_(pool), options_(options) {
+  if (options_.prefix_width == 0) options_.prefix_width = 8;
+  if (options_.prefix_width > 64) options_.prefix_width = 64;
+  if (options_.group_size == 0) options_.group_size = 16;
+}
+
+void PmTableBuilder::Add(const Slice& internal_key, const Slice& value) {
+  assert(internal_key.size() >= 8);
+  assert(last_key_.empty() ||
+         ExtractUserKey(internal_key).compare(ExtractUserKey(last_key_)) > 0 ||
+         (ExtractUserKey(internal_key) == ExtractUserKey(Slice(last_key_)) &&
+          ExtractTag(internal_key) < ExtractTag(Slice(last_key_))));
+
+  Slice user_key = ExtractUserKey(internal_key);
+  Slice meta = prefix::TableIdComponent(user_key);
+
+  // Metas arrive in ascending order because keys do.
+  if (metas_.empty() || Slice(metas_.back()) != meta) {
+    metas_.push_back(meta.ToString());
+  }
+  uint32_t meta_id = static_cast<uint32_t>(metas_.size() - 1);
+
+  // Groups never straddle meta boundaries and hold <= group_size entries.
+  if (!group_entries_.empty() &&
+      (meta_id != group_meta_id_ ||
+       group_entries_.size() >= options_.group_size)) {
+    SealGroup();
+  }
+  group_meta_id_ = meta_id;
+  group_entries_.push_back(
+      PendingEntry{internal_key.ToString(), value.ToString()});
+  ++num_entries_;
+  raw_bytes_ += internal_key.size() + value.size();
+  last_key_.assign(internal_key.data(), internal_key.size());
+}
+
+void PmTableBuilder::SealGroup() {
+  if (group_entries_.empty()) return;
+
+  const Slice meta(metas_[group_meta_id_]);
+  const size_t meta_len = meta.size();
+
+  // Remainders (keys with the meta component stripped).
+  std::vector<Slice> remainders;
+  remainders.reserve(group_entries_.size());
+  for (const auto& e : group_entries_) {
+    remainders.emplace_back(e.key.data() + meta_len,
+                            e.key.size() - meta_len);
+  }
+
+  // Common prefix over the group's remainders, clamped to the slot width so
+  // the prefix bytes are always recoverable from the slot.
+  size_t common = prefix::CommonPrefixLengthAll(remainders);
+  if (common > options_.prefix_width) common = options_.prefix_width;
+
+  // Prefix slot: first remainder's leading bytes, zero padded.
+  size_t slot_pos = prefix_layer_.size();
+  prefix_layer_.resize(slot_pos + options_.prefix_width);
+  prefix::FixedWidthSlot(remainders[0], options_.prefix_width,
+                         prefix_layer_.data() + slot_pos);
+
+  // Group index entry.
+  PutFixed32(&group_index_, static_cast<uint32_t>(entry_layer_.size()));
+  PutFixed32(&group_index_, static_cast<uint32_t>(group_entries_.size()));
+  PutFixed32(&group_index_, group_meta_id_);
+  PutFixed32(&group_index_, static_cast<uint32_t>(common));
+
+  // Entries: suffix after the common prefix.
+  for (size_t i = 0; i < group_entries_.size(); ++i) {
+    Slice suffix(remainders[i].data() + common, remainders[i].size() - common);
+    PutVarint32(&entry_layer_, static_cast<uint32_t>(suffix.size()));
+    PutVarint32(&entry_layer_,
+                static_cast<uint32_t>(group_entries_[i].value.size()));
+    entry_layer_.append(suffix.data(), suffix.size());
+    entry_layer_.append(group_entries_[i].value);
+  }
+
+  ++num_groups_;
+  group_entries_.clear();
+}
+
+Status PmTableBuilder::Finish(std::shared_ptr<PmTable>* table) {
+  SealGroup();
+
+  // Meta layer bytes.
+  std::string meta_layer;
+  for (const auto& m : metas_) {
+    PutLengthPrefixedSlice(&meta_layer, m);
+  }
+
+  const uint32_t meta_off = kHeaderSize;
+  const uint32_t prefix_off =
+      meta_off + static_cast<uint32_t>(meta_layer.size());
+  const uint32_t gindex_off =
+      prefix_off + static_cast<uint32_t>(prefix_layer_.size());
+  const uint32_t entry_off =
+      gindex_off + static_cast<uint32_t>(group_index_.size());
+  const uint32_t total =
+      entry_off + static_cast<uint32_t>(entry_layer_.size());
+
+  std::string image;
+  image.reserve(total);
+  image.resize(kHeaderSize, '\0');
+  char* h = image.data();
+  memcpy(h, kMagic, 4);
+  EncodeFixed32(h + 4, static_cast<uint32_t>(num_entries_));
+  EncodeFixed32(h + 8, num_groups_);
+  EncodeFixed32(h + 12, static_cast<uint32_t>(metas_.size()));
+  EncodeFixed32(h + 16, options_.group_size);
+  EncodeFixed32(h + 20, options_.prefix_width);
+  EncodeFixed32(h + 24, meta_off);
+  EncodeFixed32(h + 28, prefix_off);
+  EncodeFixed32(h + 32, gindex_off);
+  EncodeFixed32(h + 36, entry_off);
+  EncodeFixed32(h + 40, total);
+  EncodeFixed32(h + 44, crc32c::Value(h, 44));
+
+  image.append(meta_layer);
+  image.append(prefix_layer_);
+  image.append(group_index_);
+  image.append(entry_layer_);
+  assert(image.size() == total);
+
+  // Land in the PM pool: allocate, stream-copy, persist.
+  PmPool::ObjectInfo info;
+  char* dst = nullptr;
+  PMBLADE_RETURN_IF_ERROR(
+      pool_->Allocate(image.size(), kPmTableObject, &info, &dst));
+  memcpy(dst, image.data(), image.size());
+  pool_->InjectWrite(image.size());
+  pool_->Persist(dst, image.size());
+
+  return PmTable::Open(pool_, info.id, table);
+}
+
+}  // namespace pmblade

@@ -1,0 +1,40 @@
+// Block: read-side counterpart of BlockBuilder, with a restart-point binary
+// search iterator.
+
+#ifndef PMBLADE_SSTABLE_BLOCK_H_
+#define PMBLADE_SSTABLE_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sstable/format.h"
+#include "util/comparator.h"
+#include "util/iterator.h"
+
+namespace pmblade {
+
+class Block {
+ public:
+  explicit Block(const BlockContents& contents);
+  ~Block();
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return size_; }
+  Iterator* NewIterator(const Comparator* comparator);
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  const char* data_;
+  size_t size_;
+  uint32_t restart_offset_;
+  bool owned_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_SSTABLE_BLOCK_H_

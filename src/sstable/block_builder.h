@@ -1,0 +1,48 @@
+// BlockBuilder: builds a prefix-compressed key/value block with restart
+// points. Keys share prefixes with their predecessor except at restart
+// points, which anchor binary search in the reader.
+
+#ifndef PMBLADE_SSTABLE_BLOCK_BUILDER_H_
+#define PMBLADE_SSTABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace pmblade {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  /// Keys must be added in strictly increasing order (per the caller's
+  /// comparator).
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finishes the block and returns its full contents (valid until Reset).
+  Slice Finish();
+
+  /// Estimate of the current finished size.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_SSTABLE_BLOCK_BUILDER_H_

@@ -1,0 +1,57 @@
+// FilterBlockBuilder/Reader: per-table bloom filter block. One filter is
+// generated per 2 KiB window of data-block offsets so a point lookup can
+// probe the filter for the block it would read.
+
+#ifndef PMBLADE_SSTABLE_FILTER_BLOCK_H_
+#define PMBLADE_SSTABLE_FILTER_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bloom.h"
+#include "util/slice.h"
+
+namespace pmblade {
+
+class FilterBlockBuilder {
+ public:
+  explicit FilterBlockBuilder(const BloomFilterPolicy* policy);
+
+  FilterBlockBuilder(const FilterBlockBuilder&) = delete;
+  FilterBlockBuilder& operator=(const FilterBlockBuilder&) = delete;
+
+  /// Called when a data block starts at `block_offset`.
+  void StartBlock(uint64_t block_offset);
+  void AddKey(const Slice& key);
+  Slice Finish();
+
+ private:
+  void GenerateFilter();
+
+  const BloomFilterPolicy* policy_;
+  std::string keys_;             // flattened key bytes
+  std::vector<size_t> start_;    // offset of each key in keys_
+  std::string result_;           // accumulated filters
+  std::vector<uint32_t> filter_offsets_;
+};
+
+class FilterBlockReader {
+ public:
+  /// `contents` must outlive the reader (it points into the table's filter
+  /// block allocation).
+  FilterBlockReader(const BloomFilterPolicy* policy, const Slice& contents);
+
+  bool KeyMayMatch(uint64_t block_offset, const Slice& key) const;
+
+ private:
+  const BloomFilterPolicy* policy_;
+  const char* data_ = nullptr;    // filter data start
+  const char* offset_ = nullptr;  // offset array start
+  size_t num_ = 0;
+  size_t base_lg_ = 0;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_SSTABLE_FILTER_BLOCK_H_

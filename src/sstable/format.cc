@@ -1,0 +1,115 @@
+#include "sstable/format.h"
+
+#include "compress/lz.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace pmblade {
+
+void BlockHandle::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset_);
+  PutVarint64(dst, size_);
+}
+
+Status BlockHandle::DecodeFrom(Slice* input) {
+  if (GetVarint64(input, &offset_) && GetVarint64(input, &size_)) {
+    return Status::OK();
+  }
+  return Status::Corruption("bad block handle");
+}
+
+void Footer::EncodeTo(std::string* dst) const {
+  const size_t original_size = dst->size();
+  metaindex_handle_.EncodeTo(dst);
+  index_handle_.EncodeTo(dst);
+  dst->resize(original_size + 2 * BlockHandle::kMaxEncodedLength);  // padding
+  PutFixed32(dst, static_cast<uint32_t>(kTableMagicNumber & 0xffffffffu));
+  PutFixed32(dst, static_cast<uint32_t>(kTableMagicNumber >> 32));
+}
+
+Status Footer::DecodeFrom(Slice* input) {
+  if (input->size() < kEncodedLength) {
+    return Status::Corruption("footer too short");
+  }
+  const char* magic_ptr = input->data() + kEncodedLength - 8;
+  const uint32_t magic_lo = DecodeFixed32(magic_ptr);
+  const uint32_t magic_hi = DecodeFixed32(magic_ptr + 4);
+  const uint64_t magic =
+      (static_cast<uint64_t>(magic_hi) << 32) | magic_lo;
+  if (magic != kTableMagicNumber) {
+    return Status::Corruption("not an sstable (bad magic number)");
+  }
+  Status result = metaindex_handle_.DecodeFrom(input);
+  if (result.ok()) result = index_handle_.DecodeFrom(input);
+  return result;
+}
+
+Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
+                 bool verify_checksums, BlockContents* result) {
+  result->data = Slice();
+  result->cachable = false;
+  result->heap_allocated = false;
+
+  const size_t n = static_cast<size_t>(handle.size());
+  char* buf = new char[n + kBlockTrailerSize];
+  Slice contents;
+  Status s =
+      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
+  if (!s.ok()) {
+    delete[] buf;
+    return s;
+  }
+  if (contents.size() != n + kBlockTrailerSize) {
+    delete[] buf;
+    return Status::Corruption("truncated block read");
+  }
+
+  const char* data = contents.data();
+  if (verify_checksums) {
+    const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
+    const uint32_t actual = crc32c::Value(data, n + 1);
+    if (actual != crc) {
+      delete[] buf;
+      return Status::Corruption("block checksum mismatch");
+    }
+  }
+
+  switch (data[n]) {
+    case kNoCompression:
+      if (data != buf) {
+        // File returned memory it owns; no copy needed, not cachable.
+        delete[] buf;
+        result->data = Slice(data, n);
+        result->cachable = false;
+        result->heap_allocated = false;
+      } else {
+        result->data = Slice(buf, n);
+        result->heap_allocated = true;
+        result->cachable = true;
+      }
+      break;
+    case kLzCompression: {
+      auto* decompressed = new std::string();
+      Status ds = lz::Decompress(Slice(data, n), decompressed);
+      delete[] buf;
+      if (!ds.ok()) {
+        delete decompressed;
+        return ds;
+      }
+      // Hand ownership to the caller via a heap char array.
+      char* out = new char[decompressed->size()];
+      memcpy(out, decompressed->data(), decompressed->size());
+      result->data = Slice(out, decompressed->size());
+      delete decompressed;
+      result->heap_allocated = true;
+      result->cachable = true;
+      break;
+    }
+    default:
+      delete[] buf;
+      return Status::Corruption("unknown block compression type");
+  }
+  return Status::OK();
+}
+
+}  // namespace pmblade

@@ -1,0 +1,60 @@
+// Arena: block-based bump allocator. Backs the memtable skiplist; all memory
+// is released when the arena is destroyed.
+
+#ifndef PMBLADE_UTIL_ARENA_H_
+#define PMBLADE_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pmblade {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to `bytes` bytes of uninitialized memory.
+  char* Allocate(size_t bytes);
+
+  /// Like Allocate but the result is aligned to alignof(max_align_t) (or at
+  /// least 8 bytes).
+  char* AllocateAligned(size_t bytes);
+
+  /// Total bytes allocated from the system by this arena (for accounting of
+  /// memtable size).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_{0};
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_UTIL_ARENA_H_

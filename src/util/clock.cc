@@ -1,0 +1,40 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace pmblade {
+
+void Clock::SleepForNanos(uint64_t nanos) {
+  // Short waits spin for accuracy (device simulators inject microsecond-scale
+  // latencies); long waits yield to the OS. The spin window is kept small so
+  // concurrently waiting workers don't burn each other's CPU time on
+  // low-core-count machines.
+  constexpr uint64_t kSpinThresholdNanos = 10'000;  // 10 us
+  const uint64_t deadline = NowNanos() + nanos;
+  if (nanos > kSpinThresholdNanos) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(nanos - kSpinThresholdNanos));
+  }
+  while (NowNanos() < deadline) {
+    // spin
+  }
+}
+
+namespace {
+class SystemClockImpl : public Clock {
+ public:
+  uint64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+}  // namespace
+
+Clock* SystemClock() {
+  static SystemClockImpl singleton;
+  return &singleton;
+}
+
+}  // namespace pmblade

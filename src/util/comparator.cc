@@ -1,0 +1,55 @@
+#include "util/comparator.h"
+
+namespace pmblade {
+namespace {
+
+class BytewiseComparatorImpl : public Comparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const override {
+    return a.compare(b);
+  }
+
+  const char* Name() const override { return "pmblade.BytewiseComparator"; }
+
+  void FindShortestSeparator(std::string* start,
+                             const Slice& limit) const override {
+    // Find length of common prefix.
+    size_t min_length = std::min(start->size(), limit.size());
+    size_t diff_index = 0;
+    while (diff_index < min_length &&
+           (*start)[diff_index] == limit[diff_index]) {
+      ++diff_index;
+    }
+    if (diff_index >= min_length) {
+      // One is a prefix of the other; leave unchanged.
+      return;
+    }
+    auto diff_byte = static_cast<uint8_t>((*start)[diff_index]);
+    if (diff_byte < 0xff &&
+        diff_byte + 1 < static_cast<uint8_t>(limit[diff_index])) {
+      (*start)[diff_index]++;
+      start->resize(diff_index + 1);
+    }
+  }
+
+  void FindShortSuccessor(std::string* key) const override {
+    for (size_t i = 0; i < key->size(); ++i) {
+      auto byte = static_cast<uint8_t>((*key)[i]);
+      if (byte != 0xff) {
+        (*key)[i] = static_cast<char>(byte + 1);
+        key->resize(i + 1);
+        return;
+      }
+    }
+    // All 0xff: leave as-is (*key is its own successor bound).
+  }
+};
+
+}  // namespace
+
+const Comparator* BytewiseComparator() {
+  static BytewiseComparatorImpl singleton;
+  return &singleton;
+}
+
+}  // namespace pmblade

@@ -1,0 +1,37 @@
+// Key-ordering abstraction. The engine is templated on nothing; all ordering
+// flows through a Comparator*, as in LevelDB/RocksDB.
+
+#ifndef PMBLADE_UTIL_COMPARATOR_H_
+#define PMBLADE_UTIL_COMPARATOR_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace pmblade {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// Three-way comparison: <0 if a<b, 0 if equal, >0 if a>b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  /// Name, persisted in table footers to catch mismatched reopen.
+  virtual const char* Name() const = 0;
+
+  /// If *start < limit, may shorten *start to a separator in [*start, limit).
+  /// Used to shrink index-block keys.
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+
+  /// May change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+/// Built-in lexicographic bytewise ordering; singleton.
+const Comparator* BytewiseComparator();
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_UTIL_COMPARATOR_H_

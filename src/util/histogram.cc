@@ -1,0 +1,93 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pmblade {
+
+namespace {
+// Generates bucket limits: 1,2,3,...,10, then 12,14,...  roughly geometric
+// with ratio ~1.2, ending above 1e13 (covers ns-scale latencies up to hours).
+std::vector<uint64_t> MakeLimits() {
+  std::vector<uint64_t> limits;
+  uint64_t v = 1;
+  while (limits.size() < 154) {
+    limits.push_back(v);
+    uint64_t next = v + std::max<uint64_t>(1, v / 5);
+    v = next;
+  }
+  return limits;
+}
+const std::vector<uint64_t>& Limits() {
+  static const std::vector<uint64_t> kLimits = MakeLimits();
+  return kLimits;
+}
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int Histogram::BucketFor(uint64_t value) const {
+  const auto& limits = Limits();
+  auto it = std::upper_bound(limits.begin(), limits.end(), value);
+  int idx = static_cast<int>(it - limits.begin());
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+void Histogram::Add(uint64_t value) {
+  ++count_;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  buckets_[BucketFor(value)]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const auto& limits = Limits();
+  double threshold = count_ * (p / 100.0);
+  double cumulative = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= threshold) {
+      uint64_t lo = (i == 0) ? 0 : limits[i - 1];
+      uint64_t hi = limits[i];
+      // Interpolate within the bucket.
+      double left = cumulative - buckets_[i];
+      double frac = buckets_[i] > 0 ? (threshold - left) / buckets_[i] : 0.0;
+      double v = lo + frac * (hi - lo);
+      if (v < min_) v = static_cast<double>(min_);
+      if (v > max_) v = static_cast<double>(max_);
+      return v;
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu avg=%.1f p50=%.1f p95=%.1f p99=%.1f p999=%.1f max=%llu",
+           static_cast<unsigned long long>(count_), Average(),
+           Percentile(50), Percentile(95), Percentile(99), Percentile(99.9),
+           static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace pmblade

@@ -1,0 +1,54 @@
+// Latency histogram with exponentially sized buckets. Collects count / sum /
+// min / max plus percentile estimates (p50, p95, p99, p99.9) — the statistics
+// the paper reports in Figures 7, 9, 10 and 11.
+
+#ifndef PMBLADE_UTIL_HISTOGRAM_H_
+#define PMBLADE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmblade {
+
+/// Single-threaded histogram of non-negative values (typically latencies in
+/// nanoseconds). Callers that share a histogram across threads must wrap it
+/// with their own lock, or merge per-thread histograms at the end.
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(uint64_t value);
+  /// Merge another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Average() const { return count_ ? sum_ / count_ : 0.0; }
+
+  /// Estimated value at percentile p in [0, 100], interpolated within the
+  /// containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary "count=... avg=... p50=... p99=... p999=... max=...".
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 154;
+
+  int BucketFor(uint64_t value) const;
+
+  uint64_t count_;
+  double sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_UTIL_HISTOGRAM_H_

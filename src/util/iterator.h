@@ -1,0 +1,43 @@
+// Iterator: the uniform cursor abstraction over memtables, PM tables,
+// SSTables and merged views. Same contract as LevelDB's iterator: position
+// is invalid until a Seek*/First/Last, key()/value() are valid only while
+// Valid(), and status() surfaces any I/O or corruption error encountered.
+
+#ifndef PMBLADE_UTIL_ITERATOR_H_
+#define PMBLADE_UTIL_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pmblade {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  /// Positions at the first entry with key() >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  /// Valid only while Valid(); the slice may be invalidated by the next
+  /// mutation of the iterator.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+/// An iterator over nothing, optionally carrying an error.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_UTIL_ITERATOR_H_

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace pmblade {
+
+void Logger::Log(LogLevel level, const char* format, ...) {
+  if (level < min_level_) return;
+  va_list ap;
+  va_start(ap, format);
+  Logv(level, format, ap);
+  va_end(ap);
+}
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+class StderrLoggerImpl : public Logger {
+ public:
+  void Logv(LogLevel level, const char* format, va_list ap) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    fprintf(stderr, "[pmblade %s] ", LevelName(level));
+    vfprintf(stderr, format, ap);
+    fputc('\n', stderr);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+class NullLoggerImpl : public Logger {
+ public:
+  NullLoggerImpl() { min_level_ = LogLevel::kOff; }
+  void Logv(LogLevel, const char*, va_list) override {}
+};
+
+}  // namespace
+
+Logger* StderrLogger() {
+  static StderrLoggerImpl singleton;
+  return &singleton;
+}
+
+Logger* NullLogger() {
+  static NullLoggerImpl singleton;
+  return &singleton;
+}
+
+}  // namespace pmblade

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Engine-internal events (compactions, flushes,
+// recovery) log through this; benches set the level to WARN to keep stdout
+// clean for result tables.
+
+#ifndef PMBLADE_UTIL_LOGGING_H_
+#define PMBLADE_UTIL_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace pmblade {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  virtual ~Logger() = default;
+  virtual void Logv(LogLevel level, const char* format, va_list ap) = 0;
+
+  void Log(LogLevel level, const char* format, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  LogLevel min_level() const { return min_level_; }
+  void set_min_level(LogLevel level) { min_level_ = level; }
+
+ protected:
+  LogLevel min_level_ = LogLevel::kWarn;
+};
+
+/// Logger writing "[level] message" lines to stderr; singleton.
+Logger* StderrLogger();
+
+/// Logger that drops everything; singleton.
+Logger* NullLogger();
+
+#define PMBLADE_LOG(logger, level, ...)                       \
+  do {                                                        \
+    ::pmblade::Logger* _lg = (logger);                        \
+    if (_lg != nullptr && level >= _lg->min_level()) {        \
+      _lg->Log(level, __VA_ARGS__);                           \
+    }                                                         \
+  } while (0)
+
+#define PMBLADE_DEBUG(logger, ...) \
+  PMBLADE_LOG(logger, ::pmblade::LogLevel::kDebug, __VA_ARGS__)
+#define PMBLADE_INFO(logger, ...) \
+  PMBLADE_LOG(logger, ::pmblade::LogLevel::kInfo, __VA_ARGS__)
+#define PMBLADE_WARN(logger, ...) \
+  PMBLADE_LOG(logger, ::pmblade::LogLevel::kWarn, __VA_ARGS__)
+#define PMBLADE_ERROR(logger, ...) \
+  PMBLADE_LOG(logger, ::pmblade::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_UTIL_LOGGING_H_

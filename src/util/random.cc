@@ -1,0 +1,22 @@
+#include "util/random.h"
+
+namespace pmblade {
+
+void Random::RandomString(size_t len, std::string* dst) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  dst->clear();
+  dst->reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    dst->push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+  }
+}
+
+void Random::RandomBytes(size_t len, std::string* dst) {
+  dst->reserve(dst->size() + len);
+  for (size_t i = 0; i < len; ++i) {
+    dst->push_back(static_cast<char>(' ' + Uniform(95)));
+  }
+}
+
+}  // namespace pmblade

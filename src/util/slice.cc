@@ -1,0 +1,5 @@
+// Slice is header-only; this translation unit exists so the module has an
+// anchor in the archive (and a place for future out-of-line helpers).
+#include "util/slice.h"
+
+namespace pmblade {}

@@ -1,0 +1,26 @@
+#include "util/status.h"
+
+namespace pmblade {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* label = "";
+  switch (rep_->code) {
+    case Code::kOk:              label = "OK"; break;
+    case Code::kNotFound:        label = "NotFound"; break;
+    case Code::kCorruption:      label = "Corruption"; break;
+    case Code::kNotSupported:    label = "NotSupported"; break;
+    case Code::kInvalidArgument: label = "InvalidArgument"; break;
+    case Code::kIOError:         label = "IOError"; break;
+    case Code::kBusy:            label = "Busy"; break;
+    case Code::kAborted:         label = "Aborted"; break;
+  }
+  std::string out = label;
+  if (!rep_->msg.empty()) {
+    out += ": ";
+    out += rep_->msg;
+  }
+  return out;
+}
+
+}  // namespace pmblade

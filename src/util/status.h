@@ -1,0 +1,105 @@
+// Status: the error-handling currency of pmblade. No exceptions cross module
+// boundaries; every fallible operation returns a Status (or a value plus a
+// Status out-parameter, LevelDB-style).
+
+#ifndef PMBLADE_UTIL_STATUS_H_
+#define PMBLADE_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace pmblade {
+
+/// Result of a fallible operation. Cheap to copy when OK (no allocation);
+/// carries a code + message otherwise.
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+
+  Status(const Status& s) : rep_(s.rep_ ? new Rep(*s.rep_) : nullptr) {}
+  Status& operator=(const Status& s) {
+    if (this != &s) rep_.reset(s.rep_ ? new Rep(*s.rep_) : nullptr);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory constructors, one per error class.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+  bool IsAborted() const { return code() == Code::kAborted; }
+
+  /// Human-readable form, e.g. "IO error: short read".
+  std::string ToString() const;
+
+  /// The message passed at construction ("" for OK).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+ private:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+    kAborted,
+  };
+
+  struct Rep {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, std::string msg)
+      : rep_(new Rep{code, std::move(msg)}) {}
+
+  Code code() const { return rep_ ? rep_->code : Code::kOk; }
+
+  std::unique_ptr<Rep> rep_;
+};
+
+/// Evaluates `expr`; if the Status is not OK, returns it from the enclosing
+/// function. For internal use in Status-returning functions.
+#define PMBLADE_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::pmblade::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_UTIL_STATUS_H_

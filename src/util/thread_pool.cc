@@ -1,0 +1,54 @@
+#include "util/thread_pool.h"
+
+namespace pmblade {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    auto fn = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    fn();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace pmblade

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used for background flush/compaction scheduling and
+// by the thread-based compaction baseline.
+
+#ifndef PMBLADE_UTIL_THREAD_POOL_H_
+#define PMBLADE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmblade {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution; returns immediately.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until all submitted work has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,40 @@
+#include "util/zipfian.h"
+
+#include <cmath>
+
+namespace pmblade {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_items, double theta,
+                                   uint64_t seed)
+    : num_items_(num_items), theta_(theta), rng_(seed) {
+  if (num_items_ == 0) num_items_ = 1;
+  if (theta_ <= 0.0) theta_ = 1e-6;          // degenerate -> ~uniform
+  if (theta_ >= 1.0) theta_ = 0.999999;      // the formulas require theta < 1
+  zetan_ = Zeta(num_items_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<uint64_t>(
+      static_cast<double>(num_items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= num_items_) v = num_items_ - 1;
+  return v;
+}
+
+}  // namespace pmblade

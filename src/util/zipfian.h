@@ -1,0 +1,91 @@
+// Zipfian key-popularity generators, following the YCSB implementations:
+// ZipfianGenerator (Gray et al.'s rejection-free method with precomputed
+// zeta), ScrambledZipfian (spreads hot keys over the space via FNV hashing)
+// and LatestGenerator (popularity skewed to recently inserted keys).
+
+#ifndef PMBLADE_UTIL_ZIPFIAN_H_
+#define PMBLADE_UTIL_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace pmblade {
+
+/// Draws items in [0, n) with Zipfian popularity; item 0 is most popular.
+/// theta in (0, 1); theta -> 0 approaches uniform, theta -> 1 is heavily
+/// skewed (YCSB default is 0.99).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t num_items, double theta, uint64_t seed = 1);
+
+  /// Next sample in [0, num_items).
+  uint64_t Next();
+
+  uint64_t num_items() const { return num_items_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t num_items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+/// Zipfian sample whose popular items are scattered uniformly over the item
+/// space (so "hot" keys are not all adjacent). Matches YCSB's
+/// ScrambledZipfianGenerator.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_items, double theta,
+                            uint64_t seed = 1)
+      : num_items_(num_items), gen_(num_items, theta, seed) {}
+
+  uint64_t Next() {
+    uint64_t v = gen_.Next();
+    return FnvHash64(v) % num_items_;
+  }
+
+  static uint64_t FnvHash64(uint64_t v) {
+    uint64_t hash = 0xCBF29CE484222325ull;
+    for (int i = 0; i < 8; ++i) {
+      uint64_t octet = v & 0xff;
+      v >>= 8;
+      hash ^= octet;
+      hash *= 0x100000001B3ull;
+    }
+    return hash;
+  }
+
+ private:
+  uint64_t num_items_;
+  ZipfianGenerator gen_;
+};
+
+/// Popularity skewed toward the most recently inserted items: sample a
+/// Zipfian rank r and return last_item - r. Used by YCSB workload D.
+class LatestGenerator {
+ public:
+  LatestGenerator(uint64_t num_items, double theta, uint64_t seed = 1)
+      : gen_(num_items, theta, seed), last_(num_items - 1) {}
+
+  uint64_t Next() {
+    uint64_t r = gen_.Next();
+    return (r <= last_) ? last_ - r : 0;
+  }
+
+  void set_last(uint64_t last) { last_ = last; }
+
+ private:
+  ZipfianGenerator gen_;
+  uint64_t last_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_UTIL_ZIPFIAN_H_

@@ -1,0 +1,150 @@
+// Tests for the LZ compressor and prefix helpers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compress/lz.h"
+#include "compress/prefix.h"
+#include "util/random.h"
+
+namespace pmblade {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  lz::Compress(input, &compressed);
+  std::string output;
+  Status s = lz::Decompress(compressed, &output);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return output;
+}
+
+TEST(LzTest, EmptyInput) { EXPECT_EQ(RoundTrip(""), ""); }
+
+TEST(LzTest, ShortLiteral) { EXPECT_EQ(RoundTrip("ab"), "ab"); }
+
+TEST(LzTest, RepetitiveInputCompresses) {
+  std::string input;
+  for (int i = 0; i < 500; ++i) input += "tableA|order12345|status=";
+  std::string compressed;
+  lz::Compress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 3);
+  std::string out;
+  ASSERT_TRUE(lz::Decompress(compressed, &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(LzTest, RunLengthOverlappingCopy) {
+  // 'aaaa...' forces overlapping back-references.
+  EXPECT_EQ(RoundTrip(std::string(10000, 'a')), std::string(10000, 'a'));
+}
+
+TEST(LzTest, RandomDataRoundTrips) {
+  Random r(77);
+  for (int len : {1, 10, 100, 1000, 65536}) {
+    std::string input;
+    r.RandomBytes(len, &input);
+    EXPECT_EQ(RoundTrip(input), input) << "len=" << len;
+  }
+}
+
+TEST(LzTest, MixedCompressibleAndRandom) {
+  Random r(5);
+  std::string input;
+  for (int i = 0; i < 50; ++i) {
+    input += "prefix-shared-by-all-records|";
+    r.RandomBytes(40, &input);
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzTest, DecompressRejectsGarbage) {
+  std::string out;
+  // Length header says 100 bytes, body is garbage tags.
+  std::string bad;
+  bad.push_back(100);
+  bad += "\x03zz";
+  Status s = lz::Decompress(bad, &out);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(LzTest, DecompressRejectsTruncatedLiteral) {
+  std::string input(100, 'q');
+  std::string compressed;
+  lz::Compress(input, &compressed);
+  std::string out;
+  Status s = lz::Decompress(
+      Slice(compressed.data(), compressed.size() / 2), &out);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(LzTest, MaxCompressedLengthIsUpperBound) {
+  Random r(123);
+  for (int len : {0, 1, 100, 10000}) {
+    std::string input;
+    r.RandomBytes(len, &input);
+    std::string compressed;
+    lz::Compress(input, &compressed);
+    EXPECT_LE(compressed.size(), lz::MaxCompressedLength(len));
+  }
+}
+
+class LzSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzSweepTest, RoundTripAtSize) {
+  Random r(GetParam());
+  std::string input;
+  // Semi-compressible payload: repeated dictionary words + random bytes.
+  static const char* kWords[] = {"order", "status", "paid", "delivery",
+                                 "tableID", "meituan"};
+  for (int i = 0; i < GetParam(); ++i) {
+    input += kWords[r.Uniform(6)];
+    if (r.OneIn(3)) r.RandomBytes(8, &input);
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LzSweepTest,
+                         ::testing::Values(1, 7, 64, 513, 4096, 20000));
+
+TEST(PrefixTest, CommonPrefixLength) {
+  EXPECT_EQ(prefix::CommonPrefixLength("abcde", "abxyz"), 2u);
+  EXPECT_EQ(prefix::CommonPrefixLength("", "abc"), 0u);
+  EXPECT_EQ(prefix::CommonPrefixLength("same", "same"), 4u);
+  EXPECT_EQ(prefix::CommonPrefixLength("ab", "abcd"), 2u);
+}
+
+TEST(PrefixTest, CommonPrefixLengthAll) {
+  std::vector<Slice> keys = {"table|a1", "table|a2", "table|b9"};
+  EXPECT_EQ(prefix::CommonPrefixLengthAll(keys), 6u);
+  EXPECT_EQ(prefix::CommonPrefixLengthAll({}), 0u);
+  EXPECT_EQ(prefix::CommonPrefixLengthAll({Slice("solo")}), 4u);
+}
+
+TEST(PrefixTest, TableIdComponent) {
+  EXPECT_EQ(prefix::TableIdComponent("orders|row1").ToString(), "orders|");
+  EXPECT_EQ(prefix::TableIdComponent("noseparator").ToString(), "");
+  EXPECT_EQ(prefix::TableIdComponent("|leading").ToString(), "|");
+}
+
+TEST(PrefixTest, FixedWidthSlotPadsAndTruncates) {
+  char slot[8];
+  prefix::FixedWidthSlot("abc", 8, slot);
+  EXPECT_EQ(memcmp(slot, "abc\0\0\0\0\0", 8), 0);
+  prefix::FixedWidthSlot("abcdefghij", 8, slot);
+  EXPECT_EQ(memcmp(slot, "abcdefgh", 8), 0);
+}
+
+TEST(PrefixTest, CompareToSlotOrdersLikeTruncatedKeys) {
+  char slot[8];
+  prefix::FixedWidthSlot("mmmm", 8, slot);
+  EXPECT_LT(prefix::CompareToSlot("aaaa", slot, 8), 0);
+  EXPECT_GT(prefix::CompareToSlot("zzzz", slot, 8), 0);
+  EXPECT_EQ(prefix::CompareToSlot("mmmm", slot, 8), 0);
+  // Longer key equal on the slot width compares equal (truncation).
+  EXPECT_EQ(prefix::CompareToSlot("mmmm\0\0\0\0extra", slot, 8), 0);
+}
+
+}  // namespace
+}  // namespace pmblade

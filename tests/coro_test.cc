@@ -1,0 +1,152 @@
+// Tests for the coroutine scheduler, awaitables and the I/O gate.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coro/io_gate.h"
+#include "coro/scheduler.h"
+#include "coro/task.h"
+
+namespace pmblade {
+namespace {
+
+Task AppendLetters(CoroScheduler* scheduler, std::string* log, char letter,
+                   int count) {
+  for (int i = 0; i < count; ++i) {
+    log->push_back(letter);
+    co_await scheduler->Yield();
+  }
+}
+
+TEST(CoroSchedulerTest, RunsSingleTaskToCompletion) {
+  CoroScheduler scheduler;
+  std::string log;
+  scheduler.Spawn(AppendLetters(&scheduler, &log, 'a', 3));
+  scheduler.Run();
+  EXPECT_EQ(log, "aaa");
+}
+
+TEST(CoroSchedulerTest, YieldInterleavesTasks) {
+  CoroScheduler scheduler;
+  std::string log;
+  scheduler.Spawn(AppendLetters(&scheduler, &log, 'a', 3));
+  scheduler.Spawn(AppendLetters(&scheduler, &log, 'b', 3));
+  scheduler.Run();
+  EXPECT_EQ(log, "ababab");
+}
+
+Task SleepThenLog(CoroScheduler* scheduler, std::vector<int>* log, int id,
+                  uint64_t sleep_nanos) {
+  co_await scheduler->SleepFor(sleep_nanos);
+  log->push_back(id);
+}
+
+TEST(CoroSchedulerTest, SleepersWakeInDeadlineOrder) {
+  MockClock clock;
+  CoroScheduler scheduler(&clock);
+  std::vector<int> log;
+  scheduler.Spawn(SleepThenLog(&scheduler, &log, 1, 3000));
+  scheduler.Spawn(SleepThenLog(&scheduler, &log, 2, 1000));
+  scheduler.Spawn(SleepThenLog(&scheduler, &log, 3, 2000));
+  scheduler.Run();
+  EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
+  EXPECT_GE(clock.NowNanos(), 3000u);
+}
+
+Task WaitOnEvent(CoroScheduler* scheduler, CoroScheduler::Event* event,
+                 bool* flag, std::string* log) {
+  (void)scheduler;
+  while (!*flag) {
+    co_await *event;
+  }
+  log->push_back('W');
+}
+
+Task SetFlagAfterYields(CoroScheduler* scheduler, CoroScheduler::Event* event,
+                        bool* flag, std::string* log) {
+  co_await scheduler->Yield();
+  co_await scheduler->Yield();
+  *flag = true;
+  log->push_back('S');
+  event->NotifyAll();
+}
+
+TEST(CoroSchedulerTest, EventWakesWaiter) {
+  CoroScheduler scheduler;
+  CoroScheduler::Event event(&scheduler);
+  bool flag = false;
+  std::string log;
+  scheduler.Spawn(WaitOnEvent(&scheduler, &event, &flag, &log));
+  scheduler.Spawn(SetFlagAfterYields(&scheduler, &event, &flag, &log));
+  scheduler.Run();
+  EXPECT_EQ(log, "SW");
+}
+
+TEST(CoroSchedulerTest, CpuBusyTimeIsTracked) {
+  MockClock clock;
+  CoroScheduler scheduler(&clock);
+  // A task that "computes" by advancing the mock clock inside its frame.
+  struct Helper {
+    static Task Busy(CoroScheduler* s, MockClock* c) {
+      c->Advance(500);  // 500 ns of "CPU work"
+      co_await s->SleepFor(10'000);  // then a long I/O wait
+      c->Advance(300);
+    }
+  };
+  scheduler.Spawn(Helper::Busy(&scheduler, &clock));
+  scheduler.Run();
+  EXPECT_EQ(scheduler.cpu_busy_nanos(), 800u);
+  EXPECT_GE(scheduler.wall_nanos(), 10'000u);
+}
+
+TEST(IoGateTest, BudgetFollowsPolicy) {
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  SsdModel model(opts);
+  IoGate gate(&model, 4);
+  // Empty device: full budget.
+  EXPECT_EQ(gate.FlushBudget(), 4);
+
+  // q_comp = 2, q_cli = 1 -> q_flush = max(4-2-1, 0) = 1.
+  auto c1 = model.BeginIo(false, 100, IoClass::kCompaction);
+  auto c2 = model.BeginIo(false, 100, IoClass::kCompaction);
+  auto r1 = model.BeginIo(false, 100, IoClass::kClient);
+  EXPECT_EQ(gate.FlushBudget(), 1);
+
+  // One flush in flight consumes the budget.
+  auto f1 = model.BeginIo(true, 100, IoClass::kFlush);
+  EXPECT_EQ(gate.FlushBudget(), 0);
+
+  // Oversubscribed: clamped at zero.
+  auto c3 = model.BeginIo(false, 100, IoClass::kCompaction);
+  auto c4 = model.BeginIo(false, 100, IoClass::kCompaction);
+  EXPECT_EQ(gate.FlushBudget(), 0);
+
+  model.EndIo(c1);
+  model.EndIo(c2);
+  model.EndIo(c3);
+  model.EndIo(c4);
+  model.EndIo(r1);
+  EXPECT_EQ(gate.FlushBudget(), 3);  // q=4 minus 1 flush inflight
+  model.EndIo(f1);
+  EXPECT_EQ(gate.FlushBudget(), 4);
+}
+
+TEST(IoGateTest, ReadAllowedBoundsTotal) {
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  SsdModel model(opts);
+  IoGate gate(&model, 2);
+  EXPECT_TRUE(gate.ReadAllowed());
+  auto t1 = model.BeginIo(false, 10, IoClass::kCompaction);
+  auto t2 = model.BeginIo(false, 10, IoClass::kClient);
+  EXPECT_FALSE(gate.ReadAllowed());
+  model.EndIo(t1);
+  EXPECT_TRUE(gate.ReadAllowed());
+  model.EndIo(t2);
+}
+
+}  // namespace
+}  // namespace pmblade

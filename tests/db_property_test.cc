@@ -1,0 +1,378 @@
+// Randomized property tests for pmblade::DB: a model-checked workload with
+// mixed mutations, maintenance operations and bidirectional iterator walks,
+// swept over several seeds via TEST_P; plus targeted tests for the
+// partition-concat iterator, recovery garbage collection and the Eq. 3
+// retention behaviour observable through the public API.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/db.h"
+#include "core/db_impl.h"
+#include "core/version.h"
+#include "pmtable/pm_table_builder.h"
+#include "util/random.h"
+
+namespace pmblade {
+namespace {
+
+class DbModelTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    dbname_ = ::testing::TempDir() + "pmblade_model_test";
+    options_ = Options();
+    DestroyDB(options_, dbname_);
+    options_.memtable_bytes = 32 << 10;
+    options_.pm_pool_capacity = 64 << 20;
+    options_.pm_latency.inject_latency = false;
+    options_.cost.tau_m = 2 << 20;
+    options_.cost.tau_t = 1 << 20;
+    options_.cost.tau_w = 64 << 10;
+    options_.partition_boundaries = {"key25", "key5", "key75"};
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options_, dbname_, &db).ok());
+    db_ = std::move(db);
+  }
+  void TearDown() override {
+    db_.reset();
+    DestroyDB(options_, dbname_);
+  }
+
+  std::string dbname_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(DbModelTest, MixedWorkloadWithIteratorWalks) {
+  Random rnd(GetParam());
+  std::map<std::string, std::string> model;
+
+  auto check_iterator_from = [&](const std::string& seek_key) {
+    std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+    it->Seek(seek_key);
+    auto expect = model.lower_bound(seek_key);
+    // Walk forward a few steps.
+    int steps = 1 + static_cast<int>(rnd.Uniform(20));
+    for (int i = 0; i < steps; ++i) {
+      if (expect == model.end()) {
+        ASSERT_FALSE(it->Valid());
+        return;
+      }
+      ASSERT_TRUE(it->Valid()) << "missing " << expect->first;
+      ASSERT_EQ(it->key().ToString(), expect->first);
+      ASSERT_EQ(it->value().ToString(), expect->second);
+      it->Next();
+      ++expect;
+    }
+    // Then walk backward a few steps.
+    int back = 1 + static_cast<int>(rnd.Uniform(5));
+    for (int i = 0; i < back; ++i) {
+      if (expect == model.begin()) return;
+      --expect;
+      if (it->Valid()) {
+        it->Prev();
+      } else {
+        it->SeekToLast();
+      }
+      if (expect == model.end()) continue;
+      ASSERT_TRUE(it->Valid()) << "backward missing " << expect->first;
+      ASSERT_EQ(it->key().ToString(), expect->first);
+    }
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    double r = rnd.NextDouble();
+    std::string key = "key" + std::to_string(rnd.Uniform(500));
+    if (r < 0.55) {
+      std::string value;
+      rnd.RandomBytes(rnd.Uniform(128), &value);
+      model[key] = value;
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    } else if (r < 0.70) {
+      model.erase(key);
+      ASSERT_TRUE(db_->Delete(WriteOptions(), key).ok());
+    } else if (r < 0.90) {
+      std::string value;
+      Status s = db_->Get(ReadOptions(), key, &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+        ASSERT_EQ(value, it->second);
+      }
+    } else if (r < 0.96) {
+      check_iterator_from(key);
+    } else if (r < 0.98) {
+      ASSERT_TRUE(db_->FlushMemTable().ok());
+    } else if (r < 0.99) {
+      ASSERT_TRUE(db_->CompactLevel0().ok());
+    } else {
+      ASSERT_TRUE(db_->CompactToLevel1(true).ok());
+    }
+  }
+
+  // Final exhaustive comparisons.
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  it->SeekToFirst();
+  for (auto& [k, v] : model) {
+    ASSERT_TRUE(it->Valid()) << "missing " << k;
+    ASSERT_EQ(it->key().ToString(), k);
+    ASSERT_EQ(it->value().ToString(), v);
+    it->Next();
+  }
+  ASSERT_FALSE(it->Valid());
+  // And the reverse direction.
+  it->SeekToLast();
+  for (auto rit = model.rbegin(); rit != model.rend(); ++rit) {
+    ASSERT_TRUE(it->Valid()) << "reverse missing " << rit->first;
+    ASSERT_EQ(it->key().ToString(), rit->first);
+    it->Prev();
+  }
+  ASSERT_FALSE(it->Valid());
+}
+
+TEST_P(DbModelTest, ModelSurvivesReopen) {
+  Random rnd(GetParam() * 31 + 7);
+  std::map<std::string, std::string> model;
+  for (int op = 0; op < 1500; ++op) {
+    std::string key = "key" + std::to_string(rnd.Uniform(200));
+    if (rnd.OneIn(8)) {
+      model.erase(key);
+      ASSERT_TRUE(db_->Delete(WriteOptions(), key).ok());
+    } else {
+      std::string value = "v" + std::to_string(op);
+      model[key] = value;
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    }
+    if (op % 400 == 399) ASSERT_TRUE(db_->FlushMemTable().ok());
+    if (op % 700 == 699) ASSERT_TRUE(db_->CompactToLevel1(true).ok());
+  }
+
+  db_.reset();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options_, dbname_, &db).ok());
+  db_ = std::move(db);
+
+  for (auto& [k, v] : model) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), k, &value);
+    ASSERT_TRUE(s.ok()) << k << ": " << s.ToString();
+    ASSERT_EQ(value, v);
+  }
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  size_t count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
+  ASSERT_EQ(count, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbModelTest,
+                         ::testing::Values(1, 42, 1337, 0xdecafbad));
+
+// ---------------------------------------------------------------------------
+// PartitionConcatIterator
+// ---------------------------------------------------------------------------
+
+class PartitionConcatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "pmblade_concat_test.pm";
+    ::remove(path_.c_str());
+    PmPoolOptions popts;
+    popts.capacity = 32 << 20;
+    popts.latency.inject_latency = false;
+    ASSERT_TRUE(PmPool::Open(path_, popts, &pool_).ok());
+  }
+  void TearDown() override {
+    pool_.reset();
+    ::remove(path_.c_str());
+  }
+
+  L0TableRef Build(const std::vector<std::string>& user_keys,
+                   SequenceNumber seq) {
+    PmTableBuilder builder(pool_.get(), PmTableOptions{});
+    for (const auto& k : user_keys) {
+      std::string ikey;
+      AppendInternalKey(&ikey, k, seq, kTypeValue);
+      builder.Add(ikey, "v-" + k);
+    }
+    std::shared_ptr<PmTable> t;
+    EXPECT_TRUE(builder.Finish(&t).ok());
+    return t;
+  }
+
+  std::string path_;
+  std::unique_ptr<PmPool> pool_;
+  InternalKeyComparator icmp_{BytewiseComparator()};
+};
+
+TEST_F(PartitionConcatTest, WalksAcrossPartitionsInOrder) {
+  std::vector<PartitionSnapshot> parts(3);
+  parts[0].end_key = "h";
+  parts[0].unsorted.push_back(Build({"apple", "fig"}, 10));
+  parts[1].begin_key = "h";
+  parts[1].end_key = "p";
+  parts[1].sorted_run.push_back(Build({"kiwi", "mango"}, 10));
+  parts[2].begin_key = "p";
+  parts[2].l1_run.push_back(Build({"pear", "plum"}, 10));
+
+  std::unique_ptr<Iterator> it(
+      NewPartitionConcatIterator(&icmp_, parts));
+  std::vector<std::string> forward;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    forward.push_back(ExtractUserKey(it->key()).ToString());
+  }
+  EXPECT_EQ(forward, (std::vector<std::string>{"apple", "fig", "kiwi",
+                                               "mango", "pear", "plum"}));
+  // Backward.
+  std::vector<std::string> backward;
+  for (it->SeekToLast(); it->Valid(); it->Prev()) {
+    backward.push_back(ExtractUserKey(it->key()).ToString());
+  }
+  EXPECT_EQ(backward, (std::vector<std::string>{"plum", "pear", "mango",
+                                                "kiwi", "fig", "apple"}));
+}
+
+TEST_F(PartitionConcatTest, SeekLandsInRightPartition) {
+  std::vector<PartitionSnapshot> parts(3);
+  parts[0].end_key = "h";
+  parts[0].unsorted.push_back(Build({"apple"}, 10));
+  parts[1].begin_key = "h";
+  parts[1].end_key = "p";
+  parts[1].unsorted.push_back(Build({"kiwi"}, 10));
+  parts[2].begin_key = "p";
+  parts[2].unsorted.push_back(Build({"plum"}, 10));
+
+  std::unique_ptr<Iterator> it(
+      NewPartitionConcatIterator(&icmp_, parts));
+  std::string seek;
+  AppendInternalKey(&seek, "j", kMaxSequenceNumber, kValueTypeForSeek);
+  it->Seek(seek);
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "kiwi");
+
+  // Seek into an empty middle partition falls through to the next.
+  std::vector<PartitionSnapshot> sparse(3);
+  sparse[0].end_key = "h";
+  sparse[0].unsorted.push_back(Build({"apple"}, 10));
+  sparse[1].begin_key = "h";
+  sparse[1].end_key = "p";  // empty partition
+  sparse[2].begin_key = "p";
+  sparse[2].unsorted.push_back(Build({"plum"}, 10));
+  it.reset(NewPartitionConcatIterator(&icmp_, sparse));
+  it->Seek(seek);
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "plum");
+  // Past everything.
+  std::string big;
+  AppendInternalKey(&big, "zzz", kMaxSequenceNumber, kValueTypeForSeek);
+  it->Seek(big);
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(PartitionConcatTest, EmptySnapshotListIsEmptyIterator) {
+  std::unique_ptr<Iterator> it(
+      NewPartitionConcatIterator(&icmp_, {}));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  it->SeekToLast();
+  EXPECT_FALSE(it->Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Recovery garbage collection & retention
+// ---------------------------------------------------------------------------
+
+TEST(DbRecoveryGcTest, OrphanPoolObjectsAndFilesCollected) {
+  std::string dbname = ::testing::TempDir() + "pmblade_gc_test";
+  Options options;
+  DestroyDB(options, dbname);
+  options.memtable_bytes = 32 << 10;
+  options.pm_pool_capacity = 32 << 20;
+  options.pm_latency.inject_latency = false;
+
+  uint64_t orphan_pool_id;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          db->Put(WriteOptions(), "key" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(db->FlushMemTable().ok());
+
+    // Simulate an interrupted compaction: an allocated-but-unreferenced
+    // pool object and an orphan .sst file.
+    auto* impl = static_cast<DBImpl*>(db.get());
+    PmPool::ObjectInfo info;
+    char* data;
+    ASSERT_TRUE(
+        impl->pm_pool()->Allocate(4096, kPmTableObject, &info, &data).ok());
+    orphan_pool_id = info.id;
+    ASSERT_TRUE(
+        WriteStringToFile(PosixEnv(), "junk", dbname + "/999999.sst").ok());
+  }
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+  auto* impl = static_cast<DBImpl*>(db.get());
+  // Orphan pool object freed, orphan file removed, data intact.
+  EXPECT_EQ(impl->pm_pool()->DataFor(orphan_pool_id), nullptr);
+  EXPECT_FALSE(PosixEnv()->FileExists(dbname + "/999999.sst"));
+  std::string value;
+  EXPECT_TRUE(db->Get(ReadOptions(), "key50", &value).ok());
+  db.reset();
+  DestroyDB(options, dbname);
+}
+
+TEST(DbRetentionTest, HotPartitionStaysInPmAfterMajorCompaction) {
+  std::string dbname = ::testing::TempDir() + "pmblade_retention_test";
+  Options options;
+  DestroyDB(options, dbname);
+  options.memtable_bytes = 32 << 10;
+  options.pm_pool_capacity = 64 << 20;
+  options.pm_latency.inject_latency = false;
+  options.partition_boundaries = {"m"};      // [.., m) and [m, ..)
+  options.cost.tau_t = 20 << 10;             // room for only one partition
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+  // Equal data in both partitions.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "a-key" + std::to_string(i),
+                        std::string(100, 'x'))
+                    .ok());
+    ASSERT_TRUE(db->Put(WriteOptions(), "z-key" + std::to_string(i),
+                        std::string(100, 'x'))
+                    .ok());
+  }
+  ASSERT_TRUE(db->FlushMemTable().ok());
+  // Heat up the 'a' partition with reads.
+  for (int round = 0; round < 50; ++round) {
+    std::string value;
+    ASSERT_TRUE(
+        db->Get(ReadOptions(), "a-key" + std::to_string(round % 100), &value)
+            .ok());
+  }
+  ASSERT_TRUE(db->CompactToLevel1(/*respect_cost_model=*/true).ok());
+
+  // The hot partition's data must still answer from PM; the cold one from
+  // the SSD.
+  auto& stats = db->statistics();
+  stats.Reset();
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "a-key5", &value).ok());
+  EXPECT_EQ(stats.reads(ReadSource::kPmLevel0), 1u)
+      << "hot partition should be retained in PM";
+  ASSERT_TRUE(db->Get(ReadOptions(), "z-key5", &value).ok());
+  EXPECT_EQ(stats.reads(ReadSource::kSsdLevel1), 1u)
+      << "cold partition should have moved to the SSD";
+  db.reset();
+  DestroyDB(options, dbname);
+}
+
+}  // namespace
+}  // namespace pmblade

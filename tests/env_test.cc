@@ -1,0 +1,251 @@
+// Tests for the Env abstraction, the SSD model and the SimEnv decorator.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "env/env.h"
+#include "env/sim_env.h"
+#include "env/ssd_model.h"
+
+namespace pmblade {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = PosixEnv();
+    dir_ = ::testing::TempDir() + "pmblade_env_test";
+    env_->RemoveDirRecursively(dir_);
+    ASSERT_TRUE(env_->CreateDir(dir_).ok());
+  }
+  void TearDown() override { env_->RemoveDirRecursively(dir_); }
+
+  Env* env_;
+  std::string dir_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  std::string fname = dir_ + "/file";
+  ASSERT_TRUE(WriteStringToFile(env_, "hello pm-blade", fname).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  EXPECT_EQ(data, "hello pm-blade");
+}
+
+TEST_F(EnvTest, AppendAccumulates) {
+  std::string fname = dir_ + "/appended";
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(fname, &f).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f->Append("0123456789").ok());
+  }
+  ASSERT_TRUE(f->Close().ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(fname, &size).ok());
+  EXPECT_EQ(size, 1000u);
+}
+
+TEST_F(EnvTest, RandomAccessReadsAtOffset) {
+  std::string fname = dir_ + "/random";
+  ASSERT_TRUE(WriteStringToFile(env_, "abcdefghijklmnop", fname).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_->NewRandomAccessFile(fname, &f).ok());
+  char scratch[8];
+  Slice result;
+  ASSERT_TRUE(f->Read(4, 4, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "efgh");
+  // Read past EOF returns short result, not an error.
+  ASSERT_TRUE(f->Read(14, 8, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "op");
+}
+
+TEST_F(EnvTest, MissingFileIsNotFound) {
+  std::unique_ptr<SequentialFile> f;
+  Status s = env_->NewSequentialFile(dir_ + "/nope", &f);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_FALSE(env_->FileExists(dir_ + "/nope"));
+}
+
+TEST_F(EnvTest, GetChildrenAndRename) {
+  ASSERT_TRUE(WriteStringToFile(env_, "x", dir_ + "/a").ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "y", dir_ + "/b").ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  EXPECT_EQ(children.size(), 2u);
+  ASSERT_TRUE(env_->RenameFile(dir_ + "/a", dir_ + "/c").ok());
+  EXPECT_TRUE(env_->FileExists(dir_ + "/c"));
+  EXPECT_FALSE(env_->FileExists(dir_ + "/a"));
+}
+
+TEST_F(EnvTest, SequentialSkip) {
+  ASSERT_TRUE(WriteStringToFile(env_, "0123456789", dir_ + "/skip").ok());
+  std::unique_ptr<SequentialFile> f;
+  ASSERT_TRUE(env_->NewSequentialFile(dir_ + "/skip", &f).ok());
+  ASSERT_TRUE(f->Skip(4).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(16, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "456789");
+}
+
+TEST(SsdModelTest, CountsBytesAndOps) {
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  SsdModel model(opts);
+  model.OnRead(4096);
+  model.OnWrite(8192);
+  model.OnWrite(100);
+  EXPECT_EQ(model.bytes_read(), 4096u);
+  EXPECT_EQ(model.bytes_written(), 8292u);
+  EXPECT_EQ(model.reads(), 1u);
+  EXPECT_EQ(model.writes(), 2u);
+}
+
+TEST(SsdModelTest, LatencyGrowsWithSize) {
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  SsdModel model(opts);
+  uint64_t small = model.OnRead(512);
+  uint64_t big = model.OnRead(64 * 1024);
+  EXPECT_GT(big, small);
+}
+
+TEST(SsdModelTest, QueuePenaltyRaisesLatency) {
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  SsdModel model(opts);
+  uint64_t solo = model.OnRead(4096);
+  // Hold tickets open to simulate queue depth.
+  auto t1 = model.BeginIo(false, 4096, IoClass::kCompaction);
+  auto t2 = model.BeginIo(false, 4096, IoClass::kCompaction);
+  uint64_t queued = model.OnRead(4096);
+  EXPECT_GT(queued, solo);
+  EXPECT_EQ(queued - solo, 2 * opts.queue_penalty_nanos);
+  model.EndIo(t1);
+  model.EndIo(t2);
+}
+
+TEST(SsdModelTest, InflightPerClassTracking) {
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  SsdModel model(opts);
+  auto t1 = model.BeginIo(false, 100, IoClass::kCompaction);
+  auto t2 = model.BeginIo(true, 100, IoClass::kFlush);
+  auto t3 = model.BeginIo(false, 100, IoClass::kClient);
+  EXPECT_EQ(model.Inflight(IoClass::kCompaction), 1);
+  EXPECT_EQ(model.Inflight(IoClass::kFlush), 1);
+  EXPECT_EQ(model.Inflight(IoClass::kClient), 1);
+  EXPECT_EQ(model.InflightTotal(), 3);
+  model.EndIo(t1);
+  model.EndIo(t2);
+  model.EndIo(t3);
+  EXPECT_EQ(model.InflightTotal(), 0);
+}
+
+TEST(SsdModelTest, BusyTimeAccumulatesWithMockClock) {
+  MockClock clock;
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  opts.clock = &clock;
+  SsdModel model(opts);
+  auto t = model.BeginIo(false, 4096, IoClass::kClient);
+  clock.Advance(1000);
+  model.EndIo(t);
+  EXPECT_EQ(model.BusyNanos(), 1000u);
+  clock.Advance(5000);  // idle time does not count
+  EXPECT_EQ(model.BusyNanos(), 1000u);
+}
+
+TEST(SsdModelTest, OverlappingIosBusyIsUnion) {
+  MockClock clock;
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  opts.clock = &clock;
+  SsdModel model(opts);
+  auto t1 = model.BeginIo(false, 100, IoClass::kClient);
+  clock.Advance(500);
+  auto t2 = model.BeginIo(false, 100, IoClass::kClient);
+  clock.Advance(500);
+  model.EndIo(t1);
+  clock.Advance(500);
+  model.EndIo(t2);
+  EXPECT_EQ(model.BusyNanos(), 1500u);  // union of [0,1000] and [500,1500]
+}
+
+TEST(SsdModelTest, ResetStatsZeroes) {
+  SsdModelOptions opts;
+  opts.inject_latency = false;
+  SsdModel model(opts);
+  model.OnWrite(1000);
+  model.ResetStats();
+  EXPECT_EQ(model.bytes_written(), 0u);
+  EXPECT_EQ(model.LatencySnapshot().count(), 0u);
+}
+
+TEST(SsdModelTest, InjectionActuallySleeps) {
+  SsdModelOptions opts;
+  opts.read_base_nanos = 200'000;  // 200 us
+  opts.read_nanos_per_byte = 0;
+  opts.queue_penalty_nanos = 0;
+  SsdModel model(opts);
+  Clock* clock = SystemClock();
+  uint64_t start = clock->NowNanos();
+  model.OnRead(1);
+  EXPECT_GE(clock->NowNanos() - start, 200'000u);
+}
+
+class SimEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "pmblade_simenv_test";
+    PosixEnv()->RemoveDirRecursively(dir_);
+    ASSERT_TRUE(PosixEnv()->CreateDir(dir_).ok());
+    SsdModelOptions opts;
+    opts.inject_latency = false;
+    model_.reset(new SsdModel(opts));
+    env_.reset(new SimEnv(PosixEnv(), model_.get()));
+  }
+  void TearDown() override { PosixEnv()->RemoveDirRecursively(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<SsdModel> model_;
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(SimEnvTest, WritesAreAccounted) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(dir_ + "/f", &f).ok());
+  ASSERT_TRUE(f->Append(std::string(5000, 'z')).ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_EQ(model_->bytes_written(), 5000u);
+}
+
+TEST_F(SimEnvTest, ReadsAreAccountedWithClass) {
+  ASSERT_TRUE(
+      WriteStringToFile(env_.get(), std::string(1000, 'a'), dir_ + "/f")
+          .ok());
+  model_->ResetStats();
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_
+                  ->NewRandomAccessFileWithClass(dir_ + "/f",
+                                                 IoClass::kCompaction, &f)
+                  .ok());
+  char scratch[256];
+  Slice result;
+  ASSERT_TRUE(f->Read(0, 256, &result, scratch).ok());
+  EXPECT_EQ(model_->bytes_read(), 256u);
+}
+
+TEST_F(SimEnvTest, PassesThroughMetadataOps) {
+  ASSERT_TRUE(WriteStringToFile(env_.get(), "x", dir_ + "/meta").ok());
+  EXPECT_TRUE(env_->FileExists(dir_ + "/meta"));
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(dir_ + "/meta", &size).ok());
+  EXPECT_EQ(size, 1u);
+  ASSERT_TRUE(env_->RemoveFile(dir_ + "/meta").ok());
+  EXPECT_FALSE(env_->FileExists(dir_ + "/meta"));
+}
+
+}  // namespace
+}  // namespace pmblade

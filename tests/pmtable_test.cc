@@ -1,0 +1,439 @@
+// Tests for the PM table family: the three-layer prefix-compressed PM table
+// (the paper's core structure), the array-based table, and the two
+// LZ-compressed baselines. Includes parameterized cross-structure property
+// tests: every structure must agree with an in-memory model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "memtable/internal_key.h"
+#include "pm/pm_pool.h"
+#include "pmtable/array_table.h"
+#include "pmtable/l0_table.h"
+#include "pmtable/pm_table.h"
+#include "pmtable/pm_table_builder.h"
+#include "pmtable/snappy_table.h"
+#include "util/random.h"
+
+namespace pmblade {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq,
+                 ValueType type = kTypeValue) {
+  std::string out;
+  AppendInternalKey(&out, user_key, seq, type);
+  return out;
+}
+
+class PmTableEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "pmblade_pmtable_test.pm";
+    ::remove(path_.c_str());
+    PmPoolOptions opts;
+    opts.capacity = 64 << 20;
+    opts.latency.inject_latency = false;
+    ASSERT_TRUE(PmPool::Open(path_, opts, &pool_).ok());
+  }
+  void TearDown() override {
+    pool_.reset();
+    ::remove(path_.c_str());
+  }
+
+  std::string path_;
+  std::unique_ptr<PmPool> pool_;
+};
+
+TEST_F(PmTableEnv, BuildEmptyTable) {
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+  EXPECT_EQ(table->num_entries(), 0u);
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(PmTableEnv, SingleEntry) {
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  builder.Add(IKey("orders|row1", 5), "hello");
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+  EXPECT_EQ(table->num_entries(), 1u);
+  EXPECT_EQ(table->num_metas(), 1u);
+
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "orders|row1");
+  EXPECT_EQ(it->value().ToString(), "hello");
+}
+
+TEST_F(PmTableEnv, MetaLayerExtractsTableIds) {
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  // Three database tables; the meta layer should hold exactly 3 components.
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < 50; ++i) {
+      char key[64];
+      snprintf(key, sizeof(key), "table%c|row%04d", 'A' + t, i);
+      builder.Add(IKey(key, 10), "v");
+    }
+  }
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+  EXPECT_EQ(table->num_metas(), 3u);
+  EXPECT_EQ(table->num_entries(), 150u);
+}
+
+TEST_F(PmTableEnv, PrefixCompressionShrinksTable) {
+  // Long shared prefixes: the PM table image should be much smaller than an
+  // array table over the same data.
+  PmTableBuilder pm_builder(pool_.get(), PmTableOptions{});
+  ArrayTableBuilder array_builder(pool_.get());
+  for (int i = 0; i < 2000; ++i) {
+    char key[80];
+    snprintf(key, sizeof(key),
+             "orders_index_by_user|user%06d|order%06d", i / 4, i);
+    std::string ikey = IKey(key, 10);
+    pm_builder.Add(ikey, "v");
+    array_builder.Add(ikey, "v");
+  }
+  std::shared_ptr<PmTable> pm_table;
+  std::shared_ptr<ArrayTable> array_table;
+  ASSERT_TRUE(pm_builder.Finish(&pm_table).ok());
+  ASSERT_TRUE(array_builder.Finish(&array_table).ok());
+  EXPECT_LT(pm_table->size_bytes(), array_table->size_bytes());
+}
+
+TEST_F(PmTableEnv, SeekAcrossMetaBoundaries) {
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  for (char t : {'A', 'C', 'E'}) {
+    for (int i = 0; i < 40; ++i) {
+      char key[32];
+      snprintf(key, sizeof(key), "t%c|k%03d", t, i);
+      builder.Add(IKey(key, 10), std::string(1, t));
+    }
+  }
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  // Seek to a meta that does not exist ("tB|...") lands on first tC key.
+  it->Seek(IKey("tB|k999", kMaxSequenceNumber));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "tC|k000");
+  // Seek past everything.
+  it->Seek(IKey("tZ|k000", kMaxSequenceNumber));
+  EXPECT_FALSE(it->Valid());
+  // Seek before everything.
+  it->Seek(IKey("t0|k000", kMaxSequenceNumber));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "tA|k000");
+}
+
+TEST_F(PmTableEnv, SeekWithinGroupsExactAndBetween) {
+  PmTableBuilder builder(pool_.get(), PmTableOptions{.group_size = 8});
+  for (int i = 0; i < 200; i += 2) {
+    char key[32];
+    snprintf(key, sizeof(key), "tbl|key%05d", i);
+    builder.Add(IKey(key, 10), "v" + std::to_string(i));
+  }
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  for (int i = 0; i < 200; i += 2) {
+    char key[32];
+    snprintf(key, sizeof(key), "tbl|key%05d", i);
+    it->Seek(IKey(key, kMaxSequenceNumber));
+    ASSERT_TRUE(it->Valid()) << key;
+    EXPECT_EQ(ExtractUserKey(it->key()).ToString(), key);
+    // Seek between keys finds the next one.
+    char between[32];
+    snprintf(between, sizeof(between), "tbl|key%05d", i + 1);
+    it->Seek(IKey(between, kMaxSequenceNumber));
+    if (i + 2 < 200) {
+      char next[32];
+      snprintf(next, sizeof(next), "tbl|key%05d", i + 2);
+      ASSERT_TRUE(it->Valid());
+      EXPECT_EQ(ExtractUserKey(it->key()).ToString(), next);
+    } else {
+      EXPECT_FALSE(it->Valid());
+    }
+  }
+}
+
+TEST_F(PmTableEnv, MultipleVersionsNewestFirst) {
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  // Internal order: same user key, descending seq.
+  builder.Add(IKey("tbl|k", 30), "v30");
+  builder.Add(IKey("tbl|k", 20), "v20");
+  builder.Add(IKey("tbl|k", 10, kTypeDeletion), "");
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->Seek(IKey("tbl|k", 25));  // snapshot 25 sees seq 20
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(UnpackSequence(ExtractTag(it->key())), 20u);
+  EXPECT_EQ(it->value().ToString(), "v20");
+}
+
+TEST_F(PmTableEnv, ReopenFromPool) {
+  uint64_t id;
+  {
+    PmTableBuilder builder(pool_.get(), PmTableOptions{});
+    for (int i = 0; i < 100; ++i) {
+      char key[32];
+      snprintf(key, sizeof(key), "tbl|key%04d", i);
+      builder.Add(IKey(key, 5), "val" + std::to_string(i));
+    }
+    std::shared_ptr<PmTable> table;
+    ASSERT_TRUE(builder.Finish(&table).ok());
+    id = table->id();
+  }
+  // Reopen by id (simulates recovery).
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(PmTable::Open(pool_.get(), id, &table).ok());
+  EXPECT_EQ(table->num_entries(), 100u);
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->Seek(IKey("tbl|key0042", kMaxSequenceNumber));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->value().ToString(), "val42");
+}
+
+TEST_F(PmTableEnv, DestroyFreesPoolSpace) {
+  uint64_t before = pool_->FreeBytes();
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  for (int i = 0; i < 1000; ++i) {
+    builder.Add(IKey("t|" + std::to_string(1000 + i), 5),
+                std::string(100, 'x'));
+  }
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+  EXPECT_LT(pool_->FreeBytes(), before);
+  ASSERT_TRUE(table->Destroy().ok());
+  EXPECT_EQ(pool_->FreeBytes(), before);
+}
+
+TEST_F(PmTableEnv, BoundariesCached) {
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  builder.Add(IKey("t|aaa", 5), "v");
+  builder.Add(IKey("t|mmm", 5), "v");
+  builder.Add(IKey("t|zzz", 5), "v");
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+  EXPECT_EQ(ExtractUserKey(table->smallest()).ToString(), "t|aaa");
+  EXPECT_EQ(ExtractUserKey(table->largest()).ToString(), "t|zzz");
+}
+
+TEST_F(PmTableEnv, KeysWithoutSeparator) {
+  // Keys with no '|' have an empty meta component; the table must still
+  // function.
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  for (int i = 0; i < 50; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "plain%04d", i);
+    builder.Add(IKey(key, 5), "v");
+  }
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+  EXPECT_EQ(table->num_metas(), 1u);
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->Seek(IKey("plain0025", kMaxSequenceNumber));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "plain0025");
+}
+
+TEST_F(PmTableEnv, PmReadTrafficIsAccounted) {
+  PmTableBuilder builder(pool_.get(), PmTableOptions{});
+  for (int i = 0; i < 500; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "t|key%05d", i);
+    builder.Add(IKey(key, 5), std::string(64, 'v'));
+  }
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+  EXPECT_GT(pool_->stats().bytes_written(), 0u);
+
+  pool_->stats().Reset();
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->Seek(IKey("t|key00250", kMaxSequenceNumber));
+  EXPECT_GT(pool_->stats().read_accesses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-structure property tests: each L0 structure vs an in-memory model.
+// ---------------------------------------------------------------------------
+
+enum class Structure { kPmTable, kPmTableGroup8, kArray, kSnappy, kSnappyGroup };
+
+class L0StructureTest : public PmTableEnv,
+                        public ::testing::WithParamInterface<Structure> {
+ protected:
+  // The param interface clashes with PmTableEnv's Test base; re-declare.
+};
+
+class L0PropertyTest : public ::testing::TestWithParam<Structure> {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "pmblade_l0prop_test.pm";
+    ::remove(path_.c_str());
+    PmPoolOptions opts;
+    opts.capacity = 64 << 20;
+    opts.latency.inject_latency = false;
+    ASSERT_TRUE(PmPool::Open(path_, opts, &pool_).ok());
+  }
+  void TearDown() override {
+    pool_.reset();
+    ::remove(path_.c_str());
+  }
+
+  L0TableRef Build(const std::map<std::string, std::string>& model) {
+    // model maps internal key -> value, already in internal order because
+    // we use a single seq per user key.
+    switch (GetParam()) {
+      case Structure::kPmTable: {
+        PmTableBuilder b(pool_.get(), PmTableOptions{.group_size = 16});
+        for (auto& [k, v] : model) b.Add(k, v);
+        std::shared_ptr<PmTable> t;
+        EXPECT_TRUE(b.Finish(&t).ok());
+        return t;
+      }
+      case Structure::kPmTableGroup8: {
+        PmTableBuilder b(pool_.get(),
+                         PmTableOptions{.group_size = 8, .prefix_width = 12});
+        for (auto& [k, v] : model) b.Add(k, v);
+        std::shared_ptr<PmTable> t;
+        EXPECT_TRUE(b.Finish(&t).ok());
+        return t;
+      }
+      case Structure::kArray: {
+        ArrayTableBuilder b(pool_.get());
+        for (auto& [k, v] : model) b.Add(k, v);
+        std::shared_ptr<ArrayTable> t;
+        EXPECT_TRUE(b.Finish(&t).ok());
+        return t;
+      }
+      case Structure::kSnappy: {
+        SnappyTableBuilder b(pool_.get(), 1);
+        for (auto& [k, v] : model) b.Add(k, v);
+        std::shared_ptr<SnappyTable> t;
+        EXPECT_TRUE(b.Finish(&t).ok());
+        return t;
+      }
+      case Structure::kSnappyGroup: {
+        SnappyTableBuilder b(pool_.get(), 8);
+        for (auto& [k, v] : model) b.Add(k, v);
+        std::shared_ptr<SnappyTable> t;
+        EXPECT_TRUE(b.Finish(&t).ok());
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  static std::map<std::string, std::string> MakeModel(int n, uint64_t seed) {
+    Random r(seed);
+    std::map<std::string, std::string> model;
+    const char* tables[] = {"orders|", "users|", "idx_user_orders|"};
+    while (static_cast<int>(model.size()) < n) {
+      std::string user_key = tables[r.Uniform(3)];
+      std::string suffix;
+      r.RandomString(4 + r.Uniform(20), &suffix);
+      user_key += suffix;
+      std::string value;
+      r.RandomBytes(r.Uniform(120), &value);
+      model[IKey(user_key, 7)] = value;
+    }
+    return model;
+  }
+
+  std::string path_;
+  std::unique_ptr<PmPool> pool_;
+};
+
+TEST_P(L0PropertyTest, FullScanMatchesModel) {
+  auto model = MakeModel(800, 42);
+  L0TableRef table = Build(model);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->num_entries(), model.size());
+
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->SeekToFirst();
+  // Model keys sort by raw bytes; internal order for distinct user keys with
+  // equal seq is the same as byte order of (user_key ++ tag).
+  for (auto& [k, v] : model) {
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(it->key().ToString(), k);
+    EXPECT_EQ(it->value().ToString(), v);
+    it->Next();
+  }
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_P(L0PropertyTest, SeekEveryKeyFindsIt) {
+  auto model = MakeModel(400, 99);
+  L0TableRef table = Build(model);
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  for (auto& [k, v] : model) {
+    std::string seek_key =
+        IKey(ExtractUserKey(k).ToString(), kMaxSequenceNumber);
+    it->Seek(seek_key);
+    ASSERT_TRUE(it->Valid()) << ExtractUserKey(k).ToString();
+    EXPECT_EQ(ExtractUserKey(it->key()).ToString(),
+              ExtractUserKey(k).ToString());
+    EXPECT_EQ(it->value().ToString(), v);
+  }
+}
+
+TEST_P(L0PropertyTest, GenericGetAgainstModel) {
+  auto model = MakeModel(300, 7);
+  L0TableRef table = Build(model);
+  InternalKeyComparator icmp(BytewiseComparator());
+  for (auto& [k, v] : model) {
+    LookupKey lkey(ExtractUserKey(k), kMaxSequenceNumber);
+    std::string value;
+    bool found = false;
+    Status result;
+    ASSERT_TRUE(
+        L0TableGet(*table, icmp, lkey, &value, &found, &result).ok());
+    ASSERT_TRUE(found) << ExtractUserKey(k).ToString();
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(value, v);
+  }
+  // Absent keys.
+  LookupKey absent("zzzz|not-there", kMaxSequenceNumber);
+  std::string value;
+  bool found = true;
+  Status result;
+  ASSERT_TRUE(
+      L0TableGet(*table, icmp, absent, &value, &found, &result).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_P(L0PropertyTest, BackwardScanMatchesModel) {
+  auto model = MakeModel(200, 13);
+  L0TableRef table = Build(model);
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->SeekToLast();
+  for (auto rit = model.rbegin(); rit != model.rend(); ++rit) {
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(it->key().ToString(), rit->first);
+    it->Prev();
+  }
+  EXPECT_FALSE(it->Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Structures, L0PropertyTest,
+                         ::testing::Values(Structure::kPmTable,
+                                           Structure::kPmTableGroup8,
+                                           Structure::kArray,
+                                           Structure::kSnappy,
+                                           Structure::kSnappyGroup));
+
+}  // namespace
+}  // namespace pmblade

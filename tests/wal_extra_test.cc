@@ -1,0 +1,158 @@
+// Additional WAL and edge-case coverage: appending to an existing log
+// (writer resumed mid-block), records exactly at block boundaries, and
+// PM-table geometry extremes.
+
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+#include "memtable/wal.h"
+#include "pm/pm_pool.h"
+#include "pmtable/pm_table_builder.h"
+
+namespace pmblade {
+namespace {
+
+class WalExtraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fname_ = ::testing::TempDir() + "pmblade_wal_extra.log";
+    PosixEnv()->RemoveFile(fname_);
+  }
+  void TearDown() override { PosixEnv()->RemoveFile(fname_); }
+
+  std::vector<std::string> Replay() {
+    std::unique_ptr<SequentialFile> file;
+    EXPECT_TRUE(PosixEnv()->NewSequentialFile(fname_, &file).ok());
+    wal::Reader reader(file.get(), nullptr);
+    std::vector<std::string> records;
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      records.push_back(record.ToString());
+    }
+    return records;
+  }
+
+  std::string fname_;
+};
+
+TEST_F(WalExtraTest, RecordExactlyFillingBlockTail) {
+  // First record sized so the second lands exactly at the block boundary
+  // padding path (leftover < kHeaderSize).
+  size_t first = wal::kBlockSize - wal::kHeaderSize * 2 - 3;
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(PosixEnv()->NewWritableFile(fname_, &file).ok());
+    wal::Writer writer(file.get());
+    ASSERT_TRUE(writer.AddRecord(std::string(first, 'a')).ok());
+    ASSERT_TRUE(writer.AddRecord("tail-record").ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  auto records = Replay();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].size(), first);
+  EXPECT_EQ(records[1], "tail-record");
+}
+
+TEST_F(WalExtraTest, ZeroAndOneBytePayloads) {
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(PosixEnv()->NewWritableFile(fname_, &file).ok());
+    wal::Writer writer(file.get());
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(writer.AddRecord(i % 2 == 0 ? "" : "x").ok());
+    }
+    ASSERT_TRUE(file->Close().ok());
+  }
+  auto records = Replay();
+  ASSERT_EQ(records.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(records[i], i % 2 == 0 ? "" : "x");
+  }
+}
+
+TEST(PmTableGeometryTest, ExtremeGroupAndPrefixSettings) {
+  std::string path = ::testing::TempDir() + "pmblade_geometry.pm";
+  ::remove(path.c_str());
+  PmPoolOptions popts;
+  popts.capacity = 32 << 20;
+  popts.latency.inject_latency = false;
+  std::unique_ptr<PmPool> pool;
+  ASSERT_TRUE(PmPool::Open(path, popts, &pool).ok());
+
+  struct Geometry {
+    uint32_t group_size;
+    uint32_t prefix_width;
+  };
+  for (Geometry g : {Geometry{1, 1}, Geometry{2, 64}, Geometry{128, 4},
+                     Geometry{16, 0} /* width 0 clamps to default */}) {
+    PmTableOptions opts;
+    opts.group_size = g.group_size;
+    opts.prefix_width = g.prefix_width;
+    PmTableBuilder builder(pool.get(), opts);
+    for (int i = 0; i < 300; ++i) {
+      char key[32];
+      snprintf(key, sizeof(key), "tbl|key%05d", i);
+      std::string ikey;
+      AppendInternalKey(&ikey, key, 9, kTypeValue);
+      builder.Add(ikey, "value" + std::to_string(i));
+    }
+    std::shared_ptr<PmTable> table;
+    ASSERT_TRUE(builder.Finish(&table).ok())
+        << "g=" << g.group_size << " w=" << g.prefix_width;
+    EXPECT_EQ(table->num_entries(), 300u);
+
+    std::unique_ptr<Iterator> it(table->NewIterator());
+    // Every key findable; full scan intact.
+    for (int i = 0; i < 300; i += 37) {
+      char key[32];
+      snprintf(key, sizeof(key), "tbl|key%05d", i);
+      std::string seek;
+      AppendInternalKey(&seek, key, kMaxSequenceNumber, kValueTypeForSeek);
+      it->Seek(seek);
+      ASSERT_TRUE(it->Valid()) << key;
+      EXPECT_EQ(ExtractUserKey(it->key()).ToString(), key);
+    }
+    int count = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
+    EXPECT_EQ(count, 300);
+    table->Destroy();
+  }
+  pool.reset();
+  ::remove(path.c_str());
+}
+
+TEST(PmTableGeometryTest, LargeValuesAndEmptyValues) {
+  std::string path = ::testing::TempDir() + "pmblade_values.pm";
+  ::remove(path.c_str());
+  PmPoolOptions popts;
+  popts.capacity = 64 << 20;
+  popts.latency.inject_latency = false;
+  std::unique_ptr<PmPool> pool;
+  ASSERT_TRUE(PmPool::Open(path, popts, &pool).ok());
+
+  PmTableBuilder builder(pool.get(), PmTableOptions{});
+  std::string huge(256 * 1024, 'H');
+  std::string ikey;
+  AppendInternalKey(&ikey, "t|empty", 5, kTypeValue);
+  builder.Add(ikey, "");
+  ikey.clear();
+  AppendInternalKey(&ikey, "t|huge", 5, kTypeValue);
+  builder.Add(ikey, huge);
+  std::shared_ptr<PmTable> table;
+  ASSERT_TRUE(builder.Finish(&table).ok());
+
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->value().size(), 0u);
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->value().size(), huge.size());
+  EXPECT_EQ(it->value().ToString(), huge);
+  pool.reset();
+  ::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pmblade

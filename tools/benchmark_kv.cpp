@@ -1,0 +1,258 @@
+// benchmark_kv — the paper's micro-benchmark tool (Section VI-A): a
+// db_bench-style driver over the KvEngine interface, extended with record
+// tables and secondary-index tables.
+//
+// Usage:
+//   benchmark_kv [--engine=pmblade|pmblade-pm|pmblade-ssd|rocks|matrixkv]
+//                [--benchmarks=fillseq,readrandom,...]
+//                [--num=N] [--value_size=B] [--zipf=THETA]
+//                [--scan_length=N] [--inject_latency=true|false]
+//
+// Benchmarks:
+//   fillseq      sequential inserts            fillrandom  random inserts
+//   overwrite    random overwrites             readrandom  random point reads
+//   readmissing  reads of absent keys          readseq     full forward scan
+//   seekrandom   random seeks + short scans    deleterandom random deletes
+//   indexfill    insert rows into a record table (+3 index tables)
+//   indexquery   secondary-index queries (scan + verify + point reads)
+//   mixed        50/50 zipfian read/update
+//   flush        force a memtable flush        compact     force L0->L1
+//   stats        print engine statistics
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "benchutil/reporter.h"
+#include "benchutil/runner.h"
+#include "benchutil/table_codec.h"
+#include "benchutil/workload.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+
+using namespace pmblade;        // NOLINT
+using namespace pmblade::bench; // NOLINT
+
+namespace {
+
+struct Context {
+  KvEngine* engine = nullptr;
+  BenchEnv* env = nullptr;
+  uint64_t num = 10000;
+  size_t value_size = 256;
+  double zipf = 0.99;
+  int scan_length = 50;
+  Clock* clock = SystemClock();
+};
+
+void Report(const char* name, uint64_t ops, uint64_t nanos,
+            const Histogram& latency) {
+  double micros_per_op = ops > 0 ? nanos / 1000.0 / ops : 0;
+  double ops_per_sec = nanos > 0 ? ops * 1e9 / nanos : 0;
+  printf("%-12s : %9.3f us/op; %10.0f ops/sec; p99 %9.3f us (%llu ops)\n",
+         name, micros_per_op, ops_per_sec, latency.Percentile(99) / 1000.0,
+         static_cast<unsigned long long>(ops));
+  fflush(stdout);
+}
+
+#define RUN_OP(expr)                                             \
+  do {                                                           \
+    Status _s = (expr);                                          \
+    if (!_s.ok() && !_s.IsNotFound()) {                          \
+      fprintf(stderr, "op failed: %s\n", _s.ToString().c_str()); \
+      exit(1);                                                   \
+    }                                                            \
+  } while (0)
+
+void RunBenchmark(Context* ctx, const std::string& name) {
+  KeySpec spec;
+  spec.num_keys = ctx->num;
+  spec.zipf_theta = ctx->zipf;
+  KeyGenerator keys(spec);
+  ValueGenerator values(ctx->value_size);
+  Random rng(301);
+  Histogram latency;
+  uint64_t ops = 0;
+  const uint64_t start = ctx->clock->NowNanos();
+
+  auto timed = [&](auto&& fn) {
+    uint64_t t0 = ctx->clock->NowNanos();
+    fn();
+    latency.Add(ctx->clock->NowNanos() - t0);
+    ++ops;
+  };
+
+  if (name == "fillseq") {
+    for (uint64_t i = 0; i < ctx->num; ++i) {
+      timed([&] { RUN_OP(ctx->engine->Put(keys.KeyAt(i), values.For(i))); });
+    }
+  } else if (name == "fillrandom" || name == "overwrite") {
+    for (uint64_t i = 0; i < ctx->num; ++i) {
+      uint64_t k = rng.Uniform(ctx->num);
+      timed([&] { RUN_OP(ctx->engine->Put(keys.KeyAt(k), values.For(k))); });
+    }
+  } else if (name == "readrandom") {
+    for (uint64_t i = 0; i < ctx->num; ++i) {
+      uint64_t k = keys.NextIndex();
+      timed([&] {
+        std::string value;
+        RUN_OP(ctx->engine->Get(keys.KeyAt(k), &value));
+      });
+    }
+  } else if (name == "readmissing") {
+    for (uint64_t i = 0; i < ctx->num; ++i) {
+      timed([&] {
+        std::string value;
+        RUN_OP(ctx->engine->Get("absent" + std::to_string(i), &value));
+      });
+    }
+  } else if (name == "readseq") {
+    std::unique_ptr<Iterator> it(ctx->engine->NewScanIterator());
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      ++ops;  // per-entry accounting; one latency sample per 1k entries
+      if (ops % 1000 == 0) latency.Add(1);
+    }
+    RUN_OP(it->status());
+  } else if (name == "seekrandom") {
+    for (uint64_t i = 0; i < ctx->num / 10 + 1; ++i) {
+      uint64_t k = keys.NextIndex();
+      timed([&] {
+        std::unique_ptr<Iterator> it(ctx->engine->NewScanIterator());
+        it->Seek(keys.KeyAt(k));
+        for (int j = 0; j < ctx->scan_length && it->Valid(); ++j) {
+          it->Next();
+        }
+        RUN_OP(it->status());
+      });
+    }
+  } else if (name == "deleterandom") {
+    for (uint64_t i = 0; i < ctx->num / 10 + 1; ++i) {
+      uint64_t k = rng.Uniform(ctx->num);
+      timed([&] { RUN_OP(ctx->engine->Delete(keys.KeyAt(k))); });
+    }
+  } else if (name == "indexfill") {
+    TableSchema schema;
+    schema.table_id = 1;
+    schema.num_columns = 10;
+    schema.indexed_columns = {1, 4, 7};
+    TableCodec codec(schema);
+    for (uint64_t i = 0; i < ctx->num; ++i) {
+      timed([&] {
+        std::vector<std::string> columns(schema.num_columns);
+        for (uint32_t c = 0; c < schema.num_columns; ++c) {
+          columns[c] = "c" + std::to_string(c) + "-" +
+                       std::to_string(rng.Uniform(100));
+        }
+        RUN_OP(codec.InsertRow(ctx->engine, i, columns));
+      });
+    }
+  } else if (name == "indexquery") {
+    TableSchema schema;
+    schema.table_id = 1;
+    schema.num_columns = 10;
+    schema.indexed_columns = {1, 4, 7};
+    TableCodec codec(schema);
+    for (uint64_t i = 0; i < ctx->num / 10 + 1; ++i) {
+      timed([&] {
+        uint32_t column = schema.indexed_columns[rng.Uniform(3)];
+        std::string value = "c" + std::to_string(column) + "-" +
+                            std::to_string(rng.Uniform(100));
+        std::vector<uint64_t> pks;
+        RUN_OP(codec.IndexQuery(ctx->engine, column, value,
+                                ctx->scan_length, &pks));
+      });
+    }
+  } else if (name == "mixed") {
+    for (uint64_t i = 0; i < ctx->num; ++i) {
+      uint64_t k = keys.NextIndex();
+      if (rng.OneIn(2)) {
+        timed([&] {
+          std::string value;
+          RUN_OP(ctx->engine->Get(keys.KeyAt(k), &value));
+        });
+      } else {
+        timed(
+            [&] { RUN_OP(ctx->engine->Put(keys.KeyAt(k), values.For(k))); });
+      }
+    }
+  } else if (name == "flush") {
+    timed([&] { RUN_OP(ctx->engine->Flush()); });
+  } else if (name == "compact") {
+    timed([&] {
+      if (ctx->env->pmblade_db() != nullptr) {
+        RUN_OP(ctx->env->pmblade_db()->CompactToLevel1(true));
+      } else if (ctx->env->leveled_db() != nullptr) {
+        RUN_OP(ctx->env->leveled_db()->CompactAll());
+      } else if (ctx->env->matrixkv_db() != nullptr) {
+        RUN_OP(ctx->env->matrixkv_db()->CompactAll());
+      }
+    });
+  } else if (name == "stats") {
+    const DbStatistics* stats = ctx->env->statistics();
+    printf("%s\n", stats != nullptr ? stats->ToString().c_str() : "(none)");
+    printf("ssd written: %s, pm written: %s\n",
+           TablePrinter::FmtBytes(ctx->env->SsdBytesWritten()).c_str(),
+           TablePrinter::FmtBytes(ctx->env->PmBytesWritten()).c_str());
+    return;
+  } else {
+    fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    exit(1);
+  }
+
+  Report(name.c_str(), ops, ctx->clock->NowNanos() - start, latency);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  std::string engine_name = flags.Str("engine", "pmblade");
+  EngineConfig config;
+  if (engine_name == "pmblade") config = EngineConfig::kPmBlade;
+  else if (engine_name == "pmblade-pm") config = EngineConfig::kPmBladePm;
+  else if (engine_name == "pmblade-ssd") config = EngineConfig::kPmBladeSsd;
+  else if (engine_name == "rocks") config = EngineConfig::kRocksStyle;
+  else if (engine_name == "matrixkv") config = EngineConfig::kMatrixKvSmall;
+  else {
+    fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+    return 1;
+  }
+
+  Context ctx;
+  ctx.num = flags.Int("num", 10000);
+  ctx.value_size = flags.Int("value_size", 256);
+  ctx.zipf = flags.Double("zipf", 0.99);
+  ctx.scan_length = static_cast<int>(flags.Int("scan_length", 50));
+
+  BenchEnvOptions eopts;
+  eopts.root = flags.Str("db", "/tmp/pmblade_benchmark_kv");
+  eopts.inject_ssd_latency = flags.Bool("inject_latency", true);
+  eopts.inject_pm_latency = flags.Bool("inject_latency", true);
+  eopts.memtable_bytes = flags.Int("memtable_bytes", 1 << 20);
+  KeySpec bspec;
+  bspec.num_keys = ctx.num;
+  eopts.partition_boundaries = KeyGenerator(bspec).PartitionBoundaries(
+      static_cast<int>(flags.Int("partitions", 8)));
+
+  BenchEnv env(eopts);
+  Status s = env.OpenEngine(config, &ctx.engine);
+  if (!s.ok()) {
+    fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  ctx.env = &env;
+
+  printf("benchmark_kv: engine=%s num=%llu value_size=%zu zipf=%.2f\n",
+         EngineConfigName(config), (unsigned long long)ctx.num,
+         ctx.value_size, ctx.zipf);
+
+  std::string benchmarks =
+      flags.Str("benchmarks", "fillseq,readrandom,seekrandom,mixed,stats");
+  std::stringstream ss(benchmarks);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) RunBenchmark(&ctx, name);
+  }
+  return 0;
+}
