@@ -13,6 +13,8 @@
 
 #include "compress/lz.h"
 #include "memtable/skiplist_memtable.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
 #include "pm/pm_pool.h"
 #include "pmtable/array_table.h"
 #include "pmtable/pm_table_builder.h"
@@ -253,6 +255,61 @@ void BM_ZipfianNext(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfianNext);
+
+// ---- observability hot paths ----
+// These bound the overhead instrumentation adds to Get/Put: a counter
+// increment, a sharded-histogram observation, and the inactive-bus check an
+// emission site pays when nothing listens.
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Inc();
+  }
+  benchmark::DoNotOptimize(counter->Value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  ShardedHistogram hist;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    hist.Add(v);
+    v = v * 1664525 + 1013904223;  // LCG; spread across buckets
+    v &= 0xFFFFF;
+  }
+  benchmark::DoNotOptimize(hist.Merged().count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsEventBusInactive(benchmark::State& state) {
+  obs::EventBus bus;
+  // The emission-site pattern: check active(), skip building the event.
+  for (auto _ : state) {
+    if (bus.active()) {
+      bus.Emit(obs::Event(obs::EventType::kFlushBegin, 0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEventBusInactive);
+
+void BM_ObsTraceRecord(benchmark::State& state) {
+  obs::EventBus bus;
+  obs::TraceRecorder trace(256);
+  bus.Subscribe(&trace);
+  obs::Event event(obs::EventType::kWalSync, 1);
+  event.With("bytes", 4096).With("duration_nanos", 12345);
+  for (auto _ : state) {
+    bus.Emit(event);
+  }
+  benchmark::DoNotOptimize(trace.recorded());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceRecord);
 
 }  // namespace
 }  // namespace pmblade

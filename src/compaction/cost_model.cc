@@ -5,24 +5,23 @@
 
 namespace pmblade {
 
-bool CostModel::ShouldCompactForReads(const PartitionCounters& p) const {
-  if (p.unsorted_tables < params_.min_unsorted_for_internal) return false;
+CostDecision CostModel::EvaluateInternal(const PartitionCounters& p) const {
+  CostDecision d;
   // Eq. 1: n̂ʳ * (n/2) * I_b - I_p / t̂_p > 0
-  double benefit_rate =
+  d.eq1_benefit_rate =
       p.reads_per_sec * (static_cast<double>(p.unsorted_tables) / 2.0) *
       params_.i_b;
-  double cost_rate = params_.i_p / params_.t_p;
-  return benefit_rate > cost_rate;
-}
-
-bool CostModel::ShouldCompactForWrites(const PartitionCounters& p) const {
-  if (p.size_bytes < params_.tau_w) return false;
-  if (p.unsorted_tables < params_.min_unsorted_for_internal) return false;
+  d.eq1_cost_rate = params_.i_p / params_.t_p;
   // Eq. 2 with n_bef ≈ n^w and the duplicate count (n_bef - n_aft) ≈ n^u:
   // updates are what create redundant versions in the PM tables.
-  double saved_on_ssd = static_cast<double>(p.updates) * params_.i_s;
-  double spent_on_pm = static_cast<double>(p.writes) * params_.i_p;
-  return saved_on_ssd > spent_on_pm;
+  d.eq2_ssd_savings = static_cast<double>(p.updates) * params_.i_s;
+  d.eq2_pm_cost = static_cast<double>(p.writes) * params_.i_p;
+
+  d.gate_passed = p.unsorted_tables >= params_.min_unsorted_for_internal;
+  d.eq1_triggered = d.gate_passed && d.eq1_benefit_rate > d.eq1_cost_rate;
+  d.eq2_triggered = d.gate_passed && p.size_bytes >= params_.tau_w &&
+                    d.eq2_ssd_savings > d.eq2_pm_cost;
+  return d;
 }
 
 uint64_t CostModel::AdaptiveTauT(uint64_t reads, uint64_t writes,

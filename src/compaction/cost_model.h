@@ -63,16 +63,40 @@ struct PartitionCounters {
   double reads_per_sec = 0.0;     // n̂_i^r
 };
 
+/// The full outcome of evaluating Eqs. 1-2 for one partition: both verdicts
+/// plus the intermediate quantities, so observability can report why a
+/// compaction was (or was not) triggered.
+struct CostDecision {
+  bool eq1_triggered = false;   // Eq. 1 (read amplification) fired
+  bool eq2_triggered = false;   // Eq. 2 (write amplification) fired
+  bool gate_passed = false;     // n_i >= min_unsorted_for_internal
+  double eq1_benefit_rate = 0.0;  // n̂ᵢʳ · (nᵢ/2) · I_b
+  double eq1_cost_rate = 0.0;     // I_p / t̂_p
+  double eq2_ssd_savings = 0.0;   // nᵢᵘ · I_s
+  double eq2_pm_cost = 0.0;       // nᵢʷ · I_p
+
+  bool triggered() const { return eq1_triggered || eq2_triggered; }
+};
+
 class CostModel {
  public:
   explicit CostModel(const CostModelParams& params) : params_(params) {}
 
+  /// Evaluates Eqs. 1-2 for one partition and returns the verdicts together
+  /// with the intermediate benefit/cost terms. ShouldCompactForReads/Writes
+  /// are thin wrappers over this.
+  CostDecision EvaluateInternal(const PartitionCounters& p) const;
+
   /// Eq. 1: internal compaction pays for itself in read latency.
-  bool ShouldCompactForReads(const PartitionCounters& p) const;
+  bool ShouldCompactForReads(const PartitionCounters& p) const {
+    return EvaluateInternal(p).eq1_triggered;
+  }
 
   /// Eq. 2: internal compaction pays for itself in SSD write savings.
   /// Includes the s_i >= tau_w gate from Algorithm 1.
-  bool ShouldCompactForWrites(const PartitionCounters& p) const;
+  bool ShouldCompactForWrites(const PartitionCounters& p) const {
+    return EvaluateInternal(p).eq2_triggered;
+  }
 
   /// Eq. 3 gate: is a major compaction due?
   bool MajorCompactionDue(uint64_t total_l0_bytes) const {

@@ -173,6 +173,21 @@ Status RunInternalCompaction(const InternalCompactionOptions& options,
   PMBLADE_RETURN_IF_ERROR(deduped.status());
 
   stats->duration_nanos = clock->NowNanos() - start;
+
+  if (options.event_bus != nullptr && options.event_bus->active()) {
+    options.event_bus->Emit(
+        obs::Event(obs::EventType::kInternalCompactionEnd, clock->NowNanos())
+            .With("partition", static_cast<double>(options.partition_id))
+            .With("input_tables", static_cast<double>(stats->input_tables))
+            .With("output_tables", static_cast<double>(stats->output_tables))
+            .With("input_records", static_cast<double>(stats->input_records))
+            .With("output_records",
+                  static_cast<double>(stats->output_records))
+            .With("input_bytes", static_cast<double>(stats->input_bytes))
+            .With("output_bytes", static_cast<double>(stats->output_bytes))
+            .With("duration_nanos",
+                  static_cast<double>(stats->duration_nanos)));
+  }
   return Status::OK();
 }
 

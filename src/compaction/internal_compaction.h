@@ -11,6 +11,7 @@
 
 #include "compaction/minor_compaction.h"
 #include "memtable/internal_key.h"
+#include "obs/event.h"
 #include "pmtable/l0_table.h"
 #include "util/clock.h"
 
@@ -42,6 +43,10 @@ struct InternalCompactionOptions {
   /// version of each user key plus anything a live snapshot may need).
   SequenceNumber oldest_snapshot = kMaxSequenceNumber;
   Clock* clock = nullptr;
+  /// When set (and active), an internal_compaction_end event is emitted on
+  /// success with the stats below. `partition_id` labels that event.
+  obs::EventBus* event_bus = nullptr;
+  uint64_t partition_id = 0;
 };
 
 /// Merges `inputs` (any mix of sorted/unsorted L0 tables; *newer tables must

@@ -140,6 +140,15 @@ Status MajorCompactor::Run(
     st.builder.reset(new TableBuilder(topts, st.chunk_file.get()));
   }
 
+  if (options_.event_bus != nullptr && options_.event_bus->active()) {
+    options_.event_bus->Emit(
+        obs::Event(obs::EventType::kMajorCompactionBegin, start)
+            .With("subtasks", static_cast<double>(subtasks.size()))
+            .With("engine", static_cast<double>(options_.engine))
+            .With("worker_threads", options_.worker_threads)
+            .With("max_io_q", options_.max_io_q));
+  }
+
   Status s;
   switch (options_.engine) {
     case CompactionEngine::kThread:
@@ -188,6 +197,31 @@ Status MajorCompactor::Run(
   stats->io_busy_nanos = model_->BusyNanos() - io_busy_before;
   stats->io_service_nanos = model_->ServiceNanos() - io_service_before;
   stats->io_latency = model_->LatencySnapshot();
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    m->GetCounter("pmblade.compaction.major.s1_reads")->Inc(stats->s1_reads);
+    m->GetCounter("pmblade.compaction.major.s3_writes")->Inc(stats->s3_writes);
+    m->GetCounter("pmblade.compaction.major.ssd_bytes")
+        ->Inc(stats->ssd_bytes_written);
+    m->GetHistogram("pmblade.compaction.major.duration_nanos")
+        ->Observe(stats->wall_nanos);
+  }
+  if (options_.event_bus != nullptr && options_.event_bus->active()) {
+    options_.event_bus->Emit(
+        obs::Event(obs::EventType::kMajorCompactionEnd, clock_->NowNanos())
+            .With("wall_nanos", static_cast<double>(stats->wall_nanos))
+            .With("input_records", static_cast<double>(stats->input_records))
+            .With("output_records",
+                  static_cast<double>(stats->output_records))
+            .With("s1_reads", static_cast<double>(stats->s1_reads))
+            .With("s3_writes", static_cast<double>(stats->s3_writes))
+            .With("ssd_bytes_written",
+                  static_cast<double>(stats->ssd_bytes_written))
+            .With("io_busy_nanos", static_cast<double>(stats->io_busy_nanos))
+            .With("cpu_busy_nanos",
+                  static_cast<double>(stats->cpu_busy_nanos)));
+  }
   return Status::OK();
 }
 
@@ -481,7 +515,7 @@ Status MajorCompactor::RunCoroutineEngine(std::vector<SubtaskState>& states,
     workers.emplace_back([this, w, c, k, &states, use_flush_coroutine,
                           &worker_status] {
       CoroScheduler scheduler(clock_);
-      IoGate gate(model_, options_.max_io_q);
+      IoGate gate(model_, options_.max_io_q, options_.event_bus);
       WorkerContext ctx;
       ctx.scheduler = &scheduler;
       ctx.model = model_;
@@ -506,6 +540,10 @@ Status MajorCompactor::RunCoroutineEngine(std::vector<SubtaskState>& states,
       }
       scheduler.Run();
       cpu_busy_nanos_.fetch_add(scheduler.cpu_busy_nanos());
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("pmblade.compaction.major.coro_resumes")
+            ->Inc(scheduler.resumes());
+      }
       worker_status[w] = Status::OK();
     });
   }

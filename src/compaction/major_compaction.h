@@ -28,6 +28,8 @@
 #include "compaction/minor_compaction.h"
 #include "env/ssd_model.h"
 #include "memtable/internal_key.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
 #include "util/histogram.h"
 
 namespace pmblade {
@@ -54,6 +56,14 @@ struct MajorCompactionOptions {
   SequenceNumber oldest_snapshot = kMaxSequenceNumber;
 
   Clock* clock = nullptr;
+
+  /// When set, Run() emits major_compaction_begin/end events and the flush
+  /// gate reports q_flush transitions through the same bus.
+  obs::EventBus* event_bus = nullptr;
+  /// When set, Run() maintains "pmblade.compaction.major.*" counters
+  /// (s1_reads, s3_writes, ssd_bytes, coroutine resumes) and the
+  /// "pmblade.compaction.major.duration_nanos" histogram.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One key-range subtask's input description.

@@ -62,6 +62,15 @@ class DB : public KvEngine {
   /// "pmblade.num-partitions", "pmblade.pm-used-bytes",
   /// "pmblade.num-unsorted-tables", "pmblade.num-sorted-tables".
   virtual bool GetProperty(const std::string& property, uint64_t* value) = 0;
+  /// String-valued properties:
+  ///   "pmblade.stats.json"       — full metrics snapshot + recent trace
+  ///                                events as one JSON document,
+  ///   "pmblade.stats.prometheus" — the same metrics in Prometheus text
+  ///                                exposition format,
+  ///   "pmblade.stats"            — human-readable DbStatistics summary,
+  ///   "pmblade.trace.json"       — recent engine events as JSON lines.
+  virtual bool GetProperty(const std::string& property,
+                           std::string* value) = 0;
 
   // ---- KvEngine facade (latest-snapshot convenience) ----
   Status Put(const Slice& key, const Slice& value) override {

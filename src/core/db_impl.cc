@@ -4,6 +4,7 @@
 
 #include "compaction/merging_iterator.h"
 #include "core/version.h"
+#include "obs/exporter.h"
 #include "pmtable/array_table.h"
 #include "pmtable/snappy_table.h"
 #include "sstable/ssd_l0_table.h"
@@ -81,6 +82,9 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname)
     : options_(options), dbname_(dbname), icmp_(BytewiseComparator()) {}
 
 DBImpl::~DBImpl() {
+  // The SSD model may be caller-owned and outlive this DB; detach our bus
+  // before it dies.
+  if (model_ != nullptr) model_->set_event_bus(nullptr);
   std::lock_guard<std::mutex> lock(mu_);
   if (wal_file_ != nullptr) wal_file_->Close();
   if (mem_ != nullptr) mem_->Unref();
@@ -146,6 +150,62 @@ Status DBImpl::Init() {
   }
 
   cost_model_.reset(new CostModel(options_.cost));
+
+  // ---- observability wiring ----
+  if (options_.trace_ring_capacity > 0) {
+    trace_.reset(new obs::TraceRecorder(options_.trace_ring_capacity));
+    events_.Subscribe(trace_.get());
+  }
+  stats_.RegisterWith(&metrics_);
+  pool_->RegisterMetrics(&metrics_);
+  model_->RegisterMetrics(&metrics_);
+  model_->set_event_bus(&events_);
+  // Cost-model accounting counters, cached so the compaction path (which
+  // runs under mu_) never touches the registry lock.
+  decision_counter_ = metrics_.GetCounter("pmblade.cost.decisions");
+  eq1_trigger_counter_ = metrics_.GetCounter("pmblade.cost.eq1_triggered");
+  eq2_trigger_counter_ = metrics_.GetCounter("pmblade.cost.eq2_triggered");
+  keep_set_counter_ = metrics_.GetCounter("pmblade.cost.keep_set_selections");
+  wal_sync_counter_ = metrics_.GetCounter("pmblade.wal.syncs");
+  // Computed gauges. Callbacks run outside the registry lock (see
+  // MetricsRegistry::Snapshot), so locking mu_ here is safe.
+  metrics_.RegisterGaugeCallback("pmblade.io.q_flush", [this] {
+    int q = options_.major.max_io_q;
+    int q_comp = model_->Inflight(IoClass::kCompaction);
+    int q_cli = model_->Inflight(IoClass::kClient);
+    return static_cast<double>(std::max(q - q_comp - q_cli, 0));
+  });
+  metrics_.RegisterGaugeCallback("pmblade.lsm.l0_bytes", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->L0Bytes();
+    return static_cast<double>(total);
+  });
+  metrics_.RegisterGaugeCallback("pmblade.lsm.l1_bytes", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->L1Bytes();
+    return static_cast<double>(total);
+  });
+  metrics_.RegisterGaugeCallback("pmblade.lsm.num_partitions", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(partitions_.size());
+  });
+  metrics_.RegisterGaugeCallback("pmblade.lsm.unsorted_tables", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->unsorted().size();
+    return static_cast<double>(total);
+  });
+  metrics_.RegisterGaugeCallback("pmblade.lsm.sorted_tables", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->sorted_run().size();
+    return static_cast<double>(total);
+  });
+  // Route major-compaction instrumentation through our bus/registry.
+  options_.major.event_bus = &events_;
+  options_.major.metrics = &metrics_;
 
   mem_ = new MemTable(icmp_);
   mem_->Ref();
@@ -389,7 +449,16 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* batch) {
 
   PMBLADE_RETURN_IF_ERROR(wal_->AddRecord(batch->rep()));
   if (options.sync || options_.sync_wal) {
+    const uint64_t sync_start = clock_->NowNanos();
     PMBLADE_RETURN_IF_ERROR(wal_file_->Sync());
+    wal_sync_counter_->Inc();
+    if (events_.active()) {
+      events_.Emit(obs::Event(obs::EventType::kWalSync, clock_->NowNanos())
+                       .With("bytes", static_cast<double>(batch->rep().size()))
+                       .With("duration_nanos", static_cast<double>(
+                                                   clock_->NowNanos() -
+                                                   sync_start)));
+    }
   }
 
   // Partition write/update counters for the cost model. Update detection
@@ -434,6 +503,14 @@ Status DBImpl::FlushMemTable() {
 Status DBImpl::FlushMemTableLocked() {
   if (mem_->num_entries() == 0) return Status::OK();
 
+  const uint64_t flush_start = clock_->NowNanos();
+  if (events_.active()) {
+    events_.Emit(obs::Event(obs::EventType::kFlushBegin, flush_start)
+                     .With("entries", static_cast<double>(mem_->num_entries()))
+                     .With("bytes", static_cast<double>(
+                                        mem_->ApproximateMemoryUsage())));
+  }
+
   imm_ = mem_;
   mem_ = new MemTable(icmp_);
   mem_->Ref();
@@ -471,6 +548,14 @@ Status DBImpl::FlushMemTableLocked() {
   imm_ = nullptr;
   stats_.AddFlush();
 
+  if (events_.active()) {
+    events_.Emit(
+        obs::Event(obs::EventType::kFlushEnd, clock_->NowNanos())
+            .With("tables", static_cast<double>(touched.size()))
+            .With("duration_nanos",
+                  static_cast<double>(clock_->NowNanos() - flush_start)));
+  }
+
   PMBLADE_RETURN_IF_ERROR(PersistManifest());
   env_->RemoveFile(WalFileName(dbname_, old_wal));
 
@@ -487,8 +572,32 @@ Status DBImpl::MaybeScheduleCompactions(
     if (options_.enable_internal_compaction) {
       for (Partition* partition : touched) {
         PartitionCounters counters = partition->Counters();
-        if (cost_model_->ShouldCompactForReads(counters) ||
-            cost_model_->ShouldCompactForWrites(counters)) {
+        CostDecision decision = cost_model_->EvaluateInternal(counters);
+        decision_counter_->Inc();
+        if (decision.eq1_triggered) eq1_trigger_counter_->Inc();
+        if (decision.eq2_triggered) eq2_trigger_counter_->Inc();
+        if (events_.active()) {
+          // Every evaluation is recorded — negative verdicts explain why a
+          // partition was NOT compacted, which matters as much as the
+          // positives when debugging the policy.
+          events_.Emit(
+              obs::Event(obs::EventType::kInternalDecision,
+                         clock_->NowNanos())
+                  .With("partition", static_cast<double>(counters.partition_id))
+                  .With("n_r_hat", counters.reads_per_sec)
+                  .With("n_unsorted",
+                        static_cast<double>(counters.unsorted_tables))
+                  .With("n_w", static_cast<double>(counters.writes))
+                  .With("n_u", static_cast<double>(counters.updates))
+                  .With("size_bytes", static_cast<double>(counters.size_bytes))
+                  .With("eq1_benefit_rate", decision.eq1_benefit_rate)
+                  .With("eq1_cost_rate", decision.eq1_cost_rate)
+                  .With("eq2_ssd_savings", decision.eq2_ssd_savings)
+                  .With("eq2_pm_cost", decision.eq2_pm_cost)
+                  .With("eq1", decision.eq1_triggered ? 1 : 0)
+                  .With("eq2", decision.eq2_triggered ? 1 : 0));
+        }
+        if (decision.triggered()) {
           PMBLADE_RETURN_IF_ERROR(
               RunInternalCompactionOnPartition(partition));
         }
@@ -524,6 +633,10 @@ Status DBImpl::MaybeScheduleCompactions(
           victims.push_back(partitions_[i].get());
         }
       }
+      keep_set_counter_->Inc();
+      if (events_.active()) {
+        EmitKeepSetEvent(all, keep, tau_t, total_l0);
+      }
       if (!victims.empty()) {
         PMBLADE_RETURN_IF_ERROR(RunMajorCompactionOnPartitions(victims));
       }
@@ -557,6 +670,37 @@ Status DBImpl::MaybeScheduleCompactions(
   return Status::OK();
 }
 
+void DBImpl::EmitKeepSetEvent(const std::vector<PartitionCounters>& all,
+                              const std::set<size_t>& keep, uint64_t tau_t,
+                              uint64_t total_l0_bytes) {
+  // Per-partition Eq. 3 scores ride in the detail payload (variable size).
+  std::string detail = "[";
+  char buf[160];
+  for (size_t i = 0; i < all.size(); ++i) {
+    const PartitionCounters& c = all[i];
+    double score = c.size_bytes > 0 ? static_cast<double>(c.reads) /
+                                          static_cast<double>(c.size_bytes)
+                                    : 0.0;
+    snprintf(buf, sizeof(buf),
+             "%s{\"partition\":%llu,\"reads\":%llu,\"size_bytes\":%llu,"
+             "\"score\":%.17g,\"kept\":%s}",
+             i == 0 ? "" : ",", static_cast<unsigned long long>(c.partition_id),
+             static_cast<unsigned long long>(c.reads),
+             static_cast<unsigned long long>(c.size_bytes), score,
+             keep.count(i) != 0 ? "true" : "false");
+    detail += buf;
+  }
+  detail += "]";
+  events_.Emit(
+      obs::Event(obs::EventType::kKeepSetSelected, clock_->NowNanos())
+          .With("partitions", static_cast<double>(all.size()))
+          .With("kept", static_cast<double>(keep.size()))
+          .With("tau_t", static_cast<double>(
+                             tau_t != 0 ? tau_t : options_.cost.tau_t))
+          .With("total_l0_bytes", static_cast<double>(total_l0_bytes))
+          .WithDetail(std::move(detail)));
+}
+
 Status DBImpl::RunInternalCompactionOnPartition(Partition* partition) {
   if (partition->unsorted().empty() && partition->sorted_run().size() <= 1) {
     return Status::OK();
@@ -572,6 +716,8 @@ Status DBImpl::RunInternalCompactionOnPartition(Partition* partition) {
   copts.drop_tombstones = partition->l1_run().empty();
   copts.oldest_snapshot = OldestLiveSnapshot();
   copts.clock = clock_;
+  copts.event_bus = &events_;
+  copts.partition_id = partition->id();
 
   std::vector<L0TableRef> outputs;
   InternalCompactionStats cstats;
@@ -697,11 +843,17 @@ Status DBImpl::CompactToLevel1(bool respect_cost_model) {
   std::set<size_t> keep;
   if (respect_cost_model && options_.enable_cost_model) {
     std::vector<PartitionCounters> all;
+    uint64_t total_l0 = 0;
     for (const auto& partition : partitions_) {
       all.push_back(partition->Counters());
+      total_l0 += partition->L0Bytes();
     }
     std::vector<size_t> retained = cost_model_->SelectRetained(all);
     keep.insert(retained.begin(), retained.end());
+    keep_set_counter_->Inc();
+    if (events_.active()) {
+      EmitKeepSetEvent(all, keep, /*tau_t=*/0, total_l0);
+    }
   }
   std::vector<Partition*> victims;
   for (size_t i = 0; i < partitions_.size(); ++i) {
@@ -916,6 +1068,31 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
     uint64_t total = 0;
     for (const auto& p : partitions_) total += p->sorted_run().size();
     *value = total;
+    return true;
+  }
+  return false;
+}
+
+bool DBImpl::GetProperty(const std::string& property, std::string* value) {
+  // Deliberately does NOT hold mu_: the registry snapshot evaluates gauge
+  // callbacks that lock mu_ themselves.
+  if (property == "pmblade.stats.json") {
+    obs::MetricsSnapshot snapshot = metrics_.Snapshot(clock_->NowNanos());
+    std::vector<obs::Event> events;
+    if (trace_ != nullptr) events = trace_->Snapshot();
+    *value = obs::ExportJson(snapshot, events);
+    return true;
+  }
+  if (property == "pmblade.stats.prometheus") {
+    *value = obs::ExportPrometheus(metrics_.Snapshot(clock_->NowNanos()));
+    return true;
+  }
+  if (property == "pmblade.stats") {
+    *value = stats_.ToString();
+    return true;
+  }
+  if (property == "pmblade.trace.json") {
+    *value = trace_ != nullptr ? trace_->DumpJsonLines() : std::string();
     return true;
   }
   return false;

@@ -25,6 +25,8 @@
 #include "env/sim_env.h"
 #include "memtable/skiplist_memtable.h"
 #include "memtable/wal.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
 #include "sstable/block_cache.h"
 #include "util/bloom.h"
 
@@ -50,6 +52,7 @@ class DBImpl final : public DB {
   const DbStatistics& statistics() const override { return stats_; }
   DbStatistics& statistics() override { return stats_; }
   bool GetProperty(const std::string& property, uint64_t* value) override;
+  bool GetProperty(const std::string& property, std::string* value) override;
 
   // Used by DB::Open.
   Status Init();
@@ -58,6 +61,9 @@ class DBImpl final : public DB {
   PmPool* pm_pool() { return pool_.get(); }
   SsdModel* ssd_model() { return model_; }
   const Options& options() const { return options_; }
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::EventBus* event_bus() { return &events_; }
+  obs::TraceRecorder* trace() { return trace_.get(); }
 
  private:
   friend class DBUserIterator;
@@ -77,6 +83,11 @@ class DBImpl final : public DB {
   Status RunInternalCompactionOnPartition(Partition* partition);
   Status RunMajorCompactionOnPartitions(
       const std::vector<Partition*>& victims);
+  /// Emits a keep_set_selected event carrying the Eq. 3 score of every
+  /// partition (reads/byte) and which side of the knapsack it landed on.
+  void EmitKeepSetEvent(const std::vector<PartitionCounters>& all,
+                        const std::set<size_t>& keep, uint64_t tau_t,
+                        uint64_t total_l0_bytes);
 
   Status PersistManifest();
 
@@ -117,6 +128,20 @@ class DBImpl final : public DB {
   std::multiset<uint64_t> live_snapshots_;
 
   DbStatistics stats_;
+
+  // ---- observability ----
+  // Declared after everything the registered callbacks capture; wired in
+  // Init(). Cached counter pointers keep cost-model accounting off the
+  // registry lock (important: compaction runs under mu_, and taking the
+  // registry lock there would invert the Snapshot callback lock order).
+  obs::MetricsRegistry metrics_;
+  obs::EventBus events_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  obs::Counter* decision_counter_ = nullptr;       // Eq. 1/2 evaluations
+  obs::Counter* eq1_trigger_counter_ = nullptr;
+  obs::Counter* eq2_trigger_counter_ = nullptr;
+  obs::Counter* keep_set_counter_ = nullptr;       // Eq. 3 selections
+  obs::Counter* wal_sync_counter_ = nullptr;
 };
 
 }  // namespace pmblade

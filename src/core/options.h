@@ -75,6 +75,13 @@ struct Options {
   int bloom_bits_per_key = 10;
   size_t block_cache_bytes = 8 << 20;
 
+  // ---- observability ----
+  /// Capacity of the built-in trace ring (the last N engine events kept for
+  /// "pmblade.trace.json" and the stats exporters). 0 disables tracing
+  /// entirely — no listener subscribes, so event emission sites reduce to
+  /// one relaxed atomic load.
+  size_t trace_ring_capacity = 256;
+
   // ---- misc ----
   Logger* logger = nullptr;  // defaults to NullLogger()
   Clock* clock = nullptr;    // defaults to SystemClock()

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace pmblade {
 
 void DbStatistics::Reset() {
@@ -16,10 +18,39 @@ void DbStatistics::Reset() {
   internal_compaction_bytes_out_.store(0);
   major_compactions_.store(0);
   major_compaction_bytes_.store(0);
-  std::lock_guard<std::mutex> lock(mu_);
   get_latency_.Clear();
   put_latency_.Clear();
   scan_latency_.Clear();
+}
+
+void DbStatistics::RegisterWith(obs::MetricsRegistry* registry) {
+  auto counter = [registry](const std::string& name,
+                            const std::atomic<uint64_t>* src) {
+    registry->RegisterCounterCallback(name, [src] { return src->load(); });
+  };
+  counter("pmblade.reads.memtable", &reads_by_source_[0]);
+  counter("pmblade.reads.pm_l0", &reads_by_source_[1]);
+  counter("pmblade.reads.ssd_l1", &reads_by_source_[2]);
+  counter("pmblade.reads.miss", &reads_by_source_[3]);
+  counter("pmblade.writes", &writes_);
+  counter("pmblade.write.user_bytes", &user_bytes_written_);
+  counter("pmblade.scans", &scans_);
+  counter("pmblade.scan.entries", &scan_entries_);
+  counter("pmblade.flush.count", &flushes_);
+  counter("pmblade.compaction.internal.count", &internal_compactions_);
+  counter("pmblade.compaction.internal.bytes_in",
+          &internal_compaction_bytes_in_);
+  counter("pmblade.compaction.internal.bytes_out",
+          &internal_compaction_bytes_out_);
+  counter("pmblade.compaction.major.count", &major_compactions_);
+  counter("pmblade.compaction.major.bytes", &major_compaction_bytes_);
+
+  registry->RegisterHistogramCallback(
+      "pmblade.latency.get", [this] { return get_latency_.Merged(); });
+  registry->RegisterHistogramCallback(
+      "pmblade.latency.put", [this] { return put_latency_.Merged(); });
+  registry->RegisterHistogramCallback(
+      "pmblade.latency.scan", [this] { return scan_latency_.Merged(); });
 }
 
 std::string DbStatistics::ToString() const {

@@ -1,18 +1,27 @@
 // DB-level runtime statistics: operation counts, where reads were served
 // from (memtable / PM level-0 / SSD), latency histograms, and the traffic
 // totals the write-amplification experiments report.
+//
+// Hot-path discipline: counters are relaxed atomics and the latency
+// histograms are sharded per thread (ShardedHistogram), so concurrent
+// readers/writers never serialize on a single statistics mutex. The whole
+// set registers into an obs::MetricsRegistry (RegisterWith) so the
+// observability exporters see these counters without duplicated state.
 
 #ifndef PMBLADE_CORE_STATISTICS_H_
 #define PMBLADE_CORE_STATISTICS_H_
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "util/histogram.h"
 
 namespace pmblade {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Which layer answered a read.
 enum class ReadSource {
@@ -28,19 +37,16 @@ class DbStatistics {
   void RecordRead(ReadSource source, uint64_t latency_nanos) {
     reads_by_source_[static_cast<int>(source)].fetch_add(
         1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
     get_latency_.Add(latency_nanos);
   }
   void RecordWrite(uint64_t bytes, uint64_t latency_nanos) {
     user_bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
     writes_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
     put_latency_.Add(latency_nanos);
   }
   void RecordScan(uint64_t entries, uint64_t latency_nanos) {
     scans_.fetch_add(1, std::memory_order_relaxed);
     scan_entries_.fetch_add(entries, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
     scan_latency_.Add(latency_nanos);
   }
 
@@ -81,18 +87,15 @@ class DbStatistics {
   uint64_t major_compactions() const { return major_compactions_.load(); }
   uint64_t scans() const { return scans_.load(); }
 
-  Histogram GetLatencyHistogram() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return get_latency_;
-  }
-  Histogram PutLatencyHistogram() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return put_latency_;
-  }
-  Histogram ScanLatencyHistogram() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return scan_latency_;
-  }
+  Histogram GetLatencyHistogram() const { return get_latency_.Merged(); }
+  Histogram PutLatencyHistogram() const { return put_latency_.Merged(); }
+  Histogram ScanLatencyHistogram() const { return scan_latency_.Merged(); }
+
+  /// Registers every counter and histogram with `registry` (pull
+  /// callbacks; no state is duplicated). Metric names live under
+  /// "pmblade.reads.*", "pmblade.writes", "pmblade.flush.*",
+  /// "pmblade.compaction.*" and "pmblade.latency.*".
+  void RegisterWith(obs::MetricsRegistry* registry);
 
   void Reset();
   std::string ToString() const;
@@ -110,10 +113,9 @@ class DbStatistics {
   std::atomic<uint64_t> major_compactions_{0};
   std::atomic<uint64_t> major_compaction_bytes_{0};
 
-  mutable std::mutex mu_;
-  Histogram get_latency_;
-  Histogram put_latency_;
-  Histogram scan_latency_;
+  ShardedHistogram get_latency_;
+  ShardedHistogram put_latency_;
+  ShardedHistogram scan_latency_;
 };
 
 }  // namespace pmblade

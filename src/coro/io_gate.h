@@ -14,14 +14,18 @@
 #include <algorithm>
 
 #include "env/ssd_model.h"
+#include "obs/event.h"
 
 namespace pmblade {
 
 class IoGate {
  public:
   /// `max_concurrent` is q; typical value 4-8 depending on the device.
-  IoGate(SsdModel* model, int max_concurrent)
-      : model_(model), q_(max_concurrent) {}
+  /// When `bus` is set (and active), FlushBudget() emits an io_gate_change
+  /// event whenever the computed budget differs from the previous call —
+  /// that is exactly the q_flush trajectory the scheduling policy produces.
+  IoGate(SsdModel* model, int max_concurrent, obs::EventBus* bus = nullptr)
+      : model_(model), q_(max_concurrent), bus_(bus) {}
 
   /// How many additional flush (S3) I/Os may start right now.
   int FlushBudget() const {
@@ -29,7 +33,18 @@ class IoGate {
     int q_cli = model_->Inflight(IoClass::kClient);
     int q_flush_inflight = model_->Inflight(IoClass::kFlush);
     int allowed = std::max(q_ - q_comp - q_cli, 0);
-    return std::max(allowed - q_flush_inflight, 0);
+    int budget = std::max(allowed - q_flush_inflight, 0);
+    if (bus_ != nullptr && budget != last_budget_ && bus_->active()) {
+      bus_->Emit(obs::Event(obs::EventType::kIoGateChange,
+                            model_->clock()->NowNanos())
+                     .With("q", q_)
+                     .With("q_comp", q_comp)
+                     .With("q_cli", q_cli)
+                     .With("q_flush_inflight", q_flush_inflight)
+                     .With("budget", budget));
+    }
+    last_budget_ = budget;
+    return budget;
   }
 
   /// Whether a compaction read (S1) may start (bounded by q overall).
@@ -41,6 +56,8 @@ class IoGate {
  private:
   SsdModel* model_;
   int q_;
+  obs::EventBus* bus_;
+  mutable int last_budget_ = -1;
 };
 
 }  // namespace pmblade

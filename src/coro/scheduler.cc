@@ -38,6 +38,7 @@ void CoroScheduler::Run() {
       const uint64_t slice_start = clock_->NowNanos();
       h.resume();
       cpu_busy_nanos_ += clock_->NowNanos() - slice_start;
+      ++resumes_;
       continue;
     }
 

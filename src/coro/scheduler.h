@@ -49,6 +49,9 @@ class CoroScheduler {
   uint64_t cpu_busy_nanos() const { return cpu_busy_nanos_; }
   /// Wall time of the last Run() call.
   uint64_t wall_nanos() const { return wall_nanos_; }
+  /// Coroutine resume slices executed (cumulative across Run() calls) —
+  /// the context-switch count the observability layer reports.
+  uint64_t resumes() const { return resumes_; }
 
   Clock* clock() const { return clock_; }
 
@@ -132,6 +135,7 @@ class CoroScheduler {
   std::vector<std::coroutine_handle<Task::promise_type>> tasks_;
   uint64_t cpu_busy_nanos_ = 0;
   uint64_t wall_nanos_ = 0;
+  uint64_t resumes_ = 0;
 };
 
 }  // namespace pmblade

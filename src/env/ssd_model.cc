@@ -1,5 +1,8 @@
 #include "env/ssd_model.h"
 
+#include "obs/event.h"
+#include "obs/metrics.h"
+
 namespace pmblade {
 
 SsdModel::SsdModel(const SsdModelOptions& options)
@@ -54,6 +57,24 @@ SsdModel::Ticket SsdModel::BeginIo(bool is_write, size_t bytes,
   inflight_[static_cast<int>(klass)].fetch_add(1, std::memory_order_relaxed);
   NoteBegin();
 
+  obs::EventBus* bus = event_bus_.load(std::memory_order_acquire);
+  if (bus != nullptr) {
+    int depth = queue_before + 1;
+    int high = queue_high_water_.load(std::memory_order_relaxed);
+    // Only new high-water marks emit; the common case is one relaxed load.
+    while (depth > high &&
+           !queue_high_water_.compare_exchange_weak(
+               high, depth, std::memory_order_relaxed)) {
+    }
+    if (depth > high && bus->active()) {
+      bus->Emit(obs::Event(obs::EventType::kSsdQueueDepth, clock_->NowNanos())
+                    .With("depth", depth)
+                    .With("client", Inflight(IoClass::kClient))
+                    .With("compaction", Inflight(IoClass::kCompaction))
+                    .With("flush", Inflight(IoClass::kFlush)));
+    }
+  }
+
   Ticket t;
   t.is_write = is_write;
   t.klass = klass;
@@ -92,12 +113,43 @@ Histogram SsdModel::LatencySnapshot() const {
   return latency_hist_;
 }
 
+void SsdModel::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterCounterCallback("pmblade.ssd.bytes_read",
+                                    [this] { return bytes_read(); });
+  registry->RegisterCounterCallback("pmblade.ssd.bytes_written",
+                                    [this] { return bytes_written(); });
+  registry->RegisterCounterCallback("pmblade.ssd.reads",
+                                    [this] { return reads(); });
+  registry->RegisterCounterCallback("pmblade.ssd.writes",
+                                    [this] { return writes(); });
+  registry->RegisterCounterCallback("pmblade.ssd.service_nanos",
+                                    [this] { return ServiceNanos(); });
+  registry->RegisterCounterCallback("pmblade.ssd.busy_nanos",
+                                    [this] { return BusyNanos(); });
+  registry->RegisterGaugeCallback("pmblade.ssd.inflight.client", [this] {
+    return static_cast<double>(Inflight(IoClass::kClient));
+  });
+  registry->RegisterGaugeCallback("pmblade.ssd.inflight.compaction", [this] {
+    return static_cast<double>(Inflight(IoClass::kCompaction));
+  });
+  registry->RegisterGaugeCallback("pmblade.ssd.inflight.flush", [this] {
+    return static_cast<double>(Inflight(IoClass::kFlush));
+  });
+  registry->RegisterGaugeCallback("pmblade.ssd.queue_high_water", [this] {
+    return static_cast<double>(
+        queue_high_water_.load(std::memory_order_relaxed));
+  });
+  registry->RegisterHistogramCallback("pmblade.ssd.latency_nanos",
+                                      [this] { return LatencySnapshot(); });
+}
+
 void SsdModel::ResetStats() {
   bytes_read_.store(0);
   bytes_written_.store(0);
   reads_.store(0);
   writes_.store(0);
   service_nanos_.store(0);
+  queue_high_water_.store(0);
   std::lock_guard<std::mutex> lock(mu_);
   latency_hist_.Clear();
   busy_nanos_ = 0;

@@ -31,6 +31,11 @@
 
 namespace pmblade {
 
+namespace obs {
+class EventBus;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Who issued the I/O; the coroutine scheduling policy (Section V-C) needs
 /// live counts of compaction I/Os (q_comp) and client I/Os (q_cli).
 enum class IoClass { kClient = 0, kCompaction = 1, kFlush = 2 };
@@ -108,8 +113,21 @@ class SsdModel {
   /// Latency of individual operations (copy under lock).
   Histogram LatencySnapshot() const;
 
-  /// Zeroes counters and the latency histogram (busy-time base included).
+  /// Zeroes counters and the latency histogram (busy-time base included);
+  /// also re-arms the queue-depth high-water mark.
   void ResetStats();
+
+  /// Registers "pmblade.ssd.*" pull metrics (byte/op counters, per-class
+  /// inflight gauges, the op-latency histogram). The model must outlive the
+  /// registry's snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  /// When set (and active), BeginIo emits an ssd_queue_depth event each time
+  /// the total queue depth reaches a new high-water mark — transitions only,
+  /// never per-I/O, so the hot path stays one relaxed load when idle.
+  void set_event_bus(obs::EventBus* bus) {
+    event_bus_.store(bus, std::memory_order_release);
+  }
 
   Clock* clock() const { return clock_; }
   const SsdModelOptions& options() const { return options_; }
@@ -129,6 +147,8 @@ class SsdModel {
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> service_nanos_{0};
+  std::atomic<obs::EventBus*> event_bus_{nullptr};
+  std::atomic<int> queue_high_water_{0};
 
   mutable std::mutex mu_;
   Histogram latency_hist_;       // guarded by mu_

@@ -1,0 +1,45 @@
+// Exporters rendering a MetricsSnapshot (plus recent trace events) as
+// Prometheus text exposition format or a single JSON document, and a small
+// dependency-free JSON validator used by tests and tooling to check the
+// exported documents.
+
+#ifndef PMBLADE_OBS_EXPORTER_H_
+#define PMBLADE_OBS_EXPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+
+namespace pmblade {
+namespace obs {
+
+/// Maps a dotted metric name to a Prometheus-legal one: characters outside
+/// [a-zA-Z0-9_:] become '_' (e.g. "pmblade.reads.memtable" ->
+/// "pmblade_reads_memtable").
+std::string ToPrometheusName(const std::string& name);
+
+/// Prometheus text exposition format, version 0.0.4. Counters and gauges
+/// emit one sample line each; histograms emit cumulative `_bucket` lines
+/// for their non-empty buckets plus `_sum` and `_count`. Every metric gets
+/// a `# TYPE` comment.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// One JSON document:
+///   {"ts":..., "metrics":{"name":value|{histogram}, ...},
+///    "events":[{...}, ...]}
+/// Histogram metrics render via Histogram::ToJson(); `events` is always
+/// present (possibly empty) so consumers can rely on the shape.
+std::string ExportJson(const MetricsSnapshot& snapshot,
+                       const std::vector<Event>& events);
+
+/// Strict structural JSON validation (RFC 8259 grammar; no size limits).
+/// Returns true when `text` is one complete JSON value; on failure sets
+/// `*error_pos` (when non-null) to the byte offset of the first error.
+bool JsonLint(const std::string& text, size_t* error_pos = nullptr);
+
+}  // namespace obs
+}  // namespace pmblade
+
+#endif  // PMBLADE_OBS_EXPORTER_H_

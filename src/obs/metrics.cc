@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+namespace pmblade {
+namespace obs {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricKind::kCounter
+               ? it->second.counter.get()
+               : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricKind::kCounter;
+  entry.counter.reset(new Counter());
+  Counter* raw = entry.counter.get();
+  entries_.emplace(name, std::move(entry));
+  return raw;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricKind::kGauge ? it->second.gauge.get()
+                                                 : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricKind::kGauge;
+  entry.gauge.reset(new Gauge());
+  Gauge* raw = entry.gauge.get();
+  entries_.emplace(name, std::move(entry));
+  return raw;
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricKind::kHistogram
+               ? it->second.histogram.get()
+               : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricKind::kHistogram;
+  entry.histogram.reset(new HistogramMetric());
+  HistogramMetric* raw = entry.histogram.get();
+  entries_.emplace(name, std::move(entry));
+  return raw;
+}
+
+// Register*Callback never destroys previously-created owned instruments:
+// callers may have cached their pointers, so instruments live as long as the
+// registry. A callback takes precedence over a same-name instrument at
+// snapshot time.
+
+void MetricsRegistry::RegisterCounterCallback(const std::string& name,
+                                              std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  entry.kind = MetricKind::kCounter;
+  entry.counter_fn = std::move(fn);
+  entry.gauge_fn = nullptr;
+  entry.histogram_fn = nullptr;
+}
+
+void MetricsRegistry::RegisterGaugeCallback(const std::string& name,
+                                            std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  entry.kind = MetricKind::kGauge;
+  entry.gauge_fn = std::move(fn);
+  entry.counter_fn = nullptr;
+  entry.histogram_fn = nullptr;
+}
+
+void MetricsRegistry::RegisterHistogramCallback(
+    const std::string& name, std::function<Histogram()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  entry.kind = MetricKind::kHistogram;
+  entry.histogram_fn = std::move(fn);
+  entry.counter_fn = nullptr;
+  entry.gauge_fn = nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(uint64_t now_nanos) const {
+  // Phase 1 (registry lock): copy names, kinds, instrument pointers and
+  // callback copies. Phase 2 (no lock): evaluate. Callbacks may acquire
+  // arbitrary unrelated locks (the DB mutex, the SSD model mutex) whose
+  // holders in turn call GetCounter(); evaluating outside the registry lock
+  // keeps the lock graph acyclic. Instruments and entries are never removed,
+  // so the copied pointers stay valid for the registry's lifetime.
+  struct PendingSample {
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const HistogramMetric* histogram = nullptr;
+    std::function<uint64_t()> counter_fn;
+    std::function<double()> gauge_fn;
+    std::function<Histogram()> histogram_fn;
+  };
+
+  MetricsSnapshot snap;
+  snap.taken_at_nanos = now_nanos;
+  std::vector<PendingSample> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.samples.reserve(entries_.size());
+    pending.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      MetricSample sample;
+      sample.name = name;
+      sample.kind = entry.kind;
+      snap.samples.push_back(std::move(sample));
+
+      PendingSample p;
+      p.counter = entry.counter.get();
+      p.gauge = entry.gauge.get();
+      p.histogram = entry.histogram.get();
+      p.counter_fn = entry.counter_fn;
+      p.gauge_fn = entry.gauge_fn;
+      p.histogram_fn = entry.histogram_fn;
+      pending.push_back(std::move(p));
+    }
+  }
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    MetricSample& sample = snap.samples[i];
+    const PendingSample& p = pending[i];
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        sample.value = p.counter_fn
+                           ? static_cast<double>(p.counter_fn())
+                           : static_cast<double>(p.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = p.gauge_fn ? p.gauge_fn()
+                                  : static_cast<double>(p.gauge->Value());
+        break;
+      case MetricKind::kHistogram:
+        sample.hist =
+            p.histogram_fn ? p.histogram_fn() : p.histogram->Snapshot();
+        sample.value = static_cast<double>(sample.hist.count());
+        break;
+    }
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace obs
+}  // namespace pmblade

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
@@ -333,6 +334,31 @@ uint64_t PmPool::FreeBytes() const {
   uint64_t free_bytes = 0;
   for (const auto& [off, size] : free_extents_) free_bytes += size;
   return free_bytes;
+}
+
+void PmPool::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterGaugeCallback("pmblade.pm.capacity_bytes", [this] {
+    return static_cast<double>(capacity());
+  });
+  registry->RegisterGaugeCallback("pmblade.pm.used_bytes", [this] {
+    return static_cast<double>(UsedBytes());
+  });
+  registry->RegisterGaugeCallback("pmblade.pm.free_bytes", [this] {
+    return static_cast<double>(FreeBytes());
+  });
+  registry->RegisterGaugeCallback("pmblade.pm.largest_free_extent", [this] {
+    return static_cast<double>(LargestFreeExtent());
+  });
+  registry->RegisterCounterCallback("pmblade.pm.bytes_read",
+                                    [this] { return stats_.bytes_read(); });
+  registry->RegisterCounterCallback("pmblade.pm.bytes_written", [this] {
+    return stats_.bytes_written();
+  });
+  registry->RegisterCounterCallback("pmblade.pm.read_accesses", [this] {
+    return stats_.read_accesses();
+  });
+  registry->RegisterCounterCallback("pmblade.pm.persists",
+                                    [this] { return stats_.persists(); });
 }
 
 uint64_t PmPool::LargestFreeExtent() const {

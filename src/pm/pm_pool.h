@@ -30,6 +30,10 @@
 
 namespace pmblade {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Timing model for the simulated PM device. Defaults follow the published
 /// Optane DCPMM characteristics: ~300 ns random read (vs ~100 ns DRAM),
 /// ~6 GB/s sequential read and ~2 GB/s write bandwidth per DIMM.
@@ -126,6 +130,12 @@ class PmPool {
   uint64_t LargestFreeExtent() const;
 
   PmStats& stats() { return stats_; }
+
+  /// Registers "pmblade.pm.*" pull metrics: capacity/used/free gauges plus
+  /// the PmStats traffic counters. The pool must outlive the registry's
+  /// snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
   const PmLatencyOptions& latency_options() const { return latency_; }
   /// Enable/disable latency injection at runtime (benches use this to make
   /// load phases fast and measurement phases accurate).

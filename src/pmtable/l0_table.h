@@ -54,9 +54,11 @@ class L0Table {
   /// means newer data and must be consulted first.
   virtual uint64_t id() const = 0;
 
-  /// Releases the underlying storage (PM object or SSD file). Called once,
-  /// when the table leaves the version; outstanding iterators keep the
-  /// in-memory handle alive but the storage is gone afterwards.
+  /// Marks the underlying storage (PM object or SSD file) for release.
+  /// Called once, when the table leaves the version. The actual free is
+  /// deferred to the destructor, i.e. until the last L0TableRef drops, so
+  /// concurrent readers and iterators still holding a ref never observe
+  /// freed storage.
   virtual Status Destroy() = 0;
 };
 

@@ -54,7 +54,13 @@ class PmTable : public L0Table,
   Slice smallest() const override { return smallest_; }
   Slice largest() const override { return largest_; }
   uint64_t id() const override { return id_; }
-  Status Destroy() override { return pool_->Free(id_); }
+  Status Destroy() override {
+    doomed_ = true;
+    return Status::OK();
+  }
+  ~PmTable() override {
+    if (doomed_) pool_->Free(id_);
+  }
 
   uint32_t num_groups() const { return num_groups_; }
   uint32_t num_metas() const { return num_metas_; }
@@ -75,6 +81,7 @@ class PmTable : public L0Table,
 
   PmPool* pool_ = nullptr;
   uint64_t id_ = 0;
+  bool doomed_ = false;  // free the pool object on destruction
   uint64_t size_bytes_ = 0;
   uint32_t num_entries_ = 0;
   uint32_t num_groups_ = 0;

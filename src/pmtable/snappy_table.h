@@ -31,7 +31,13 @@ class SnappyTable : public L0Table,
   Slice smallest() const override { return smallest_; }
   Slice largest() const override { return largest_; }
   uint64_t id() const override { return id_; }
-  Status Destroy() override { return pool_->Free(id_); }
+  Status Destroy() override {
+    doomed_ = true;
+    return Status::OK();
+  }
+  ~SnappyTable() override {
+    if (doomed_) pool_->Free(id_);
+  }
 
   uint32_t group_size() const { return group_size_; }
   uint32_t num_groups() const { return num_groups_; }
@@ -49,6 +55,7 @@ class SnappyTable : public L0Table,
 
   PmPool* pool_ = nullptr;
   uint64_t id_ = 0;
+  bool doomed_ = false;  // free the pool object on destruction
   uint64_t size_bytes_ = 0;
   uint32_t num_entries_ = 0;
   uint32_t num_groups_ = 0;

@@ -65,6 +65,13 @@ Iterator* SsdL0Table::NewIterator() const {
   return new HoldingIterator(shared_from_this(), reader_->NewIterator());
 }
 
-Status SsdL0Table::Destroy() { return env_->RemoveFile(path_); }
+Status SsdL0Table::Destroy() {
+  doomed_ = true;
+  return Status::OK();
+}
+
+SsdL0Table::~SsdL0Table() {
+  if (doomed_) env_->RemoveFile(path_);
+}
 
 }  // namespace pmblade

@@ -31,6 +31,7 @@ class SsdL0Table : public L0Table,
   Slice largest() const override { return largest_; }
   uint64_t id() const override { return id_; }
   Status Destroy() override;
+  ~SsdL0Table() override;
 
   const std::string& path() const { return path_; }
   TableReader* reader() const { return reader_.get(); }
@@ -41,6 +42,7 @@ class SsdL0Table : public L0Table,
   Env* env_ = nullptr;
   std::string path_;
   uint64_t id_ = 0;
+  bool doomed_ = false;  // remove the file on destruction
   uint64_t size_bytes_ = 0;
   uint64_t num_entries_ = 0;
   std::unique_ptr<TableReader> reader_;

@@ -1,6 +1,7 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 namespace pmblade {
@@ -80,6 +81,42 @@ double Histogram::Percentile(double p) const {
   return static_cast<double>(max_);
 }
 
+uint64_t Histogram::BucketLimit(int index) {
+  const auto& limits = Limits();
+  if (index < 0) return 0;
+  if (index >= kNumBuckets) index = kNumBuckets - 1;
+  return limits[index];
+}
+
+std::string Histogram::ToJson() const {
+  std::string out;
+  out.reserve(256);
+  char buf[128];
+  snprintf(buf, sizeof(buf),
+           "{\"count\":%llu,\"sum\":%.17g,\"min\":%llu,\"max\":%llu,"
+           "\"avg\":%.17g",
+           static_cast<unsigned long long>(count_), sum_,
+           static_cast<unsigned long long>(min()),
+           static_cast<unsigned long long>(max_), Average());
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           ",\"p50\":%.17g,\"p95\":%.17g,\"p99\":%.17g,\"p999\":%.17g",
+           Percentile(50), Percentile(95), Percentile(99), Percentile(99.9));
+  out += buf;
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    snprintf(buf, sizeof(buf), "%s[%llu,%llu]", first ? "" : ",",
+             static_cast<unsigned long long>(BucketLimit(i)),
+             static_cast<unsigned long long>(buckets_[i]));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
 std::string Histogram::ToString() const {
   char buf[256];
   snprintf(buf, sizeof(buf),
@@ -88,6 +125,43 @@ std::string Histogram::ToString() const {
            Percentile(50), Percentile(95), Percentile(99), Percentile(99.9),
            static_cast<unsigned long long>(max_));
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedHistogram
+// ---------------------------------------------------------------------------
+
+ShardedHistogram::ShardedHistogram(int num_shards)
+    : num_shards_(num_shards < 1 ? 1 : num_shards),
+      shards_(new Shard[num_shards_]) {}
+
+size_t ShardedHistogram::ThreadSlot() {
+  static std::atomic<size_t> next_slot{0};
+  thread_local size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void ShardedHistogram::Add(uint64_t value) {
+  Shard& shard = shards_[ThreadSlot() % num_shards_];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.hist.Add(value);
+}
+
+Histogram ShardedHistogram::Merged() const {
+  Histogram merged;
+  for (int i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    merged.Merge(shards_[i].hist);
+  }
+  return merged;
+}
+
+void ShardedHistogram::Clear() {
+  for (int i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].hist.Clear();
+  }
 }
 
 }  // namespace pmblade

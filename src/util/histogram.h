@@ -6,6 +6,8 @@
 #define PMBLADE_UTIL_HISTOGRAM_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,9 +39,19 @@ class Histogram {
   /// One-line summary "count=... avg=... p50=... p99=... p999=... max=...".
   std::string ToString() const;
 
- private:
+  /// JSON object: {"count":..,"sum":..,"min":..,"max":..,"avg":..,"p50":..,
+  /// "p95":..,"p99":..,"p999":..,"buckets":[[upper_bound,count],...]} with
+  /// only the non-empty buckets listed.
+  std::string ToJson() const;
+
   static constexpr int kNumBuckets = 154;
 
+  /// Inclusive upper bound of bucket `index` (the exporters need the bucket
+  /// boundaries to emit cumulative Prometheus buckets).
+  static uint64_t BucketLimit(int index);
+  uint64_t bucket_count(int index) const { return buckets_[index]; }
+
+ private:
   int BucketFor(uint64_t value) const;
 
   uint64_t count_;
@@ -47,6 +59,37 @@ class Histogram {
   uint64_t min_;
   uint64_t max_;
   std::vector<uint64_t> buckets_;
+};
+
+/// A histogram striped over several independently locked shards so that
+/// concurrent writers on different threads do not serialize on one mutex.
+/// Each thread hashes to a fixed shard; Merged() combines all shards into a
+/// point-in-time copy. Replaces the "global mutex + shared Histogram"
+/// pattern on the DB read/write hot paths.
+class ShardedHistogram {
+ public:
+  static constexpr int kDefaultShards = 16;
+
+  explicit ShardedHistogram(int num_shards = kDefaultShards);
+
+  /// Thread-safe; takes only the calling thread's shard lock.
+  void Add(uint64_t value);
+  /// Point-in-time merge of every shard.
+  Histogram Merged() const;
+  void Clear();
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    Histogram hist;
+  };
+
+  static size_t ThreadSlot();
+
+  int num_shards_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace pmblade

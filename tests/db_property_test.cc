@@ -6,13 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 
 #include "core/db.h"
 #include "core/db_impl.h"
 #include "core/version.h"
+#include "obs/event.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "pmtable/pm_table_builder.h"
 #include "util/random.h"
 
@@ -372,6 +378,230 @@ TEST(DbRetentionTest, HotPartitionStaysInPmAfterMajorCompaction) {
       << "cold partition should have moved to the SSD";
   db.reset();
   DestroyDB(options, dbname);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: string-property exporters (pmblade.stats.json /
+// pmblade.stats.prometheus / pmblade.trace.json) after real engine activity.
+// ---------------------------------------------------------------------------
+
+class DbObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dbname_ = ::testing::TempDir() + "pmblade_obs_prop_test";
+    options_ = Options();
+    DestroyDB(options_, dbname_);
+    options_.memtable_bytes = 32 << 10;
+    options_.pm_pool_capacity = 64 << 20;
+    options_.pm_latency.inject_latency = false;
+    options_.cost.tau_m = 2 << 20;
+    // Keep-set budget below any partition's size: CompactToLevel1 always
+    // has victims, so the workload reliably reaches SSD level-1.
+    options_.cost.tau_t = 1 << 10;
+    options_.cost.tau_w = 64 << 10;
+    options_.partition_boundaries = {"key25", "key5", "key75"};
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options_, dbname_, &db).ok());
+    db_ = std::move(db);
+  }
+  void TearDown() override {
+    db_.reset();
+    DestroyDB(options_, dbname_);
+  }
+
+  // Drives the engine through >= 1 flush, >= 1 internal compaction (via the
+  // cost-model decision path and the forced path) and >= 1 major
+  // compaction, with reads from memtable, PM level-0 and SSD level-1.
+  void RunWorkload() {
+    Random rnd(17);
+    std::string value(128, 'v');
+    for (int round = 0; round < 6; ++round) {
+      for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(db_->Put(WriteOptions(),
+                             "key" + std::to_string(rnd.Uniform(400)), value)
+                        .ok());
+      }
+      ASSERT_TRUE(db_->FlushMemTable().ok());
+      std::string out;
+      for (int i = 0; i < 20; ++i) {
+        (void)db_->Get(ReadOptions(), "key" + std::to_string(i), &out);
+      }
+    }
+    ASSERT_TRUE(db_->CompactLevel0().ok());            // internal, forced
+    ASSERT_TRUE(db_->CompactToLevel1(true).ok());      // major + Eq. 3
+    std::string out;
+    for (int i = 0; i < 20; ++i) {
+      (void)db_->Get(ReadOptions(), "key" + std::to_string(i), &out);
+    }
+  }
+
+  // Value of "name":<number> in a flat JSON metrics map, or -1.
+  static double MetricValue(const std::string& json, const std::string& name) {
+    std::string needle = "\"" + name + "\":";
+    size_t pos = json.find(needle);
+    if (pos == std::string::npos) return -1;
+    return strtod(json.c_str() + pos + needle.size(), nullptr);
+  }
+
+  std::string dbname_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbObservabilityTest, StatsJsonCoversAcceptanceCriteria) {
+  RunWorkload();
+  std::string json;
+  ASSERT_TRUE(db_->GetProperty("pmblade.stats.json", &json));
+  size_t pos = 0;
+  ASSERT_TRUE(obs::JsonLint(json, &pos))
+      << "error at " << pos << " in " << json.substr(0, 200);
+
+  // Per-source read counts: the workload read from the memtable, PM L0 and
+  // (after major compaction) SSD L1.
+  ASSERT_GE(MetricValue(json, "pmblade.reads.memtable"), 0.0);
+  ASSERT_GT(MetricValue(json, "pmblade.reads.pm_l0"), 0.0);
+  ASSERT_GT(MetricValue(json, "pmblade.reads.ssd_l1"), 0.0);
+  ASSERT_GE(MetricValue(json, "pmblade.reads.miss"), 0.0);
+
+  // Flush / compaction activity.
+  ASSERT_GE(MetricValue(json, "pmblade.flush.count"), 6.0);
+  ASSERT_GT(MetricValue(json, "pmblade.compaction.internal.count"), 0.0);
+  ASSERT_GT(MetricValue(json, "pmblade.compaction.major.count"), 0.0);
+
+  // Eq. 1/Eq. 2 evaluations happened (one per touched partition per flush)
+  // and the Eq. 3 keep-set ran.
+  ASSERT_GT(MetricValue(json, "pmblade.cost.decisions"), 0.0);
+  ASSERT_GE(MetricValue(json, "pmblade.cost.keep_set_selections"), 1.0);
+
+  // The q_flush gauge is exported (idle engine => full budget, >= 0).
+  ASSERT_GE(MetricValue(json, "pmblade.io.q_flush"), 0.0);
+
+  // At least one internal_decision event with its Eq. 1/Eq. 2 inputs rode
+  // along in the trace.
+  ASSERT_NE(json.find("\"internal_decision\""), std::string::npos);
+  ASSERT_NE(json.find("\"n_r_hat\""), std::string::npos);
+  ASSERT_NE(json.find("\"eq1_benefit_rate\""), std::string::npos);
+  ASSERT_NE(json.find("\"eq2_ssd_savings\""), std::string::npos);
+}
+
+TEST_F(DbObservabilityTest, PrometheusDumpIsLineParseable) {
+  RunWorkload();
+  std::string text;
+  ASSERT_TRUE(db_->GetProperty("pmblade.stats.prometheus", &text));
+  ASSERT_FALSE(text.empty());
+
+  std::stringstream ss(text);
+  std::string line;
+  int samples = 0;
+  std::set<std::string> typed;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      ASSERT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      std::stringstream ts(line.substr(7));
+      std::string name, kind;
+      ts >> name >> kind;
+      ASSERT_TRUE(kind == "counter" || kind == "gauge" ||
+                  kind == "histogram")
+          << line;
+      typed.insert(name);
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    strtod(line.c_str() + space + 1, &end);
+    ASSERT_EQ(*end, '\0') << line;
+    ++samples;
+  }
+  ASSERT_GT(samples, 0);
+  // One # TYPE per registered metric.
+  auto* impl = static_cast<DBImpl*>(db_.get());
+  ASSERT_EQ(typed.size(), impl->metrics()->NumMetrics());
+  ASSERT_TRUE(typed.count("pmblade_reads_pm_l0")) << text.substr(0, 400);
+  ASSERT_TRUE(typed.count("pmblade_io_q_flush"));
+}
+
+TEST_F(DbObservabilityTest, TraceJsonLinesEachValid) {
+  RunWorkload();
+  std::string dump;
+  ASSERT_TRUE(db_->GetProperty("pmblade.trace.json", &dump));
+  ASSERT_FALSE(dump.empty());
+  std::stringstream ss(dump);
+  std::string line;
+  int lines = 0;
+  std::set<std::string> types;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    size_t pos = 0;
+    ASSERT_TRUE(obs::JsonLint(line, &pos)) << line << " error at " << pos;
+    size_t tpos = line.find("\"type\":\"");
+    ASSERT_NE(tpos, std::string::npos) << line;
+    tpos += strlen("\"type\":\"");
+    types.insert(line.substr(tpos, line.find('"', tpos) - tpos));
+    ++lines;
+  }
+  ASSERT_GT(lines, 0);
+  // The workload exercises the full event vocabulary minus splits.
+  ASSERT_TRUE(types.count("flush_begin"));
+  ASSERT_TRUE(types.count("flush_end"));
+  ASSERT_TRUE(types.count("internal_decision"));
+  ASSERT_TRUE(types.count("major_compaction_begin"));
+}
+
+TEST_F(DbObservabilityTest, DecisionCountersAfterForcedInternalCompaction) {
+  auto* impl = static_cast<DBImpl*>(db_.get());
+  std::string value(128, 'v');
+  // Several flushes so MaybeScheduleCompactions evaluates Eqs. 1-2.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 150; ++i) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), "key" + std::to_string(i), value)
+                      .ok());
+    }
+    ASSERT_TRUE(db_->FlushMemTable().ok());
+  }
+  ASSERT_TRUE(db_->CompactLevel0().ok());
+
+  obs::MetricsSnapshot snap = impl->metrics()->Snapshot();
+  const obs::MetricSample* decisions = snap.Find("pmblade.cost.decisions");
+  ASSERT_NE(decisions, nullptr);
+  ASSERT_GT(decisions->value, 0.0);
+  const obs::MetricSample* internal =
+      snap.Find("pmblade.compaction.internal.count");
+  ASSERT_NE(internal, nullptr);
+  ASSERT_GT(internal->value, 0.0);
+  // Trigger counters never exceed evaluations.
+  const obs::MetricSample* eq1 = snap.Find("pmblade.cost.eq1_triggered");
+  const obs::MetricSample* eq2 = snap.Find("pmblade.cost.eq2_triggered");
+  ASSERT_NE(eq1, nullptr);
+  ASSERT_NE(eq2, nullptr);
+  ASSERT_LE(eq1->value, decisions->value);
+  ASSERT_LE(eq2->value, decisions->value);
+}
+
+TEST_F(DbObservabilityTest, UnknownStringPropertyReturnsFalse) {
+  std::string out = "untouched";
+  ASSERT_FALSE(db_->GetProperty("pmblade.no.such.property", &out));
+  ASSERT_EQ(out, "untouched");
+}
+
+TEST_F(DbObservabilityTest, TracingDisabledWithZeroRingCapacity) {
+  db_.reset();
+  DestroyDB(options_, dbname_);
+  options_.trace_ring_capacity = 0;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options_, dbname_, &db).ok());
+  db_ = std::move(db);
+  ASSERT_TRUE(db_->Put(WriteOptions(), "key1", "v").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  std::string dump;
+  ASSERT_TRUE(db_->GetProperty("pmblade.trace.json", &dump));
+  ASSERT_TRUE(dump.empty());
+  // Metrics still work without the trace ring.
+  std::string json;
+  ASSERT_TRUE(db_->GetProperty("pmblade.stats.json", &json));
+  ASSERT_TRUE(obs::JsonLint(json));
+  ASSERT_NE(json.find("\"events\":[]"), std::string::npos);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 #include <vector>
@@ -278,6 +280,70 @@ TEST(HistogramTest, ClearResets) {
   h.Clear();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+// Pull a numeric field out of a flat JSON object: ..."key":<number>...
+double JsonField(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  if (pos == std::string::npos) return -1;
+  return strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+TEST(HistogramTest, ToJsonRoundTripsSummaryStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  std::string json = h.ToJson();
+  EXPECT_EQ(JsonField(json, "count"), 100.0);
+  EXPECT_EQ(JsonField(json, "sum"), h.sum());
+  EXPECT_EQ(JsonField(json, "min"), 1.0);
+  EXPECT_EQ(JsonField(json, "max"), 100.0);
+  EXPECT_DOUBLE_EQ(JsonField(json, "avg"), 50.5);
+  EXPECT_NEAR(JsonField(json, "p50"), h.Percentile(50), 1e-6);
+  EXPECT_NEAR(JsonField(json, "p99"), h.Percentile(99), 1e-6);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
+TEST(HistogramTest, ToJsonBucketsMatchCounts) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1);
+  h.Add(1000000);
+  std::string json = h.ToJson();
+  // Only non-empty buckets appear; their counts sum to count().
+  size_t pos = json.find("\"buckets\":[");
+  ASSERT_NE(pos, std::string::npos) << json;
+  uint64_t total = 0;
+  int buckets = 0;
+  pos += strlen("\"buckets\":[");
+  while (json[pos] == '[') {
+    const char* p = json.c_str() + pos + 1;
+    char* end = nullptr;
+    uint64_t limit = strtoull(p, &end, 10);
+    ASSERT_EQ(*end, ',') << json.substr(pos, 40);
+    uint64_t count = strtoull(end + 1, &end, 10);
+    ASSERT_EQ(*end, ']') << json.substr(pos, 40);
+    EXPECT_GT(count, 0u);
+    EXPECT_GT(limit, 0u);
+    total += count;
+    ++buckets;
+    pos = (end - json.c_str()) + 1;
+    if (json[pos] == ',') ++pos;
+  }
+  EXPECT_EQ(json[pos], ']');
+  EXPECT_EQ(buckets, 2);
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(HistogramTest, ToJsonEmptyHistogram) {
+  Histogram h;
+  std::string json = h.ToJson();
+  EXPECT_EQ(JsonField(json, "count"), 0.0);
+  EXPECT_EQ(JsonField(json, "min"), 0.0);
+  EXPECT_EQ(JsonField(json, "max"), 0.0);
+  EXPECT_NE(json.find("\"buckets\":[]"), std::string::npos);
 }
 
 TEST(ArenaTest, AllocatesUsableMemory) {

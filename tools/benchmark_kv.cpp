@@ -7,6 +7,10 @@
 //                [--benchmarks=fillseq,readrandom,...]
 //                [--num=N] [--value_size=B] [--zipf=THETA]
 //                [--scan_length=N] [--inject_latency=true|false]
+//                [--stats_dump=json|prometheus|both]
+//
+// --stats_dump prints the pmblade engine's full observability snapshot
+// (metrics registry + recent trace events) after the benchmark list runs.
 //
 // Benchmarks:
 //   fillseq      sequential inserts            fillrandom  random inserts
@@ -253,6 +257,34 @@ int main(int argc, char** argv) {
   std::string name;
   while (std::getline(ss, name, ',')) {
     if (!name.empty()) RunBenchmark(&ctx, name);
+  }
+
+  // --stats_dump: after all benchmarks, dump the observability snapshot of
+  // the pmblade engine ("json", "prometheus", or "both").
+  std::string stats_dump = flags.Str("stats_dump", "");
+  if (!stats_dump.empty()) {
+    DB* db = env.pmblade_db();
+    if (db == nullptr) {
+      fprintf(stderr, "--stats_dump: engine '%s' has no stats exporter\n",
+              engine_name.c_str());
+      return 1;
+    }
+    std::string dump;
+    if (stats_dump == "json" || stats_dump == "both") {
+      if (db->GetProperty("pmblade.stats.json", &dump)) {
+        printf("%s\n", dump.c_str());
+      }
+    }
+    if (stats_dump == "prometheus" || stats_dump == "both") {
+      if (db->GetProperty("pmblade.stats.prometheus", &dump)) {
+        printf("%s", dump.c_str());
+      }
+    }
+    if (stats_dump != "json" && stats_dump != "prometheus" &&
+        stats_dump != "both") {
+      fprintf(stderr, "--stats_dump expects json|prometheus|both\n");
+      return 1;
+    }
   }
   return 0;
 }
