@@ -85,6 +85,12 @@ DBImpl::~DBImpl() {
   // The SSD model may be caller-owned and outlive this DB; detach our bus
   // before it dies.
   if (model_ != nullptr) model_->set_event_bus(nullptr);
+  // Drain the background flush before tearing anything down (the job takes
+  // mu_ itself, so wait without holding it).
+  if (flush_pool_ != nullptr) {
+    flush_pool_->Wait();
+    flush_pool_.reset();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (wal_file_ != nullptr) wal_file_->Close();
   if (mem_ != nullptr) mem_->Unref();
@@ -167,6 +173,29 @@ Status DBImpl::Init() {
   eq2_trigger_counter_ = metrics_.GetCounter("pmblade.cost.eq2_triggered");
   keep_set_counter_ = metrics_.GetCounter("pmblade.cost.keep_set_selections");
   wal_sync_counter_ = metrics_.GetCounter("pmblade.wal.syncs");
+  // Write-pipeline instruments: group-commit amortization and backpressure.
+  group_counter_ = metrics_.GetCounter("pmblade.write.groups");
+  group_write_counter_ = metrics_.GetCounter("pmblade.write.group_writes");
+  group_size_hist_ = metrics_.GetHistogram("pmblade.write.group_size");
+  slowdown_counter_ = metrics_.GetCounter("pmblade.write.slowdowns");
+  stall_counter_ = metrics_.GetCounter("pmblade.write.stalls");
+  stall_nanos_counter_ = metrics_.GetCounter("pmblade.write.stall_nanos");
+  bg_flush_counter_ = metrics_.GetCounter("pmblade.flush.bg_flushes");
+  metrics_.RegisterGaugeCallback("pmblade.write.writes_per_sync", [this] {
+    uint64_t syncs = wal_sync_counter_->Value();
+    if (syncs == 0) return 0.0;
+    return static_cast<double>(group_write_counter_->Value()) /
+           static_cast<double>(syncs);
+  });
+  metrics_.RegisterGaugeCallback("pmblade.flush.queue_depth", [this] {
+    return flush_pool_ != nullptr
+               ? static_cast<double>(flush_pool_->PendingTasks())
+               : 0.0;
+  });
+  metrics_.RegisterGaugeCallback("pmblade.write.queue_depth", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(writers_.size());
+  });
   // Computed gauges. Callbacks run outside the registry lock (see
   // MetricsRegistry::Snapshot), so locking mu_ here is safe.
   metrics_.RegisterGaugeCallback("pmblade.io.q_flush", [this] {
@@ -209,6 +238,7 @@ Status DBImpl::Init() {
 
   mem_ = new MemTable(icmp_);
   mem_->Ref();
+  flush_pool_.reset(new ThreadPool(1));
 
   // Recover or bootstrap.
   ManifestState state;
@@ -218,7 +248,7 @@ Status DBImpl::Init() {
     last_sequence_ = state.last_sequence;
     PMBLADE_RETURN_IF_ERROR(RecoverPartitions(state));
     if (state.wal_number != 0) {
-      PMBLADE_RETURN_IF_ERROR(ReplayWal(state.wal_number));
+      PMBLADE_RETURN_IF_ERROR(ReplayWals(state.wal_number));
     }
   } else if (s.IsNotFound()) {
     // Fresh DB: create partitions from the configured boundaries.
@@ -235,6 +265,7 @@ Status DBImpl::Init() {
   }
 
   PMBLADE_RETURN_IF_ERROR(NewWal());
+  live_wals_.push_back(wal_number_);
   return PersistManifest();
 }
 
@@ -349,12 +380,28 @@ Status DBImpl::RecoverPartitions(const ManifestState& state) {
   return Status::OK();
 }
 
-Status DBImpl::ReplayWal(uint64_t wal_number) {
-  const std::string fname = WalFileName(dbname_, wal_number);
-  if (!env_->FileExists(fname)) return Status::OK();
-
-  std::unique_ptr<SequentialFile> file;
-  PMBLADE_RETURN_IF_ERROR(env_->NewSequentialFile(fname, &file));
+Status DBImpl::ReplayWals(uint64_t floor) {
+  // The manifest's wal number is a FLOOR: every log >= it may hold
+  // acknowledged writes not yet in level-0 tables (with a background flush
+  // in flight there can be several — the imm_'s logs plus the active one).
+  // Replay them all, ascending, so a crash mid-flush loses nothing; logs
+  // below the floor were flushed before the last manifest commit and are
+  // garbage-collected here.
+  std::vector<uint64_t> numbers;
+  std::vector<std::string> children;
+  PMBLADE_RETURN_IF_ERROR(env_->GetChildren(dbname_, &children));
+  for (const auto& child : children) {
+    if (child.size() > 8 && child.compare(0, 4, "wal-") == 0 &&
+        child.compare(child.size() - 4, 4, ".log") == 0) {
+      uint64_t number = strtoull(child.c_str() + 4, nullptr, 10);
+      if (number < floor) {
+        env_->RemoveFile(dbname_ + "/" + child);
+      } else {
+        numbers.push_back(number);
+      }
+    }
+  }
+  std::sort(numbers.begin(), numbers.end());
 
   struct LogReporter : wal::Reader::Reporter {
     Logger* logger;
@@ -365,33 +412,41 @@ Status DBImpl::ReplayWal(uint64_t wal_number) {
   } reporter;
   reporter.logger = options_.logger;
 
-  wal::Reader reader(file.get(), &reporter);
-  Slice record;
-  std::string scratch;
-  while (reader.ReadRecord(&record, &scratch)) {
-    if (record.size() < 12) continue;
-    WriteBatch batch;
-    batch.SetContentsFrom(record);
-    Status s = batch.InsertInto(mem_);
-    if (!s.ok()) return s;
-    SequenceNumber end_seq = batch.Sequence() + batch.Count() - 1;
-    if (end_seq > last_sequence_) last_sequence_ = end_seq;
+  for (uint64_t number : numbers) {
+    std::unique_ptr<SequentialFile> file;
+    PMBLADE_RETURN_IF_ERROR(
+        env_->NewSequentialFile(WalFileName(dbname_, number), &file));
+    wal::Reader reader(file.get(), &reporter);
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      if (record.size() < 12) continue;
+      WriteBatch batch;
+      batch.SetContentsFrom(record);
+      Status s = batch.InsertInto(mem_);
+      if (!s.ok()) return s;
+      SequenceNumber end_seq = batch.Sequence() + batch.Count() - 1;
+      if (end_seq > last_sequence_) last_sequence_ = end_seq;
+    }
+    // The replayed log stays live (and in the manifest's floor) until the
+    // recovered memtable is flushed; deleting it before then would lose the
+    // data on a second crash.
+    live_wals_.push_back(number);
   }
-  // The recovered memtable will be flushed on the normal triggers; the old
-  // WAL is deleted once a new one exists and the manifest points at it.
   return Status::OK();
 }
 
 Status DBImpl::NewWal() {
-  uint64_t old_number = wal_number_;
-  wal_number_ = l1_factory_->NextFileNumber();
+  // Only called from a write-leader context (or Init), so no append can be
+  // racing the rotation. Old logs are deleted when their flush commits.
+  uint64_t new_number = l1_factory_->NextFileNumber();
   std::unique_ptr<WritableFile> file;
   PMBLADE_RETURN_IF_ERROR(
-      env_->NewWritableFile(WalFileName(dbname_, wal_number_), &file));
+      env_->NewWritableFile(WalFileName(dbname_, new_number), &file));
   if (wal_file_ != nullptr) wal_file_->Close();
+  wal_number_ = new_number;
   wal_file_ = std::move(file);
   wal_.reset(new wal::Writer(wal_file_.get()));
-  (void)old_number;  // deleted by the caller after the manifest commits
   return Status::OK();
 }
 
@@ -399,7 +454,8 @@ Status DBImpl::PersistManifest() {
   ManifestState state;
   state.next_file_number = l1_factory_->peek_next_file_number();
   state.last_sequence = last_sequence_;
-  state.wal_number = wal_number_;
+  // Replay floor: the oldest log still holding un-flushed data.
+  state.wal_number = live_wals_.empty() ? wal_number_ : live_wals_.front();
   for (const auto& partition : partitions_) {
     ManifestPartition mp;
     mp.id = partition->id();
@@ -439,41 +495,161 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
   return Write(options, &batch);
 }
 
-Status DBImpl::Write(const WriteOptions& options, WriteBatch* batch) {
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   const uint64_t start = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(mu_);
-  PMBLADE_RETURN_IF_ERROR(MakeRoomForWrite());
+  WriterState w(updates, options.sync || options_.sync_wal);
 
-  batch->SetSequence(last_sequence_ + 1);
-  last_sequence_ += batch->Count();
-
-  PMBLADE_RETURN_IF_ERROR(wal_->AddRecord(batch->rep()));
-  if (options.sync || options_.sync_wal) {
-    const uint64_t sync_start = clock_->NowNanos();
-    PMBLADE_RETURN_IF_ERROR(wal_file_->Sync());
-    wal_sync_counter_->Inc();
-    if (events_.active()) {
-      events_.Emit(obs::Event(obs::EventType::kWalSync, clock_->NowNanos())
-                       .With("bytes", static_cast<double>(batch->rep().size()))
-                       .With("duration_nanos", static_cast<double>(
-                                                   clock_->NowNanos() -
-                                                   sync_start)));
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(lock);
+  }
+  if (w.done) {
+    // A leader committed this write as part of its group.
+    if (updates != nullptr) {
+      stats_.RecordWrite(updates->ApproximateSize(),
+                         clock_->NowNanos() - start);
     }
+    return w.status;
   }
 
+  // This thread is the group leader: it owns the WAL and the memtable until
+  // it pops itself off the queue, which is what makes the unlocked section
+  // below single-writer.
+  Status status = MakeRoomForWrite(lock, /*force=*/updates == nullptr);
+  SequenceNumber last_sequence = last_sequence_;
+  WriterState* last_writer = &w;
+  if (status.ok() && updates != nullptr) {
+    bool group_sync = false;
+    size_t group_members = 0;
+    WriteBatch* group = BuildBatchGroup(&last_writer, &group_sync,
+                                        &group_members);
+    group->SetSequence(last_sequence + 1);
+    last_sequence += group->Count();
+
+    MemTable* mem = mem_;
+    bool sync_error = false;
+    {
+      // WAL append, ONE fsync for the whole group, Eq. 2 probes and the
+      // memtable insert all run outside mu_: readers and queueing writers
+      // proceed concurrently.
+      lock.unlock();
+      status = wal_->AddRecord(group->rep());
+      if (status.ok() && group_sync) {
+        const uint64_t sync_start = clock_->NowNanos();
+        status = wal_file_->Sync();
+        if (!status.ok()) {
+          sync_error = true;
+        } else {
+          wal_sync_counter_->Inc();
+          if (events_.active()) {
+            events_.Emit(
+                obs::Event(obs::EventType::kWalSync, clock_->NowNanos())
+                    .With("bytes", static_cast<double>(group->rep().size()))
+                    .With("writes", static_cast<double>(group_members))
+                    .With("duration_nanos",
+                          static_cast<double>(clock_->NowNanos() -
+                                              sync_start)));
+          }
+        }
+      }
+      if (status.ok()) {
+        NoteGroupWrites(*group, mem);
+        status = group->InsertInto(mem);
+      }
+      lock.lock();
+    }
+    if (sync_error) {
+      // The durability state of the WAL tail is unknown; fail every
+      // subsequent write rather than acknowledge on a broken log.
+      bg_error_ = status;
+    }
+    if (status.ok()) {
+      // Publish the group's sequences only now that every entry is in the
+      // memtable: a reader snapshotting last_sequence_ can never observe a
+      // torn group.
+      last_sequence_ = last_sequence;
+      group_counter_->Inc();
+      group_write_counter_->Inc(group_members);
+      group_size_hist_->Observe(group_members);
+    }
+    if (group == &group_batch_) group_batch_.Clear();
+  }
+
+  // Wake everyone the group covered (they return with the group status) and
+  // promote the next queued writer to leader.
+  while (true) {
+    WriterState* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+
+  if (updates != nullptr) {
+    stats_.RecordWrite(updates->ApproximateSize(),
+                       clock_->NowNanos() - start);
+  }
+  return status;
+}
+
+WriteBatch* DBImpl::BuildBatchGroup(WriterState** last_writer, bool* sync,
+                                    size_t* num_members) {
+  WriterState* first = writers_.front();
+  WriteBatch* result = first->batch;
+  size_t size = result->ApproximateSize();
+  *sync = first->sync;
+  *last_writer = first;
+  *num_members = 1;
+
+  // Cap the group: never past the configured bound, and tighter when the
+  // leader itself is small so tiny writes aren't delayed behind megabytes
+  // of followers.
+  size_t max_size = options_.write_group_max_bytes;
+  if (size <= (128 << 10) && size + (128 << 10) < max_size) {
+    max_size = size + (128 << 10);
+  }
+
+  for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+    WriterState* candidate = *it;
+    // A force-flush marker must lead its own turn; stop coalescing there.
+    if (candidate->batch == nullptr) break;
+    if (size + candidate->batch->ApproximateSize() > max_size) break;
+    if (result == first->batch) {
+      // Switch to the scratch batch; the leader's own batch is untouched.
+      group_batch_.Clear();
+      group_batch_.Append(*result);
+      result = &group_batch_;
+    }
+    group_batch_.Append(*candidate->batch);
+    size += candidate->batch->ApproximateSize();
+    // One fsync covers the whole group: any member that wants durability
+    // upgrades everyone (the satellite cost is zero — see Options docs).
+    *sync |= candidate->sync;
+    *last_writer = candidate;
+    ++*num_members;
+  }
+  return result;
+}
+
+void DBImpl::NoteGroupWrites(const WriteBatch& group, MemTable* mem) {
   // Partition write/update counters for the cost model. Update detection
-  // probes only the memtable (cheap, DRAM): hot keys rewritten within a
-  // memtable window are what Eq. 2 cares about.
+  // probes only the memtable (cheap, DRAM, no value copy): hot keys
+  // rewritten within a memtable window are what Eq. 2 cares about. Runs in
+  // the unlocked leader section BEFORE the group is inserted, so the probe
+  // sees only prior writes.
   struct CounterHandler : WriteBatch::Handler {
     DBImpl* db;
+    MemTable* mem;
     void Put(const Slice& key, const Slice&) override {
       Partition* p = db->FindPartition(key);
       if (p == nullptr) return;
-      std::string unused;
-      Status st;
       LookupKey lkey(key, kMaxSequenceNumber);
-      bool is_update = db->mem_->Get(lkey, &unused, &st);
-      p->NoteWrite(is_update);
+      p->NoteWrite(mem->Contains(lkey));
     }
     void Delete(const Slice& key) override {
       Partition* p = db->FindPartition(key);
@@ -481,49 +657,85 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* batch) {
     }
   } handler;
   handler.db = this;
-  PMBLADE_RETURN_IF_ERROR(batch->Iterate(&handler));
-
-  PMBLADE_RETURN_IF_ERROR(batch->InsertInto(mem_));
-  stats_.RecordWrite(batch->ApproximateSize(), clock_->NowNanos() - start);
-  return Status::OK();
+  handler.mem = mem;
+  (void)group.Iterate(&handler);  // we built the group; it cannot be malformed
 }
 
-Status DBImpl::MakeRoomForWrite() {
-  if (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
-    return FlushMemTableLocked();
+Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
+                                bool force) {
+  bool allow_delay = !force;
+  while (true) {
+    if (!bg_error_.ok()) return bg_error_;
+    const size_t usage = mem_->ApproximateMemoryUsage();
+    if (allow_delay && imm_ != nullptr &&
+        usage >= static_cast<size_t>(options_.memtable_bytes *
+                                     options_.write_slowdown_watermark)) {
+      // Soft limit: the flush is behind. Delay this write once by ~1 ms to
+      // shed load gradually instead of hitting the hard stall cliff.
+      slowdown_counter_->Inc();
+      lock.unlock();
+      clock_->SleepForNanos(options_.write_slowdown_nanos);
+      lock.lock();
+      allow_delay = false;
+      continue;
+    }
+    if (!force && usage < options_.memtable_bytes) break;
+    if (imm_ != nullptr) {
+      // Hard stall: both memtables are full; wait for the background flush.
+      stall_counter_->Inc();
+      const uint64_t stall_start = clock_->NowNanos();
+      flush_done_cv_.wait(lock, [this] {
+        return imm_ == nullptr || !bg_error_.ok();
+      });
+      stall_nanos_counter_->Inc(clock_->NowNanos() - stall_start);
+      continue;
+    }
+    if (mem_->num_entries() == 0) break;  // nothing to rotate
+    PMBLADE_RETURN_IF_ERROR(SwitchMemTableLocked());
+    force = false;
   }
   return Status::OK();
 }
 
-Status DBImpl::FlushMemTable() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushMemTableLocked();
+Status DBImpl::SwitchMemTableLocked() {
+  // MakeRoomForWrite guarantees imm_ == nullptr here.
+  std::vector<uint64_t> feeding = live_wals_;
+  PMBLADE_RETURN_IF_ERROR(NewWal());
+  live_wals_.push_back(wal_number_);
+  imm_wals_ = std::move(feeding);
+  imm_ = mem_;
+  mem_ = new MemTable(icmp_);
+  mem_->Ref();
+  flush_pool_->Submit([this] { BackgroundFlush(); });
+  return Status::OK();
 }
 
-Status DBImpl::FlushMemTableLocked() {
-  if (mem_->num_entries() == 0) return Status::OK();
+void DBImpl::BackgroundFlush() {
+  MemTable* imm;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    imm = imm_;
+  }
+  if (imm == nullptr) return;
 
   const uint64_t flush_start = clock_->NowNanos();
   if (events_.active()) {
     events_.Emit(obs::Event(obs::EventType::kFlushBegin, flush_start)
-                     .With("entries", static_cast<double>(mem_->num_entries()))
+                     .With("entries", static_cast<double>(imm->num_entries()))
                      .With("bytes", static_cast<double>(
-                                        mem_->ApproximateMemoryUsage())));
+                                        imm->ApproximateMemoryUsage())));
   }
-
-  imm_ = mem_;
-  mem_ = new MemTable(icmp_);
-  mem_->Ref();
-  uint64_t old_wal = wal_number_;
-  PMBLADE_RETURN_IF_ERROR(NewWal());
 
   L0TableFactory* factory =
       l0_factory_ != nullptr ? l0_factory_.get() : l1_factory_.get();
 
-  // Slice the immutable memtable into per-partition level-0 tables.
-  std::vector<Partition*> touched;
-  std::unique_ptr<Iterator> it(imm_->NewIterator());
+  // Build per-partition level-0 tables WITHOUT the DB mutex: imm is frozen,
+  // partition boundaries are immutable after Init, and the factory / PM
+  // pool are internally synchronized. Readers and writers proceed.
+  std::vector<std::pair<Partition*, L0TableRef>> built;
+  std::unique_ptr<Iterator> it(imm->NewIterator());
   it->SeekToFirst();
+  Status s;
   for (auto& partition : partitions_) {
     if (!it->Valid()) break;
     // Skip partitions before the iterator's position.
@@ -534,32 +746,74 @@ Status DBImpl::FlushMemTableLocked() {
     }
     BoundedIterator bounded(it.get(), partition->end_key());
     L0TableRef table;
-    PMBLADE_RETURN_IF_ERROR(factory->BuildFrom(&bounded, &table));
-    if (table != nullptr) {
-      // Newest first.
-      partition->unsorted().insert(partition->unsorted().begin(), table);
-      touched.push_back(partition.get());
-    }
+    s = factory->BuildFrom(&bounded, &table);
+    if (!s.ok()) break;
+    if (table != nullptr) built.emplace_back(partition.get(), std::move(table));
   }
-  PMBLADE_RETURN_IF_ERROR(it->status());
+  if (s.ok()) s = it->status();
   it.reset();
 
-  imm_->Unref();
-  imm_ = nullptr;
-  stats_.AddFlush();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (s.ok()) {
+    // Install under a short critical section: newest first per partition.
+    std::vector<Partition*> touched;
+    for (auto& entry : built) {
+      entry.first->unsorted().insert(entry.first->unsorted().begin(),
+                                     entry.second);
+      touched.push_back(entry.first);
+    }
+    imm_->Unref();
+    imm_ = nullptr;
+    stats_.AddFlush();
+    bg_flush_counter_->Inc();
 
-  if (events_.active()) {
-    events_.Emit(
-        obs::Event(obs::EventType::kFlushEnd, clock_->NowNanos())
-            .With("tables", static_cast<double>(touched.size()))
-            .With("duration_nanos",
-                  static_cast<double>(clock_->NowNanos() - flush_start)));
+    // The flushed memtable's logs are now redundant: advance the replay
+    // floor, commit the manifest, then delete them.
+    std::vector<uint64_t> flushed = std::move(imm_wals_);
+    imm_wals_.clear();
+    for (uint64_t number : flushed) {
+      live_wals_.erase(
+          std::remove(live_wals_.begin(), live_wals_.end(), number),
+          live_wals_.end());
+    }
+    s = PersistManifest();
+    if (s.ok()) {
+      for (uint64_t number : flushed) {
+        env_->RemoveFile(WalFileName(dbname_, number));
+      }
+    }
+    if (events_.active()) {
+      events_.Emit(
+          obs::Event(obs::EventType::kFlushEnd, clock_->NowNanos())
+              .With("tables", static_cast<double>(touched.size()))
+              .With("duration_nanos",
+                    static_cast<double>(clock_->NowNanos() - flush_start)));
+    }
+    // Algorithm 1 runs here on the background thread, off the write path.
+    if (s.ok()) s = MaybeScheduleCompactions(touched);
+  } else {
+    // Failed build: drop partial outputs. imm_ stays installed for reads
+    // and its data remains recoverable from the still-live WALs.
+    for (auto& entry : built) entry.second->Destroy();
   }
+  if (!s.ok()) {
+    bg_error_ = s;
+    PMBLADE_WARN(options_.logger, "background flush failed: %s",
+                 s.ToString().c_str());
+  }
+  flush_done_cv_.notify_all();
+}
 
-  PMBLADE_RETURN_IF_ERROR(PersistManifest());
-  env_->RemoveFile(WalFileName(dbname_, old_wal));
-
-  return MaybeScheduleCompactions(touched);
+Status DBImpl::FlushMemTable() {
+  // Rotate the memtable through the writer queue (a batch-less marker) so
+  // WAL rotation stays leader-exclusive, then wait for the background
+  // flush to commit.
+  PMBLADE_RETURN_IF_ERROR(Write(WriteOptions(), nullptr));
+  std::unique_lock<std::mutex> lock(mu_);
+  flush_done_cv_.wait(lock, [this] {
+    return imm_ == nullptr || !bg_error_.ok();
+  });
+  return bg_error_;
 }
 
 // ---------------------------------------------------------------------------
@@ -837,8 +1091,10 @@ Status DBImpl::CompactLevel0() {
 }
 
 Status DBImpl::CompactToLevel1(bool respect_cost_model) {
+  // Drain the memtable through the normal (queued, background) flush path
+  // before taking the lock for the L0 -> L1 move.
+  PMBLADE_RETURN_IF_ERROR(FlushMemTable());
   std::lock_guard<std::mutex> lock(mu_);
-  PMBLADE_RETURN_IF_ERROR(FlushMemTableLocked());
 
   std::set<size_t> keep;
   if (respect_cost_model && options_.enable_cost_model) {
@@ -900,6 +1156,9 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   std::vector<L0TableRef> sorted;
   std::vector<L0TableRef> l1;
   {
+    // Brief version grab: ref the memtables and copy the table refs, then
+    // probe everything lock-free. A flush or group commit in flight never
+    // blocks a reader past this block.
     std::lock_guard<std::mutex> lock(mu_);
     snapshot = options.snapshot != 0 ? options.snapshot : last_sequence_;
     mem = mem_;
@@ -1037,6 +1296,35 @@ void DBImpl::ReleaseSnapshot(uint64_t snapshot) {
 // ---------------------------------------------------------------------------
 
 bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
+  // Counter-backed properties first: they are atomic and need no lock.
+  if (property == "pmblade.wal-syncs") {
+    *value = wal_sync_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.write-groups") {
+    *value = group_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.write-group-writes") {
+    *value = group_write_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.write-slowdowns") {
+    *value = slowdown_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.write-stalls") {
+    *value = stall_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.write-stall-nanos") {
+    *value = stall_nanos_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.bg-flushes") {
+    *value = bg_flush_counter_->Value();
+    return true;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (property == "pmblade.l0-bytes") {
     uint64_t total = 0;

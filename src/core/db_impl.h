@@ -1,13 +1,30 @@
 // DBImpl: the engine behind pmblade::DB.
 //
-// Threading model: writes are serialized by the DB mutex; flush and
-// compaction run inline on the triggering writer (the paper's write-stall
-// behaviour emerges naturally), while the major-compaction engine
-// parallelizes internally with its own worker threads + coroutines.
+// Threading model (the concurrent write pipeline):
+//   * Writes go through a leader/follower writer queue. The front writer
+//     (leader) coalesces pending batches into one group, appends it to the
+//     WAL, fsyncs ONCE if any member asked for durability, and inserts into
+//     the memtable — all OUTSIDE the DB mutex (queue order makes the
+//     WAL/memtable section single-writer). Sequence visibility is published
+//     under the mutex only after the whole group is in the memtable, so
+//     readers never observe a torn group.
+//   * Memtable flush runs on a background thread: MakeRoomForWrite switches
+//     mem_ -> imm_ and schedules the PM-table build on a one-thread pool;
+//     writers are backpressured (slowdown, then hard stall) instead of
+//     building tables inline. Flush completion installs the level-0 tables
+//     under a short critical section and then runs the Eq. 1/2/3 compaction
+//     triggers on the same background thread.
+//   * Readers grab {mem, imm, partition table refs, snapshot} under a brief
+//     mutex hold and probe everything lock-free afterwards, so a flush in
+//     flight never blocks a Get.
+//   * The major-compaction engine additionally parallelizes internally with
+//     its own worker threads + coroutines.
 
 #ifndef PMBLADE_CORE_DB_IMPL_H_
 #define PMBLADE_CORE_DB_IMPL_H_
 
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,6 +46,7 @@
 #include "obs/metrics.h"
 #include "sstable/block_cache.h"
 #include "util/bloom.h"
+#include "util/thread_pool.h"
 
 namespace pmblade {
 
@@ -70,14 +88,43 @@ class DBImpl final : public DB {
 
   struct RecordedRead;
 
+  /// One queued write (stack-allocated in Write). batch == nullptr is a
+  /// force-flush marker: the leader only rotates the memtable.
+  struct WriterState {
+    explicit WriterState(WriteBatch* b, bool s) : batch(b), sync(s) {}
+    WriteBatch* batch;
+    bool sync;
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
   // ---- startup ----
   Status RecoverPartitions(const ManifestState& state);
-  Status ReplayWal(uint64_t wal_number);
+  /// Replays every WAL file numbered >= `floor` (ascending) into mem_ and
+  /// garbage-collects older, already-flushed logs.
+  Status ReplayWals(uint64_t floor);
   Status NewWal();
 
-  // ---- write path (mutex held unless noted) ----
-  Status MakeRoomForWrite();
-  Status FlushMemTableLocked();
+  // ---- write path ----
+  /// Leader-only; mu_ held (released while sleeping/stalling). Ensures the
+  /// active memtable has room, switching it out + scheduling a background
+  /// flush when full (or `force`), applying slowdown/stop backpressure.
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force);
+  /// mu_ held, imm_ == nullptr: mem_ -> imm_, new WAL, schedule the flush.
+  Status SwitchMemTableLocked();
+  /// Coalesces writers_ [front, ...] into one batch; *sync becomes the OR
+  /// of every member's sync flag, *num_members the group width. mu_ held.
+  WriteBatch* BuildBatchGroup(WriterState** last_writer, bool* sync,
+                              size_t* num_members);
+  /// Runs on flush_pool_: builds per-partition L0 tables from imm_ without
+  /// the mutex, installs them + commits the manifest under it, then runs
+  /// the compaction triggers.
+  void BackgroundFlush();
+  /// Eq. 2 update-detection counters for one commit group; runs in the
+  /// unlocked leader section BEFORE the group is inserted into `mem`.
+  void NoteGroupWrites(const WriteBatch& group, MemTable* mem);
+
   /// Runs Algorithm 1 for the partitions touched by the last flush.
   Status MaybeScheduleCompactions(const std::vector<Partition*>& touched);
   Status RunInternalCompactionOnPartition(Partition* partition);
@@ -116,11 +163,29 @@ class DBImpl final : public DB {
 
   std::mutex mu_;
   MemTable* mem_ = nullptr;
-  MemTable* imm_ = nullptr;  // only during flush (inline), else nullptr
+  MemTable* imm_ = nullptr;  // being flushed in the background, else nullptr
   std::unique_ptr<WritableFile> wal_file_;
   std::unique_ptr<wal::Writer> wal_;
   uint64_t wal_number_ = 0;
+  /// WAL numbers (ascending) whose data is not yet durable in level-0
+  /// tables. The manifest records the front; recovery replays every log
+  /// >= it. With a background flush in flight there are up to two entries
+  /// beyond the active log (the imm_'s logs await their flush commit).
+  std::vector<uint64_t> live_wals_;
+  /// The subset of live_wals_ feeding imm_; deleted when its flush commits.
+  std::vector<uint64_t> imm_wals_;
   SequenceNumber last_sequence_ = 0;
+
+  // Writer queue (group commit). The front writer is the leader; only it
+  // touches the WAL and memtable, which is what makes the unlocked commit
+  // section safe.
+  std::deque<WriterState*> writers_;
+  WriteBatch group_batch_;  // leader scratch for coalesced groups
+
+  // Background flush.
+  std::unique_ptr<ThreadPool> flush_pool_;  // one thread
+  std::condition_variable flush_done_cv_;   // imm_ drained / bg error
+  Status bg_error_;                          // sticky fatal background error
 
   std::vector<std::unique_ptr<Partition>> partitions_;  // ascending ranges
   uint64_t next_partition_id_ = 1;
@@ -142,6 +207,14 @@ class DBImpl final : public DB {
   obs::Counter* eq2_trigger_counter_ = nullptr;
   obs::Counter* keep_set_counter_ = nullptr;       // Eq. 3 selections
   obs::Counter* wal_sync_counter_ = nullptr;
+  // Write-pipeline instruments.
+  obs::Counter* group_counter_ = nullptr;          // commit groups
+  obs::Counter* group_write_counter_ = nullptr;    // writes committed in them
+  obs::HistogramMetric* group_size_hist_ = nullptr;
+  obs::Counter* slowdown_counter_ = nullptr;
+  obs::Counter* stall_counter_ = nullptr;
+  obs::Counter* stall_nanos_counter_ = nullptr;
+  obs::Counter* bg_flush_counter_ = nullptr;
 };
 
 }  // namespace pmblade

@@ -13,6 +13,13 @@ Status Options::Sanitize() {
   if (pm_pool_capacity < (1 << 20)) {
     return Status::InvalidArgument("pm_pool_capacity must be >= 1 MiB");
   }
+  if (write_group_max_bytes < 4096) {
+    return Status::InvalidArgument("write_group_max_bytes must be >= 4096");
+  }
+  if (write_slowdown_watermark <= 0.0 || write_slowdown_watermark > 1.0) {
+    return Status::InvalidArgument(
+        "write_slowdown_watermark must be in (0, 1]");
+  }
   for (size_t i = 1; i < partition_boundaries.size(); ++i) {
     if (partition_boundaries[i - 1] >= partition_boundaries[i]) {
       return Status::InvalidArgument(

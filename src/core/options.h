@@ -44,7 +44,26 @@ struct Options {
 
   // ---- write path ----
   size_t memtable_bytes = 4 << 20;
+  /// Sync the WAL on every write (same effect as WriteOptions::sync on each
+  /// write). Group-commit durability semantics: writers are committed in
+  /// leader-coalesced groups, and a group containing ANY synced write (this
+  /// flag or WriteOptions::sync) performs a single fsync covering the whole
+  /// group — unsynced writes that ride in a synced group therefore get
+  /// durability for free, and N concurrent synced writers cost far fewer
+  /// than N fsyncs.
   bool sync_wal = false;
+  /// Upper bound on one group-commit batch (the leader stops coalescing
+  /// follower batches past this many WAL bytes). Small writes are capped
+  /// tighter (128 KiB + own size) so a tiny write is never stuck behind a
+  /// megabyte of followers.
+  size_t write_group_max_bytes = 1 << 20;
+  /// Backpressure (slowdown-then-stop). When a background flush is still
+  /// running and the active memtable has filled past
+  /// `write_slowdown_watermark * memtable_bytes`, each write is delayed
+  /// once by `write_slowdown_nanos`; when the memtable is FULL and the
+  /// flush has not finished, writers hard-stall until it does.
+  double write_slowdown_watermark = 0.875;
+  uint64_t write_slowdown_nanos = 1000000;  // 1 ms
 
   // ---- partitioning ----
   /// Interior user-key boundaries splitting the keyspace into
@@ -103,7 +122,9 @@ struct ReadOptions {
 
 struct WriteOptions {
   /// Sync the WAL before acknowledging (overrides Options::sync_wal when
-  /// true).
+  /// true). Under group commit the fsync is amortized: the commit group this
+  /// write lands in syncs once, covering every member (see
+  /// Options::sync_wal for the full semantics).
   bool sync = false;
 };
 

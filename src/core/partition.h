@@ -11,6 +11,7 @@
 #ifndef PMBLADE_CORE_PARTITION_H_
 #define PMBLADE_CORE_PARTITION_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,10 +63,13 @@ class Partition {
   }
 
   // ---- cost-model counters ----
-  void NoteRead() { ++reads_; }
+  // Lock-free: readers bump NoteRead under the DB mutex, but the group-commit
+  // leader runs NoteWrite outside it (the Eq. 2 probe happens in the
+  // unlocked WAL/memtable section of the write pipeline).
+  void NoteRead() { reads_.fetch_add(1, std::memory_order_relaxed); }
   void NoteWrite(bool is_update) {
-    ++writes_;
-    if (is_update) ++updates_;
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    if (is_update) updates_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Snapshot of counters in the cost model's shape.
@@ -75,21 +79,22 @@ class Partition {
     counters.unsorted_tables = static_cast<uint32_t>(unsorted_.size());
     counters.sorted_tables = static_cast<uint32_t>(sorted_run_.size());
     counters.size_bytes = L0Bytes();
-    counters.reads = reads_;
-    counters.writes = writes_;
-    counters.updates = updates_;
+    counters.reads = reads_.load(std::memory_order_relaxed);
+    counters.writes = writes_.load(std::memory_order_relaxed);
+    counters.updates = updates_.load(std::memory_order_relaxed);
     uint64_t elapsed = clock_->NowNanos() - counter_epoch_nanos_;
     counters.reads_per_sec =
-        elapsed > 0 ? static_cast<double>(reads_) * 1e9 / elapsed : 0.0;
+        elapsed > 0 ? static_cast<double>(counters.reads) * 1e9 / elapsed
+                    : 0.0;
     return counters;
   }
 
   /// Called after any compaction touches this partition ("re-zeroed when a
   /// major compaction or internal compaction occurs").
   void ResetCounters() {
-    reads_ = 0;
-    writes_ = 0;
-    updates_ = 0;
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    updates_.store(0, std::memory_order_relaxed);
     counter_epoch_nanos_ = clock_->NowNanos();
   }
 
@@ -103,9 +108,9 @@ class Partition {
   std::vector<L0TableRef> sorted_run_; // ascending key order
   std::vector<L0TableRef> l1_run_;     // ascending key order
 
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  uint64_t updates_ = 0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> updates_{0};
   uint64_t counter_epoch_nanos_;
 };
 

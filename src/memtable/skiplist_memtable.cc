@@ -178,6 +178,15 @@ bool MemTable::Get(const LookupKey& lkey, std::string* value, Status* s) {
   return true;
 }
 
+bool MemTable::Contains(const LookupKey& lkey) const {
+  Node* node = FindGreaterOrEqual(lkey.internal_key(), nullptr);
+  if (node == nullptr) return false;
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(EntryKey(node), &parsed)) return false;
+  return comparator_.user_comparator()->Compare(parsed.user_key,
+                                                lkey.user_key()) == 0;
+}
+
 class MemTable::Iter final : public Iterator {
  public:
   explicit Iter(MemTable* mem) : mem_(mem) { mem_->Ref(); }

@@ -39,6 +39,11 @@ class MemTable {
   /// memtable has an answer: value (s OK) or tombstone (s NotFound).
   bool Get(const LookupKey& key, std::string* value, Status* s);
 
+  /// Existence-only probe: true if this memtable has any entry (value or
+  /// tombstone) for `key`'s user key at its snapshot. No value copy — the
+  /// write path's update-detection counters (Eq. 2) use this on every Put.
+  bool Contains(const LookupKey& key) const;
+
   /// Iterator over internal-key entries, newest version of each user key
   /// first. key() is the encoded internal key.
   Iterator* NewIterator();

@@ -23,6 +23,12 @@ void WriteBatch::Delete(const Slice& key) {
   PutLengthPrefixedSlice(&rep_, key);
 }
 
+void WriteBatch::Append(const WriteBatch& other) {
+  if (other.Count() == 0) return;
+  EncodeFixed32(rep_.data() + 8, Count() + other.Count());
+  rep_.append(other.rep_.data() + kHeader, other.rep_.size() - kHeader);
+}
+
 uint32_t WriteBatch::Count() const { return DecodeFixed32(rep_.data() + 8); }
 
 SequenceNumber WriteBatch::Sequence() const {

@@ -22,6 +22,11 @@ class WriteBatch {
   void Delete(const Slice& key);
   void Clear();
 
+  /// Appends all of `other`'s operations to this batch (group commit:
+  /// the leader coalesces follower batches into one WAL record). The
+  /// sequence header of `other` is ignored.
+  void Append(const WriteBatch& other);
+
   /// Number of operations in the batch.
   uint32_t Count() const;
 

@@ -27,6 +27,11 @@ void ThreadPool::Submit(std::function<void()> fn) {
   work_cv_.notify_one();
 }
 
+size_t ThreadPool::PendingTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + static_cast<size_t>(active_);
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });

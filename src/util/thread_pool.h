@@ -27,12 +27,15 @@ class ThreadPool {
   /// Blocks until all submitted work has finished.
   void Wait();
 
+  /// Tasks queued or currently executing (flush-queue-depth gauge).
+  size_t PendingTasks() const;
+
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::deque<std::function<void()>> queue_;

@@ -7,6 +7,7 @@
 //                [--benchmarks=fillseq,readrandom,...]
 //                [--num=N] [--value_size=B] [--zipf=THETA]
 //                [--scan_length=N] [--inject_latency=true|false]
+//                [--writers=N] [--sync_writes=true|false]
 //                [--stats_dump=json|prometheus|both]
 //
 // --stats_dump prints the pmblade engine's full observability snapshot
@@ -20,12 +21,17 @@
 //   indexfill    insert rows into a record table (+3 index tables)
 //   indexquery   secondary-index queries (scan + verify + point reads)
 //   mixed        50/50 zipfian read/update
+//   write_scaling concurrent-writer sweep (1..--writers threads of random
+//                puts, sync per --sync_writes); reopens the engine fresh per
+//                point and emits BENCH_write_scaling.json
 //   flush        force a memtable flush        compact     force L0->L1
 //   stats        print engine statistics
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "benchutil/reporter.h"
 #include "benchutil/runner.h"
@@ -46,6 +52,8 @@ struct Context {
   size_t value_size = 256;
   double zipf = 0.99;
   int scan_length = 50;
+  int writers = 1;
+  bool sync_writes = false;
   Clock* clock = SystemClock();
 };
 
@@ -67,6 +75,109 @@ void Report(const char* name, uint64_t ops, uint64_t nanos,
       exit(1);                                                   \
     }                                                            \
   } while (0)
+
+// Concurrent-writer sweep: 1, 2, 4, ... up to --writers threads of random
+// puts (sync per --sync_writes). Each point reopens the engine fresh so the
+// points are independent, then reads the group-commit counters to report
+// how well the WAL syncs amortized. Emits BENCH_write_scaling.json.
+void RunWriteScaling(Context* ctx) {
+  std::vector<int> points;
+  for (int t = 1; t < ctx->writers; t *= 2) points.push_back(t);
+  if (ctx->writers >= 1) points.push_back(ctx->writers);
+
+  TablePrinter table({"writers", "ops/sec", "p99(us)", "groups",
+                      "writes/group", "fsyncs", "fsyncs/write"});
+  std::string json = "[\n";
+
+  for (size_t pi = 0; pi < points.size(); ++pi) {
+    const int threads = points[pi];
+    KvEngine* engine = nullptr;
+    Status s = ctx->env->OpenEngine(ctx->env->config(), &engine);
+    if (!s.ok()) {
+      fprintf(stderr, "write_scaling reopen: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+    ctx->engine = engine;
+    DB* db = ctx->env->pmblade_db();
+
+    KeySpec spec;
+    spec.num_keys = ctx->num;
+    KeyGenerator keys(spec);
+    ValueGenerator values(ctx->value_size);
+    const uint64_t per_thread = ctx->num / threads;
+
+    Histogram latency;
+    std::mutex merge_mu;
+    const uint64_t start = ctx->clock->NowNanos();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Random rng(301 + t);
+        Histogram local;
+        WriteOptions wopts;
+        wopts.sync = ctx->sync_writes;
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          uint64_t k = rng.Uniform(ctx->num);
+          uint64_t t0 = ctx->clock->NowNanos();
+          if (db != nullptr) {
+            RUN_OP(db->Put(wopts, keys.KeyAt(k), values.For(k)));
+          } else {
+            RUN_OP(ctx->engine->Put(keys.KeyAt(k), values.For(k)));
+          }
+          local.Add(ctx->clock->NowNanos() - t0);
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        latency.Merge(local);
+      });
+    }
+    for (auto& w : workers) w.join();
+    const uint64_t nanos = ctx->clock->NowNanos() - start;
+
+    const uint64_t ops = per_thread * threads;
+    const double ops_per_sec = nanos > 0 ? ops * 1e9 / nanos : 0;
+    const double p99_us = latency.Percentile(99) / 1000.0;
+    uint64_t syncs = 0, groups = 0, group_writes = 0;
+    if (db != nullptr) {
+      db->GetProperty("pmblade.wal-syncs", &syncs);
+      db->GetProperty("pmblade.write-groups", &groups);
+      db->GetProperty("pmblade.write-group-writes", &group_writes);
+    }
+    const double writes_per_group =
+        groups > 0 ? static_cast<double>(group_writes) / groups : 0;
+    const double fsyncs_per_write =
+        ops > 0 ? static_cast<double>(syncs) / ops : 0;
+
+    char row[96];
+    snprintf(row, sizeof(row), "%d writers", threads);
+    Report(row, ops, nanos, latency);
+    table.AddRow({std::to_string(threads), TablePrinter::Fmt(ops_per_sec, 0),
+                  TablePrinter::Fmt(p99_us, 1), std::to_string(groups),
+                  TablePrinter::Fmt(writes_per_group, 2),
+                  std::to_string(syncs),
+                  TablePrinter::Fmt(fsyncs_per_write, 3)});
+
+    char point[256];
+    snprintf(point, sizeof(point),
+             "  {\"writers\": %d, \"ops\": %llu, \"ops_per_sec\": %.0f, "
+             "\"p99_us\": %.2f, \"groups\": %llu, \"writes_per_group\": "
+             "%.2f, \"fsyncs\": %llu, \"fsyncs_per_write\": %.4f}%s\n",
+             threads, static_cast<unsigned long long>(ops), ops_per_sec,
+             p99_us, static_cast<unsigned long long>(groups),
+             writes_per_group, static_cast<unsigned long long>(syncs),
+             fsyncs_per_write, pi + 1 < points.size() ? "," : "");
+    json += point;
+  }
+  json += "]\n";
+
+  table.Print("write_scaling (sync=" +
+              std::string(ctx->sync_writes ? "true" : "false") + ")");
+  FILE* out = fopen("BENCH_write_scaling.json", "w");
+  if (out != nullptr) {
+    fputs(json.c_str(), out);
+    fclose(out);
+    printf("wrote BENCH_write_scaling.json\n");
+  }
+}
 
 void RunBenchmark(Context* ctx, const std::string& name) {
   KeySpec spec;
@@ -179,6 +290,9 @@ void RunBenchmark(Context* ctx, const std::string& name) {
             [&] { RUN_OP(ctx->engine->Put(keys.KeyAt(k), values.For(k))); });
       }
     }
+  } else if (name == "write_scaling") {
+    RunWriteScaling(ctx);
+    return;
   } else if (name == "flush") {
     timed([&] { RUN_OP(ctx->engine->Flush()); });
   } else if (name == "compact") {
@@ -228,6 +342,9 @@ int main(int argc, char** argv) {
   ctx.value_size = flags.Int("value_size", 256);
   ctx.zipf = flags.Double("zipf", 0.99);
   ctx.scan_length = static_cast<int>(flags.Int("scan_length", 50));
+  ctx.writers = static_cast<int>(flags.Int("writers", 1));
+  if (ctx.writers < 1) ctx.writers = 1;
+  ctx.sync_writes = flags.Bool("sync_writes", false);
 
   BenchEnvOptions eopts;
   eopts.root = flags.Str("db", "/tmp/pmblade_benchmark_kv");
