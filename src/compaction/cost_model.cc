@@ -27,15 +27,21 @@ CostDecision CostModel::EvaluateInternal(const PartitionCounters& p) const {
 uint64_t CostModel::AdaptiveTauT(uint64_t reads, uint64_t writes,
                                  double max_factor) const {
   if (max_factor < 1.0) max_factor = 1.0;
-  uint64_t total = reads + writes;
-  if (total == 0) return params_.tau_t;
+  // Sum in double: these counters accumulate for the process lifetime, and
+  // reads + writes in uint64 wraps for counters past 2^63 — a write-heavy
+  // mix would then read as read-dominated and inflate τ_t.
+  double total = static_cast<double>(reads) + static_cast<double>(writes);
+  if (total == 0.0) return params_.tau_t;
   double read_share = static_cast<double>(reads) / total;
   // Linear ramp: read_share <= 0.5 -> 1.0x; read_share = 1.0 -> max_factor.
   double scale = 1.0;
   if (read_share > 0.5) {
     scale = 1.0 + (read_share - 0.5) * 2.0 * (max_factor - 1.0);
   }
-  return static_cast<uint64_t>(params_.tau_t * scale);
+  double scaled = static_cast<double>(params_.tau_t) * scale;
+  // Casting a double above 2^64 to uint64_t is undefined; saturate instead.
+  if (scaled >= 18446744073709551615.0) return UINT64_MAX;
+  return static_cast<uint64_t>(scaled);
 }
 
 std::vector<size_t> CostModel::SelectRetained(
@@ -63,7 +69,10 @@ std::vector<size_t> CostModel::SelectRetained(
   uint64_t used = 0;
   for (size_t idx : order) {
     uint64_t s = partitions[idx].size_bytes;
-    if (used + s <= budget) {
+    // used <= budget always holds, so budget - used cannot underflow; the
+    // naive `used + s <= budget` wraps when s is near UINT64_MAX and would
+    // admit a partition far over budget.
+    if (s <= budget - used) {
       retained.push_back(idx);
       used += s;
     }

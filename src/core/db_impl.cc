@@ -9,6 +9,7 @@
 #include "pmtable/snappy_table.h"
 #include "sstable/ssd_l0_table.h"
 #include "util/coding.h"
+#include "util/sync_point.h"
 
 namespace pmblade {
 
@@ -264,6 +265,17 @@ Status DBImpl::Init() {
     return s;
   }
 
+  // The manifest's next_file_number can be STALE: logs rotated after the
+  // last manifest commit carry numbers at or above it. Allocating from the
+  // stale counter would hand NewWal() the number of a replayed live log and
+  // O_TRUNC it — the replayed data would then exist only in DRAM until the
+  // next flush. Bump past every replayed log before allocating anything.
+  for (uint64_t number : live_wals_) {
+    if (number >= l1_factory_->peek_next_file_number()) {
+      l1_factory_->set_next_file_number(number + 1);
+    }
+  }
+
   PMBLADE_RETURN_IF_ERROR(NewWal());
   live_wals_.push_back(wal_number_);
   return PersistManifest();
@@ -443,7 +455,15 @@ Status DBImpl::NewWal() {
   std::unique_ptr<WritableFile> file;
   PMBLADE_RETURN_IF_ERROR(
       env_->NewWritableFile(WalFileName(dbname_, new_number), &file));
-  if (wal_file_ != nullptr) wal_file_->Close();
+  if (wal_file_ != nullptr) {
+    // Sync the rotated-out log before abandoning it. Sync writes only ever
+    // fsync the CURRENT wal, yet a sync ack promises durability for the
+    // whole write history — any unsynced tail left behind here would be
+    // covered by that promise but dropped by a power cut.
+    PMBLADE_RETURN_IF_ERROR(wal_file_->Sync());
+    PMBLADE_SYNC_POINT("DBImpl::NewWal:OldWalSynced");
+    wal_file_->Close();
+  }
   wal_number_ = new_number;
   wal_file_ = std::move(file);
   wal_.reset(new wal::Writer(wal_file_.get()));
@@ -535,6 +555,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       // proceed concurrently.
       lock.unlock();
       status = wal_->AddRecord(group->rep());
+      PMBLADE_SYNC_POINT("DBImpl::Write:AfterWalAppend");
       if (status.ok() && group_sync) {
         const uint64_t sync_start = clock_->NowNanos();
         status = wal_file_->Sync();
@@ -542,6 +563,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
           sync_error = true;
         } else {
           wal_sync_counter_->Inc();
+          PMBLADE_SYNC_POINT("DBImpl::Write:AfterWalSync");
           if (events_.active()) {
             events_.Emit(
                 obs::Event(obs::EventType::kWalSync, clock_->NowNanos())
@@ -568,6 +590,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       // Publish the group's sequences only now that every entry is in the
       // memtable: a reader snapshotting last_sequence_ can never observe a
       // torn group.
+      PMBLADE_SYNC_POINT("DBImpl::Write:BeforePublish");
       last_sequence_ = last_sequence;
       group_counter_->Inc();
       group_write_counter_->Inc(group_members);
@@ -702,6 +725,7 @@ Status DBImpl::SwitchMemTableLocked() {
   std::vector<uint64_t> feeding = live_wals_;
   PMBLADE_RETURN_IF_ERROR(NewWal());
   live_wals_.push_back(wal_number_);
+  PMBLADE_SYNC_POINT("DBImpl::SwitchMemTable:AfterNewWal");
   imm_wals_ = std::move(feeding);
   imm_ = mem_;
   mem_ = new MemTable(icmp_);
@@ -717,6 +741,7 @@ void DBImpl::BackgroundFlush() {
     imm = imm_;
   }
   if (imm == nullptr) return;
+  PMBLADE_SYNC_POINT("DBImpl::BackgroundFlush:Start");
 
   const uint64_t flush_start = clock_->NowNanos();
   if (events_.active()) {
@@ -752,6 +777,7 @@ void DBImpl::BackgroundFlush() {
   }
   if (s.ok()) s = it->status();
   it.reset();
+  PMBLADE_SYNC_POINT("DBImpl::BackgroundFlush:BuiltTables");
 
   std::unique_lock<std::mutex> lock(mu_);
   if (s.ok()) {
@@ -776,11 +802,14 @@ void DBImpl::BackgroundFlush() {
           std::remove(live_wals_.begin(), live_wals_.end(), number),
           live_wals_.end());
     }
+    PMBLADE_SYNC_POINT("DBImpl::BackgroundFlush:Installed");
     s = PersistManifest();
+    PMBLADE_SYNC_POINT("DBImpl::BackgroundFlush:ManifestCommitted");
     if (s.ok()) {
       for (uint64_t number : flushed) {
         env_->RemoveFile(WalFileName(dbname_, number));
       }
+      PMBLADE_SYNC_POINT("DBImpl::BackgroundFlush:WalsDeleted");
     }
     if (events_.active()) {
       events_.Emit(
@@ -977,6 +1006,7 @@ Status DBImpl::RunInternalCompactionOnPartition(Partition* partition) {
   InternalCompactionStats cstats;
   PMBLADE_RETURN_IF_ERROR(RunInternalCompaction(
       copts, icmp_, inputs, factory, &outputs, &cstats));
+  PMBLADE_SYNC_POINT("DBImpl::InternalCompaction:Outputs");
 
   std::vector<L0TableRef> old_unsorted = std::move(partition->unsorted());
   std::vector<L0TableRef> old_sorted = std::move(partition->sorted_run());
@@ -986,6 +1016,7 @@ Status DBImpl::RunInternalCompactionOnPartition(Partition* partition) {
   stats_.AddInternalCompaction(cstats.input_bytes, cstats.output_bytes);
 
   PMBLADE_RETURN_IF_ERROR(PersistManifest());
+  PMBLADE_SYNC_POINT("DBImpl::InternalCompaction:AfterManifest");
   for (auto& table : old_unsorted) table->Destroy();
   for (auto& table : old_sorted) table->Destroy();
 
@@ -1039,6 +1070,7 @@ Status DBImpl::RunMajorCompactionOnPartitions(
   std::vector<CompactionOutputMeta> outputs;
   MajorCompactionStats mstats;
   PMBLADE_RETURN_IF_ERROR(compactor.Run(subtasks, &outputs, &mstats));
+  PMBLADE_SYNC_POINT("DBImpl::MajorCompaction:AfterRun");
 
   // Install: per victim, the (single) output replaces L0 + old L1.
   TableReaderOptions ropts;
@@ -1071,6 +1103,7 @@ Status DBImpl::RunMajorCompactionOnPartitions(
   stats_.AddMajorCompaction(mstats.ssd_bytes_written);
 
   PMBLADE_RETURN_IF_ERROR(PersistManifest());
+  PMBLADE_SYNC_POINT("DBImpl::MajorCompaction:AfterManifest");
   for (auto& table : doomed) table->Destroy();
 
   PMBLADE_INFO(options_.logger,

@@ -3,6 +3,7 @@
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/slice.h"
+#include "util/sync_point.h"
 
 namespace pmblade {
 
@@ -53,7 +54,10 @@ Status WriteManifest(Env* env, const std::string& dbname,
   const std::string tmp = dbname + "/MANIFEST.tmp";
   const std::string final_name = dbname + "/MANIFEST";
   PMBLADE_RETURN_IF_ERROR(WriteStringToFile(env, body, tmp));
-  return env->RenameFile(tmp, final_name);
+  PMBLADE_SYNC_POINT("WriteManifest:AfterTmpWrite");
+  PMBLADE_RETURN_IF_ERROR(env->RenameFile(tmp, final_name));
+  PMBLADE_SYNC_POINT("WriteManifest:AfterRename");
+  return Status::OK();
 }
 
 Status ReadManifest(Env* env, const std::string& dbname,

@@ -41,6 +41,11 @@ struct Options {
   /// PMBlade-SSD uses kSstable).
   L0Layout l0_layout = L0Layout::kPmTable;
   PmTableOptions pm_table;
+  /// Open the PM pool in crash-simulation mode (see PmPoolOptions::crash_sim):
+  /// stores reach the durable image only through Persist(), and
+  /// PmPool::SimulateCrash() models a power cut at 8-byte persist
+  /// granularity. Test-only.
+  bool pm_crash_sim = false;
 
   // ---- write path ----
   size_t memtable_bytes = 4 << 20;

@@ -5,12 +5,16 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
+#include "util/random.h"
+#include "util/sync_point.h"
 
 namespace pmblade {
 
@@ -65,6 +69,7 @@ Status PmPool::Init(const std::string& path, const PmPoolOptions& options) {
   latency_ = options.latency;
   clock_ = options.clock != nullptr ? options.clock : SystemClock();
   sync_on_persist_ = options.sync_on_persist;
+  crash_sim_ = options.crash_sim;
   capacity_ = AlignUp(options.capacity, kAlign);
   dir_slots_ = DirSlotsForCapacity(capacity_);
   data_start_ = AlignUp(kHeaderSize + uint64_t{dir_slots_} * kSlotSize, 4096);
@@ -93,8 +98,11 @@ Status PmPool::Init(const std::string& path, const PmPoolOptions& options) {
     }
   }
 
+  // crash_sim: MAP_PRIVATE makes every store volatile — only Persist()
+  // copies bytes through to the file, exactly like a CPU cache in front of
+  // real PM that loses everything not explicitly flushed.
   void* addr = ::mmap(nullptr, mapped_size_, PROT_READ | PROT_WRITE,
-                      MAP_SHARED, fd_, 0);
+                      crash_sim_ ? MAP_PRIVATE : MAP_SHARED, fd_, 0);
   if (addr == MAP_FAILED) {
     return Status::IOError("pm pool mmap: " + std::string(strerror(errno)));
   }
@@ -131,10 +139,18 @@ Status PmPool::Init(const std::string& path, const PmPoolOptions& options) {
 
 PmPool::~PmPool() {
   if (base_ != nullptr) {
-    // Persist the id high-water mark so recovered pools keep ids unique.
-    EncodeFixed64(base_ + 20, next_id_);
-    EncodeFixed32(base_ + 28, crc32c::Value(base_, 28));
-    ::msync(base_, data_start_, MS_SYNC);
+    if (!dead_.load()) {
+      // Persist the id high-water mark so recovered pools keep ids unique.
+      EncodeFixed64(base_ + 20, next_id_);
+      EncodeFixed32(base_ + 28, crc32c::Value(base_, 28));
+      if (crash_sim_) {
+        Persist(base_ + 16, 16);  // covers bytes 16..32 (next_id + crc)
+      } else {
+        ::msync(base_, data_start_, MS_SYNC);
+      }
+    }
+    // After a simulated crash nothing more may reach the file: the process
+    // is conceptually gone, and the mapping is private anyway.
     ::munmap(base_, mapped_size_);
   }
   if (fd_ >= 0) ::close(fd_);
@@ -218,6 +234,9 @@ void PmPool::FreeExtent(uint64_t offset, uint64_t size) {
 Status PmPool::Allocate(uint64_t size, uint32_t kind, ObjectInfo* info,
                         char** data) {
   if (size == 0) return Status::InvalidArgument("pm pool: zero-size object");
+  if (dead_.load(std::memory_order_acquire)) {
+    return Status::IOError("pm pool: simulated crash");
+  }
   uint64_t aligned = AlignUp(size, kAlign);
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -245,6 +264,7 @@ Status PmPool::Allocate(uint64_t size, uint32_t kind, ObjectInfo* info,
   EncodeFixed64(e + 16, size);
   EncodeFixed32(e + 24, kind);
   Persist(e, 28);
+  PMBLADE_SYNC_POINT("PmPool::Allocate:BeforeCommit");
   EncodeFixed32(e + 28, kStateLive);  // commit point
   Persist(e + 28, 4);
 
@@ -259,6 +279,9 @@ Status PmPool::Allocate(uint64_t size, uint32_t kind, ObjectInfo* info,
 }
 
 Status PmPool::Free(uint64_t id) {
+  if (dead_.load(std::memory_order_acquire)) {
+    return Status::IOError("pm pool: simulated crash");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
@@ -297,12 +320,61 @@ void PmPool::Persist(const char* addr, size_t len) {
   if (latency_.inject_latency) {
     clock_->SleepForNanos(latency_.persist_nanos);
   }
+  if (crash_sim_) {
+    if (dead_.load(std::memory_order_acquire)) return;  // post-crash: lost
+    // Write the covered range through to the file at the device's persist
+    // granularity: widen to 8-byte alignment on both ends.
+    uint64_t start = static_cast<uint64_t>(addr - base_) & ~uint64_t{7};
+    uint64_t end = (static_cast<uint64_t>(addr - base_) + len + 7) &
+                   ~uint64_t{7};
+    if (end > mapped_size_) end = mapped_size_;
+    if (start >= end) return;
+    ::pwrite(fd_, base_ + start, end - start, static_cast<off_t>(start));
+    return;
+  }
   if (sync_on_persist_) {
     // msync requires page-aligned addresses.
     uintptr_t start = reinterpret_cast<uintptr_t>(addr) & ~uintptr_t{4095};
     uintptr_t end = reinterpret_cast<uintptr_t>(addr) + len;
     ::msync(reinterpret_cast<void*>(start), end - start, MS_SYNC);
   }
+}
+
+void PmPool::SimulateCrash(uint64_t seed, double unpersisted_survival_prob) {
+  if (!crash_sim_) return;
+  // Deliberately lock-free: setting dead_ turns every later Persist() into a
+  // no-op, and crash callbacks may fire from inside pool operations that
+  // already hold mu_ (e.g. the Allocate commit point). A store or persist
+  // racing the scan is indistinguishable from one racing a real power cut.
+  if (dead_.exchange(true)) return;
+
+  // The file holds the persisted image; the private mapping holds every
+  // store. For each 8-byte word that differs, the store was never flushed:
+  // it survives the power cut only if its cache line happened to be evicted
+  // beforehand.
+  Random rnd(seed);
+  std::vector<char> durable(1 << 16);
+  for (uint64_t off = 0; off < mapped_size_; off += durable.size()) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(durable.size(),
+                                               mapped_size_ - off));
+    ssize_t got = ::pread(fd_, durable.data(), n, static_cast<off_t>(off));
+    if (got < 0) got = 0;
+    if (static_cast<size_t>(got) < n) {
+      memset(durable.data() + got, 0, n - got);
+    }
+    if (memcmp(durable.data(), base_ + off, n) == 0) continue;
+    for (size_t w = 0; w + 8 <= n; w += 8) {
+      if (memcmp(durable.data() + w, base_ + off + w, 8) == 0) continue;
+      if (rnd.NextDouble() < unpersisted_survival_prob) {
+        ::pwrite(fd_, base_ + off + w, 8, static_cast<off_t>(off + w));
+      }
+    }
+  }
+}
+
+bool PmPool::crash_sim_dead() const {
+  return dead_.load(std::memory_order_acquire);
 }
 
 void PmPool::InjectRead(size_t bytes, uint64_t accesses) {

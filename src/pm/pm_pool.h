@@ -17,6 +17,7 @@
 #ifndef PMBLADE_PM_PM_POOL_H_
 #define PMBLADE_PM_PM_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -76,6 +77,13 @@ struct PmPoolOptions {
   /// eventually durable via the kernel). Tests exercising recovery leave
   /// this on.
   bool sync_on_persist = false;
+  /// Crash-simulation mode: the pool maps its file MAP_PRIVATE, so ordinary
+  /// stores NEVER reach the backing file — only Persist() copies the covered
+  /// (8-byte-aligned) range through, modeling real PM where data is durable
+  /// only after an explicit clwb+sfence of each cache line. Combined with
+  /// SimulateCrash() this falsifies any code path that stores to PM and
+  /// skips the persist barrier.
+  bool crash_sim = false;
 };
 
 class PmPool {
@@ -112,8 +120,25 @@ class PmPool {
   std::vector<ObjectInfo> ListObjects() const;
 
   /// Persistence barrier for [addr, addr+len): injects the modeled persist
-  /// cost and (optionally) msyncs the covering pages.
+  /// cost and (optionally) msyncs the covering pages. In crash_sim mode this
+  /// is the ONLY operation that makes bytes durable: it writes the covered
+  /// range, widened to 8-byte alignment, through to the backing file.
   void Persist(const char* addr, size_t len);
+
+  // ---- crash simulation (crash_sim mode only) ----
+
+  /// Simulates power loss with persist-granularity semantics: every 8-byte
+  /// word that was stored but never Persist()ed either survives (its cache
+  /// line happened to be evicted before the cut) with probability
+  /// `unpersisted_survival_prob`, or reverts to the last persisted value.
+  /// Explicitly persisted words always survive. Afterwards the pool is dead:
+  /// Allocate/Free fail and Persist is a no-op, like syscalls in a process
+  /// that no longer exists. Reopen the path to get the post-crash image.
+  /// No-op outside crash_sim mode.
+  void SimulateCrash(uint64_t seed, double unpersisted_survival_prob = 0.5);
+
+  /// True once SimulateCrash has fired.
+  bool crash_sim_dead() const;
 
   // ---- latency hooks (called by PM table readers/writers) ----
 
@@ -163,6 +188,8 @@ class PmPool {
   PmLatencyOptions latency_;
   Clock* clock_ = nullptr;
   bool sync_on_persist_ = false;
+  bool crash_sim_ = false;
+  std::atomic<bool> dead_{false};  // set by SimulateCrash
 
   mutable std::mutex mu_;
   std::map<uint64_t, uint64_t> free_extents_;       // offset -> size

@@ -1,0 +1,127 @@
+#ifdef PMBLADE_SYNC_POINTS
+
+#include "util/sync_point.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace pmblade {
+
+struct SyncPoint::Impl {
+  std::atomic<bool> enabled{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  // successor -> predecessors that must fire first.
+  std::unordered_map<std::string, std::vector<std::string>> predecessors;
+  std::unordered_map<std::string, std::function<void(void*)>> callbacks;
+  std::unordered_set<std::string> fired;
+  int callbacks_running = 0;
+
+  bool PredecessorsFired(const std::string& point) const {
+    auto it = predecessors.find(point);
+    if (it == predecessors.end()) return true;
+    for (const auto& pred : it->second) {
+      if (fired.count(pred) == 0) return false;
+    }
+    return true;
+  }
+};
+
+SyncPoint* SyncPoint::GetInstance() {
+  static SyncPoint instance;
+  return &instance;
+}
+
+SyncPoint::SyncPoint() : impl_(new Impl()) {}
+SyncPoint::~SyncPoint() { delete impl_; }
+
+void SyncPoint::LoadDependency(const std::vector<Dependency>& dependencies) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->predecessors.clear();
+  impl_->fired.clear();
+  for (const auto& dep : dependencies) {
+    impl_->predecessors[dep.successor].push_back(dep.predecessor);
+  }
+  impl_->cv.notify_all();
+}
+
+void SyncPoint::SetCallBack(const std::string& point,
+                            std::function<void(void*)> callback) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->callbacks[point] = std::move(callback);
+}
+
+void SyncPoint::ClearCallBack(const std::string& point) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  // Never destroy a callback out from under a thread running it.
+  impl_->cv.wait(lock, [this] { return impl_->callbacks_running == 0; });
+  impl_->callbacks.erase(point);
+}
+
+void SyncPoint::ClearAllCallBacks() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv.wait(lock, [this] { return impl_->callbacks_running == 0; });
+  impl_->callbacks.clear();
+}
+
+void SyncPoint::EnableProcessing() {
+  impl_->enabled.store(true, std::memory_order_release);
+}
+
+void SyncPoint::DisableProcessing() {
+  impl_->enabled.store(false, std::memory_order_release);
+  // Wake any Process() blocked on a dependency so it can observe the
+  // disable and return (teardown must never deadlock on a stuck waiter).
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->cv.notify_all();
+}
+
+void SyncPoint::ClearTrace() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->fired.clear();
+  impl_->cv.notify_all();
+}
+
+void SyncPoint::Reset() {
+  DisableProcessing();
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv.wait(lock, [this] { return impl_->callbacks_running == 0; });
+  impl_->callbacks.clear();
+  impl_->predecessors.clear();
+  impl_->fired.clear();
+  impl_->cv.notify_all();
+}
+
+void SyncPoint::Process(const std::string& point, void* arg) {
+  if (!impl_->enabled.load(std::memory_order_acquire)) return;
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  // Honor happens-before edges: block until every predecessor has fired.
+  // A Reset/LoadDependency wakes waiters so tests cannot deadlock teardown.
+  impl_->cv.wait(lock, [&] {
+    return !impl_->enabled.load(std::memory_order_acquire) ||
+           impl_->PredecessorsFired(point);
+  });
+  if (!impl_->enabled.load(std::memory_order_acquire)) return;
+
+  auto it = impl_->callbacks.find(point);
+  if (it != impl_->callbacks.end()) {
+    // Run outside the lock: callbacks may block or hit other sync points.
+    // Copy so a concurrent SetCallBack cannot invalidate the functor.
+    std::function<void(void*)> cb = it->second;
+    ++impl_->callbacks_running;
+    lock.unlock();
+    cb(arg);
+    lock.lock();
+    --impl_->callbacks_running;
+  }
+
+  impl_->fired.insert(point);
+  impl_->cv.notify_all();
+}
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_SYNC_POINTS

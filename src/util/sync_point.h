@@ -1,0 +1,96 @@
+// SyncPoint: named hooks for deterministic concurrency and crash testing.
+//
+// Engine code marks interesting instants with PMBLADE_SYNC_POINT("Site:What")
+// (optionally passing a payload pointer). Tests then
+//   * inject callbacks at a point (e.g. trigger a simulated power cut in the
+//     middle of a flush), and/or
+//   * impose cross-thread ordering: LoadDependency({{"A", "B"}}) blocks the
+//     thread reaching "B" until some thread has passed "A".
+//
+// Processing is off by default; a disabled sync point costs one relaxed
+// atomic load. The facility is compiled in by the PMBLADE_SYNC_POINTS
+// definition (on for every CMake build type except Release); without it the
+// macros expand to nothing and the engine carries zero overhead.
+//
+// Callbacks run on the thread that hit the point, outside the registry lock,
+// so they may block, hit other sync points, or mutate the process (a crash
+// callback typically marks an Env dead). They must not call back into
+// SetCallBack/LoadDependency on the same thread while holding locks the
+// engine needs.
+
+#ifndef PMBLADE_UTIL_SYNC_POINT_H_
+#define PMBLADE_UTIL_SYNC_POINT_H_
+
+#ifdef PMBLADE_SYNC_POINTS
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace pmblade {
+
+class SyncPoint {
+ public:
+  static SyncPoint* GetInstance();
+
+  SyncPoint(const SyncPoint&) = delete;
+  SyncPoint& operator=(const SyncPoint&) = delete;
+
+  /// An edge "predecessor happens-before successor".
+  struct Dependency {
+    std::string predecessor;
+    std::string successor;
+  };
+
+  /// Replaces the dependency graph and clears the fired-point history.
+  void LoadDependency(const std::vector<Dependency>& dependencies);
+
+  /// Installs `callback` at `point` (replacing any previous one). The
+  /// payload pointer passed by the instrumented site (may be nullptr) is
+  /// forwarded.
+  void SetCallBack(const std::string& point,
+                   std::function<void(void*)> callback);
+
+  void ClearCallBack(const std::string& point);
+  void ClearAllCallBacks();
+
+  void EnableProcessing();
+  void DisableProcessing();
+
+  /// Forgets which points have fired (dependency history), keeping the
+  /// graph and callbacks.
+  void ClearTrace();
+
+  /// Disables processing, clears callbacks, dependencies and history.
+  /// Always pair test setup with this in teardown.
+  void Reset();
+
+  /// Called by the PMBLADE_SYNC_POINT macros.
+  void Process(const std::string& point, void* arg = nullptr);
+
+ private:
+  SyncPoint();
+  ~SyncPoint();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace pmblade
+
+#define PMBLADE_SYNC_POINT(name) \
+  ::pmblade::SyncPoint::GetInstance()->Process(name)
+#define PMBLADE_SYNC_POINT_ARG(name, arg) \
+  ::pmblade::SyncPoint::GetInstance()->Process(name, arg)
+
+#else  // !PMBLADE_SYNC_POINTS
+
+#define PMBLADE_SYNC_POINT(name)
+#define PMBLADE_SYNC_POINT_ARG(name, arg)
+
+#endif  // PMBLADE_SYNC_POINTS
+
+#endif  // PMBLADE_UTIL_SYNC_POINT_H_

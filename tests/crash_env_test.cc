@@ -1,0 +1,277 @@
+// Unit tests for the crash-simulation primitives: CrashEnv power cuts
+// (unsynced-data loss, torn tails, dead-state semantics, journaled
+// metadata) and PmPool persist-granularity crash mode.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "env/crash_env.h"
+#include "pm/pm_pool.h"
+#include "util/sync_point.h"
+
+namespace pmblade {
+namespace {
+
+class CrashEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "pmblade_crash_env_test";
+    PosixEnv()->RemoveDirRecursively(dir_);
+    ASSERT_TRUE(PosixEnv()->CreateDir(dir_).ok());
+    env_.reset(new CrashEnv(PosixEnv(), 1234));
+  }
+  void TearDown() override { PosixEnv()->RemoveDirRecursively(dir_); }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::string ReadAll(const std::string& name) {
+    std::string data;
+    EXPECT_TRUE(ReadFileToString(PosixEnv(), Path(name), &data).ok());
+    return data;
+  }
+
+  std::string dir_;
+  std::unique_ptr<CrashEnv> env_;
+};
+
+TEST_F(CrashEnvTest, UnsyncedDataVanishesAtPowerCut) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(Path("a"), &f).ok());
+  ASSERT_TRUE(f->Append("hello world").ok());
+  ASSERT_TRUE(f->Flush().ok());  // flushed but NOT synced
+  env_->PowerCut();
+  EXPECT_EQ(ReadAll("a"), "");
+}
+
+TEST_F(CrashEnvTest, SyncedPrefixAlwaysSurvives) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(Path("a"), &f).ok());
+  ASSERT_TRUE(f->Append("durable|").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("volatile").ok());
+  env_->PowerCut();
+  EXPECT_EQ(ReadAll("a"), "durable|");
+}
+
+TEST_F(CrashEnvTest, KeepUnsyncedCutsFilesMidWrite) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(Path("a"), &f).ok());
+  ASSERT_TRUE(f->Append("sync|").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append(std::string(1000, 'x')).ok());
+  PowerCutOptions cut;
+  cut.keep_unsynced = true;
+  env_->PowerCut(cut);
+  std::string data = ReadAll("a");
+  // The synced prefix is intact; some random amount of the tail survives.
+  ASSERT_GE(data.size(), 5u);
+  EXPECT_LE(data.size(), 1005u);
+  EXPECT_EQ(data.substr(0, 5), "sync|");
+}
+
+TEST_F(CrashEnvTest, TornTailNeverDamagesSyncedBytes) {
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string name = "torn" + std::to_string(trial);
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env_->NewWritableFile(Path(name), &f).ok());
+    ASSERT_TRUE(f->Append("SYNCED-PREFIX:").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Append(std::string(600, 'u')).ok());
+    f.reset();
+    PowerCutOptions cut;
+    cut.keep_unsynced = true;
+    cut.tear_last_block = true;
+    env_->PowerCut(cut);
+    std::string data = ReadAll(name);
+    ASSERT_GE(data.size(), 14u);
+    EXPECT_EQ(data.substr(0, 14), "SYNCED-PREFIX:");
+    env_->ResetState();
+  }
+}
+
+TEST_F(CrashEnvTest, DeadEnvFailsEveryMutation) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(Path("a"), &f).ok());
+  env_->PowerCut();
+  EXPECT_TRUE(env_->dead());
+  EXPECT_TRUE(f->Append("x").IsIOError());
+  EXPECT_TRUE(f->Sync().IsIOError());
+  std::unique_ptr<WritableFile> g;
+  EXPECT_TRUE(env_->NewWritableFile(Path("b"), &g).IsIOError());
+  EXPECT_TRUE(env_->RemoveFile(Path("a")).IsIOError());
+  EXPECT_TRUE(env_->RenameFile(Path("a"), Path("b")).IsIOError());
+  EXPECT_TRUE(env_->CreateDir(Path("d")).IsIOError());
+  // Reads still work: the "disk" survived, the machine died.
+  std::unique_ptr<SequentialFile> r;
+  EXPECT_TRUE(env_->NewSequentialFile(Path("a"), &r).ok());
+  // Reboot.
+  env_->ResetState();
+  EXPECT_FALSE(env_->dead());
+  EXPECT_TRUE(env_->NewWritableFile(Path("b"), &g).ok());
+}
+
+TEST_F(CrashEnvTest, RenameTransfersSyncedState) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(Path("tmp"), &f).ok());
+  ASSERT_TRUE(f->Append("manifest-body").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+  // Journaled metadata: the rename is durable the moment it is issued.
+  ASSERT_TRUE(env_->RenameFile(Path("tmp"), Path("final")).ok());
+  env_->PowerCut();
+  EXPECT_FALSE(PosixEnv()->FileExists(Path("tmp")));
+  EXPECT_EQ(ReadAll("final"), "manifest-body");
+}
+
+TEST_F(CrashEnvTest, RenameOverUnsyncedTargetDropsItsTracking) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(Path("target"), &f).ok());
+  ASSERT_TRUE(f->Append("old-unsynced").ok());
+  f.reset();
+  std::unique_ptr<WritableFile> g;
+  ASSERT_TRUE(env_->NewWritableFile(Path("src"), &g).ok());
+  ASSERT_TRUE(g->Append("new-synced").ok());
+  ASSERT_TRUE(g->Sync().ok());
+  g.reset();
+  ASSERT_TRUE(env_->RenameFile(Path("src"), Path("target")).ok());
+  env_->PowerCut();
+  EXPECT_EQ(ReadAll("target"), "new-synced");
+}
+
+// ---------------------------------------------------------------------------
+// PmPool persist-granularity crash mode
+// ---------------------------------------------------------------------------
+
+class PmCrashSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "pmblade_crash_pool.pm";
+    ::remove(path_.c_str());
+  }
+  void TearDown() override { ::remove(path_.c_str()); }
+
+  PmPoolOptions CrashOptions() {
+    PmPoolOptions popts;
+    popts.capacity = 4 << 20;
+    popts.latency.inject_latency = false;
+    popts.crash_sim = true;
+    return popts;
+  }
+
+  std::string path_;
+};
+
+TEST_F(PmCrashSimTest, OnlyPersistedWordsSurviveTheCrash) {
+  uint64_t id = 0;
+  {
+    std::unique_ptr<PmPool> pool;
+    ASSERT_TRUE(PmPool::Open(path_, CrashOptions(), &pool).ok());
+    PmPool::ObjectInfo info;
+    char* data = nullptr;
+    ASSERT_TRUE(pool->Allocate(256, 1, &info, &data).ok());
+    id = info.id;
+    memset(data, 0xAB, 256);
+    pool->Persist(data, 128);  // first half explicitly persisted
+    // Survival probability 0: every unpersisted word reverts.
+    pool->SimulateCrash(/*seed=*/7, /*unpersisted_survival_prob=*/0.0);
+    EXPECT_TRUE(pool->crash_sim_dead());
+    // Dead pool refuses new work.
+    PmPool::ObjectInfo info2;
+    char* data2 = nullptr;
+    EXPECT_TRUE(pool->Allocate(64, 1, &info2, &data2).IsIOError());
+  }
+  // Reopen the durable image (plain mode: read what the "device" kept).
+  PmPoolOptions verify;
+  verify.capacity = 4 << 20;
+  verify.latency.inject_latency = false;
+  std::unique_ptr<PmPool> pool;
+  ASSERT_TRUE(PmPool::Open(path_, verify, &pool).ok());
+  char* data = pool->DataFor(id);
+  ASSERT_NE(data, nullptr);
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(data[i]), 0xABu) << "offset " << i;
+  }
+  for (int i = 128; i < 256; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(data[i]), 0u) << "offset " << i;
+  }
+}
+
+TEST_F(PmCrashSimTest, SurvivalProbabilityOneKeepsEverything) {
+  uint64_t id = 0;
+  {
+    std::unique_ptr<PmPool> pool;
+    ASSERT_TRUE(PmPool::Open(path_, CrashOptions(), &pool).ok());
+    PmPool::ObjectInfo info;
+    char* data = nullptr;
+    ASSERT_TRUE(pool->Allocate(256, 1, &info, &data).ok());
+    id = info.id;
+    memset(data, 0xCD, 256);  // never persisted
+    pool->SimulateCrash(/*seed=*/9, /*unpersisted_survival_prob=*/1.0);
+  }
+  PmPoolOptions verify;
+  verify.capacity = 4 << 20;
+  verify.latency.inject_latency = false;
+  std::unique_ptr<PmPool> pool;
+  ASSERT_TRUE(PmPool::Open(path_, verify, &pool).ok());
+  char* data = pool->DataFor(id);
+  ASSERT_NE(data, nullptr);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(data[i]), 0xCDu) << "offset " << i;
+  }
+}
+
+TEST_F(PmCrashSimTest, StoresWithoutPersistAreNotDurable) {
+  // The MAP_PRIVATE mapping must keep plain stores out of the file even
+  // across a clean close: only Persist() writes through.
+  uint64_t id = 0;
+  {
+    std::unique_ptr<PmPool> pool;
+    ASSERT_TRUE(PmPool::Open(path_, CrashOptions(), &pool).ok());
+    PmPool::ObjectInfo info;
+    char* data = nullptr;
+    ASSERT_TRUE(pool->Allocate(64, 1, &info, &data).ok());
+    id = info.id;
+    memset(data, 0xEE, 64);
+    // No crash, clean close — but also no Persist of the data.
+  }
+  PmPoolOptions verify;
+  verify.capacity = 4 << 20;
+  verify.latency.inject_latency = false;
+  std::unique_ptr<PmPool> pool;
+  ASSERT_TRUE(PmPool::Open(path_, verify, &pool).ok());
+  char* data = pool->DataFor(id);
+  ASSERT_NE(data, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(data[i]), 0u) << "offset " << i;
+  }
+}
+
+#ifdef PMBLADE_SYNC_POINTS
+TEST_F(PmCrashSimTest, CrashBeforeCommitGarbageCollectsTheAllocation) {
+  // Power fails between persisting an allocation's directory fields and
+  // persisting its state=live commit word: recovery must not see the object.
+  std::unique_ptr<PmPool> pool;
+  ASSERT_TRUE(PmPool::Open(path_, CrashOptions(), &pool).ok());
+  SyncPoint::GetInstance()->SetCallBack(
+      "PmPool::Allocate:BeforeCommit",
+      [&](void*) { pool->SimulateCrash(11, 0.0); });
+  SyncPoint::GetInstance()->EnableProcessing();
+  PmPool::ObjectInfo info;
+  char* data = nullptr;
+  (void)pool->Allocate(64, 1, &info, &data);
+  SyncPoint::GetInstance()->Reset();
+  pool.reset();
+
+  PmPoolOptions verify;
+  verify.capacity = 4 << 20;
+  verify.latency.inject_latency = false;
+  ASSERT_TRUE(PmPool::Open(path_, verify, &pool).ok());
+  EXPECT_TRUE(pool->ListObjects().empty());
+}
+#endif  // PMBLADE_SYNC_POINTS
+
+}  // namespace
+}  // namespace pmblade

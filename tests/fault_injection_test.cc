@@ -5,104 +5,19 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-
 #include "core/db.h"
 #include "core/manifest.h"
 #include "memtable/wal.h"
 #include "pm/pm_pool.h"
 #include "pmtable/pm_table.h"
 #include "pmtable/pm_table_builder.h"
+#include "tests/fault_env.h"
 #include "util/random.h"
 
 namespace pmblade {
 namespace {
 
-/// Env decorator that can be told to fail writable-file operations.
-class FaultyEnv final : public Env {
- public:
-  explicit FaultyEnv(Env* base) : base_(base) {}
-
-  std::atomic<bool> fail_writes{false};
-  std::atomic<bool> fail_new_files{false};
-  std::atomic<int> writes_until_failure{-1};  // -1 = no countdown
-
-  bool ShouldFail() {
-    if (fail_writes.load()) return true;
-    int remaining = writes_until_failure.load();
-    if (remaining < 0) return false;
-    if (remaining == 0) return true;
-    writes_until_failure.fetch_sub(1);
-    return false;
-  }
-
-  class FaultyWritableFile final : public WritableFile {
-   public:
-    FaultyWritableFile(std::unique_ptr<WritableFile> base, FaultyEnv* env)
-        : base_(std::move(base)), env_(env) {}
-    Status Append(const Slice& data) override {
-      if (env_->ShouldFail()) return Status::IOError("injected write fault");
-      return base_->Append(data);
-    }
-    Status Flush() override { return base_->Flush(); }
-    Status Sync() override {
-      if (env_->ShouldFail()) return Status::IOError("injected sync fault");
-      return base_->Sync();
-    }
-    Status Close() override { return base_->Close(); }
-
-   private:
-    std::unique_ptr<WritableFile> base_;
-    FaultyEnv* env_;
-  };
-
-  Status NewWritableFile(const std::string& fname,
-                         std::unique_ptr<WritableFile>* result) override {
-    if (fail_new_files.load()) {
-      return Status::IOError("injected create fault");
-    }
-    std::unique_ptr<WritableFile> base_file;
-    PMBLADE_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base_file));
-    result->reset(new FaultyWritableFile(std::move(base_file), this));
-    return Status::OK();
-  }
-
-  Status NewSequentialFile(const std::string& fname,
-                           std::unique_ptr<SequentialFile>* result) override {
-    return base_->NewSequentialFile(fname, result);
-  }
-  Status NewRandomAccessFile(
-      const std::string& fname,
-      std::unique_ptr<RandomAccessFile>* result) override {
-    return base_->NewRandomAccessFile(fname, result);
-  }
-  bool FileExists(const std::string& fname) override {
-    return base_->FileExists(fname);
-  }
-  Status GetChildren(const std::string& dir,
-                     std::vector<std::string>* result) override {
-    return base_->GetChildren(dir, result);
-  }
-  Status RemoveFile(const std::string& fname) override {
-    return base_->RemoveFile(fname);
-  }
-  Status CreateDir(const std::string& dirname) override {
-    return base_->CreateDir(dirname);
-  }
-  Status RemoveDir(const std::string& dirname) override {
-    return base_->RemoveDir(dirname);
-  }
-  Status GetFileSize(const std::string& fname, uint64_t* size) override {
-    return base_->GetFileSize(fname, size);
-  }
-  Status RenameFile(const std::string& src,
-                    const std::string& target) override {
-    return base_->RenameFile(src, target);
-  }
-
- private:
-  Env* base_;
-};
+using test::FaultyEnv;
 
 class FaultInjectionTest : public ::testing::Test {
  protected:

@@ -1,0 +1,134 @@
+// Unit tests for the SyncPoint facility itself: callback injection,
+// enable/disable gating, payload forwarding, happens-before dependencies,
+// and teardown safety.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/sync_point.h"
+
+#ifdef PMBLADE_SYNC_POINTS
+
+namespace pmblade {
+namespace {
+
+class SyncPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SyncPoint::GetInstance()->Reset(); }
+};
+
+TEST_F(SyncPointTest, DisabledIsANoOp) {
+  int calls = 0;
+  SyncPoint::GetInstance()->SetCallBack("t:point",
+                                        [&](void*) { ++calls; });
+  // Not enabled: Process must return immediately without running callbacks.
+  SyncPoint::GetInstance()->Process("t:point");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(SyncPointTest, CallbackFiresWithPayload) {
+  int calls = 0;
+  void* seen = nullptr;
+  SyncPoint::GetInstance()->SetCallBack("t:point", [&](void* arg) {
+    ++calls;
+    seen = arg;
+  });
+  SyncPoint::GetInstance()->EnableProcessing();
+  int payload = 7;
+  SyncPoint::GetInstance()->Process("t:point", &payload);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, &payload);
+  // Other points are unaffected.
+  SyncPoint::GetInstance()->Process("t:other");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(SyncPointTest, ClearCallBackStopsFiring) {
+  int calls = 0;
+  SyncPoint::GetInstance()->SetCallBack("t:point",
+                                        [&](void*) { ++calls; });
+  SyncPoint::GetInstance()->EnableProcessing();
+  SyncPoint::GetInstance()->Process("t:point");
+  SyncPoint::GetInstance()->ClearCallBack("t:point");
+  SyncPoint::GetInstance()->Process("t:point");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(SyncPointTest, DependencyImposesCrossThreadOrder) {
+  SyncPoint::GetInstance()->LoadDependency({{"t:first", "t:second"}});
+  SyncPoint::GetInstance()->EnableProcessing();
+
+  std::atomic<bool> first_fired{false};
+  std::atomic<bool> second_returned{false};
+  std::thread blocked([&] {
+    SyncPoint::GetInstance()->Process("t:second");  // must wait for t:first
+    EXPECT_TRUE(first_fired.load());
+    second_returned.store(true);
+  });
+  // Give the blocked thread a chance to (incorrectly) run ahead.
+  for (int i = 0; i < 100 && !second_returned.load(); ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(second_returned.load());
+  first_fired.store(true);
+  SyncPoint::GetInstance()->Process("t:first");
+  blocked.join();
+  EXPECT_TRUE(second_returned.load());
+}
+
+TEST_F(SyncPointTest, ClearTraceRearmsDependencies) {
+  SyncPoint::GetInstance()->LoadDependency({{"t:a", "t:b"}});
+  SyncPoint::GetInstance()->EnableProcessing();
+  SyncPoint::GetInstance()->Process("t:a");
+  SyncPoint::GetInstance()->Process("t:b");  // a already fired: no blocking
+
+  SyncPoint::GetInstance()->ClearTrace();
+  std::atomic<bool> done{false};
+  std::thread blocked([&] {
+    SyncPoint::GetInstance()->Process("t:b");
+    done.store(true);
+  });
+  for (int i = 0; i < 100 && !done.load(); ++i) std::this_thread::yield();
+  EXPECT_FALSE(done.load());  // history cleared: b blocks again
+  SyncPoint::GetInstance()->Process("t:a");
+  blocked.join();
+}
+
+TEST_F(SyncPointTest, DisableProcessingUnblocksWaiters) {
+  SyncPoint::GetInstance()->LoadDependency({{"t:never", "t:waiter"}});
+  SyncPoint::GetInstance()->EnableProcessing();
+  std::thread blocked(
+      [] { SyncPoint::GetInstance()->Process("t:waiter"); });
+  std::this_thread::yield();
+  // Teardown must never deadlock on a waiter whose predecessor won't come.
+  SyncPoint::GetInstance()->DisableProcessing();
+  blocked.join();
+  SUCCEED();
+}
+
+TEST_F(SyncPointTest, CallbacksRunOutsideTheRegistryLock) {
+  // A callback that itself hits another sync point must not self-deadlock.
+  int inner_calls = 0;
+  SyncPoint::GetInstance()->SetCallBack("t:outer", [&](void*) {
+    SyncPoint::GetInstance()->Process("t:inner");
+  });
+  SyncPoint::GetInstance()->SetCallBack("t:inner",
+                                        [&](void*) { ++inner_calls; });
+  SyncPoint::GetInstance()->EnableProcessing();
+  SyncPoint::GetInstance()->Process("t:outer");
+  EXPECT_EQ(inner_calls, 1);
+}
+
+}  // namespace
+}  // namespace pmblade
+
+#else  // !PMBLADE_SYNC_POINTS
+
+TEST(SyncPointTest, CompiledOut) {
+  GTEST_SKIP() << "built without PMBLADE_SYNC_POINTS";
+}
+
+#endif  // PMBLADE_SYNC_POINTS

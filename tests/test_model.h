@@ -1,0 +1,216 @@
+// Reference model for crash-recovery checking.
+//
+// The harness mirrors every write batch it issues into a CrashModel. After a
+// simulated power cut and reopen, the recovered database must equal SOME
+// batch-boundary prefix of the acknowledged history that is at least as long
+// as the durable mark (the last point where durability was promised: a
+// synced write acked, or FlushMemTable returned OK). This single check
+// enforces both crash-consistency invariants at once:
+//
+//   * no acknowledged-durable data is lost (prefix >= durable mark), and
+//   * no torn group is visible (the state matches at a BATCH boundary —
+//     a half-applied batch matches no prefix).
+//
+// The prefix search is incremental: one merge-walk to diff the base state
+// against the recovered state, then O(1) diff-count updates per replayed
+// operation, so a check is linear in history size regardless of where the
+// matching prefix lies.
+
+#ifndef PMBLADE_TESTS_TEST_MODEL_H_
+#define PMBLADE_TESTS_TEST_MODEL_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "util/iterator.h"
+#include "util/status.h"
+
+namespace pmblade {
+namespace test {
+
+struct ModelOp {
+  bool is_delete = false;
+  std::string key;
+  std::string value;  // empty for deletes
+};
+using ModelBatch = std::vector<ModelOp>;
+
+using KvMap = std::map<std::string, std::string>;
+
+/// Scans a DB's live keys into `out` through a fresh iterator.
+inline Status DumpDb(DB* db, KvMap* out) {
+  out->clear();
+  std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    (*out)[it->key().ToString()] = it->value().ToString();
+  }
+  return it->status();
+}
+
+class CrashModel {
+ public:
+  /// Records a batch the harness is about to issue. Batches recorded but
+  /// never acknowledged (the op failed because the power went out mid-call)
+  /// simply stay below the durable mark: the prefix check then accepts the
+  /// recovered state with or without them.
+  void RecordBatch(ModelBatch batch) { history_.push_back(std::move(batch)); }
+
+  /// Promotes everything recorded so far to "must survive any crash". Call
+  /// after a sync-write acks (group commit syncs the whole log prefix) or
+  /// after FlushMemTable returns OK (flush + manifest commit cover every
+  /// acknowledged write that preceded the call).
+  void MarkDurable() { durable_mark_ = history_.size(); }
+
+  size_t durable_mark() const { return durable_mark_; }
+  size_t history_size() const { return history_.size(); }
+
+  /// Expected state if every recorded batch (acked or not) applied.
+  KvMap FullState() const {
+    KvMap state = base_;
+    for (const ModelBatch& b : history_) ApplyBatch(b, &state);
+    return state;
+  }
+
+  /// Verifies `recovered` equals some prefix history_[0..k) applied to the
+  /// base state with k >= durable_mark. On success, collapses the model to
+  /// the recovered reality (base = recovered, history cleared) so the
+  /// harness can keep writing against the reopened DB; on failure, leaves
+  /// the model untouched and explains the mismatch in `*why`.
+  bool CheckRecovered(const KvMap& recovered, std::string* why) {
+    KvMap state = base_;
+    // diff = number of keys on which `state` and `recovered` disagree.
+    size_t diff = 0;
+    {
+      auto a = state.begin();
+      auto b = recovered.begin();
+      while (a != state.end() || b != recovered.end()) {
+        if (b == recovered.end() || (a != state.end() && a->first < b->first)) {
+          ++diff;
+          ++a;
+        } else if (a == state.end() || b->first < a->first) {
+          ++diff;
+          ++b;
+        } else {
+          if (a->second != b->second) ++diff;
+          ++a;
+          ++b;
+        }
+      }
+    }
+
+    size_t best_k = kNoMatch;
+    size_t first_match = kNoMatch;  // any k, even below the durable mark
+    for (size_t k = 0; k <= history_.size(); ++k) {
+      if (diff == 0) {
+        if (first_match == kNoMatch) first_match = k;
+        if (k >= durable_mark_) {
+          best_k = k;
+          break;
+        }
+      }
+      if (k == history_.size()) break;
+      for (const ModelOp& op : history_[k]) {
+        bool was = KeyMatches(state, recovered, op.key);
+        ApplyOp(op, &state);
+        bool now = KeyMatches(state, recovered, op.key);
+        if (was && !now) {
+          ++diff;
+        } else if (!was && now) {
+          --diff;
+        }
+      }
+    }
+
+    if (best_k == kNoMatch) {
+      if (why != nullptr) {
+        char buf[160];
+        if (first_match != kNoMatch) {
+          snprintf(buf, sizeof(buf),
+                   "acknowledged-durable data lost: recovered state matches "
+                   "prefix %zu but the durable mark is %zu (of %zu batches)",
+                   first_match, durable_mark_, history_.size());
+        } else {
+          snprintf(buf, sizeof(buf),
+                   "recovered state matches NO batch-boundary prefix of the "
+                   "%zu-batch history (durable mark %zu) — torn batch or "
+                   "phantom/corrupt data",
+                   history_.size(), durable_mark_);
+        }
+        *why = buf;
+        AppendDiffSample(FullState(), recovered, why);
+      }
+      return false;
+    }
+
+    base_ = recovered;
+    history_.clear();
+    durable_mark_ = 0;
+    return true;
+  }
+
+ private:
+  static constexpr size_t kNoMatch = static_cast<size_t>(-1);
+
+  static void ApplyOp(const ModelOp& op, KvMap* state) {
+    if (op.is_delete) {
+      state->erase(op.key);
+    } else {
+      (*state)[op.key] = op.value;
+    }
+  }
+  static void ApplyBatch(const ModelBatch& batch, KvMap* state) {
+    for (const ModelOp& op : batch) ApplyOp(op, state);
+  }
+
+  /// Appends the first few keys where `recovered` disagrees with the
+  /// expected full-history state — the raw material for diagnosing a
+  /// failure (the prefix check itself says only that none matched).
+  static void AppendDiffSample(const KvMap& expected, const KvMap& recovered,
+                               std::string* why) {
+    int shown = 0;
+    auto a = expected.begin();
+    auto b = recovered.begin();
+    while ((a != expected.end() || b != recovered.end()) && shown < 4) {
+      if (b == recovered.end() ||
+          (a != expected.end() && a->first < b->first)) {
+        *why += "\n  vs full state: missing key '" + a->first + "'";
+        ++a;
+        ++shown;
+      } else if (a == expected.end() || b->first < a->first) {
+        *why += "\n  vs full state: phantom key '" + b->first + "' = '" +
+                b->second.substr(0, 32) + "'";
+        ++b;
+        ++shown;
+      } else {
+        if (a->second != b->second) {
+          *why += "\n  vs full state: key '" + a->first + "' = '" +
+                  b->second.substr(0, 32) + "' want '" +
+                  a->second.substr(0, 32) + "'";
+          ++shown;
+        }
+        ++a;
+        ++b;
+      }
+    }
+  }
+
+  static bool KeyMatches(const KvMap& a, const KvMap& b,
+                         const std::string& key) {
+    auto ia = a.find(key);
+    auto ib = b.find(key);
+    if (ia == a.end()) return ib == b.end();
+    return ib != b.end() && ia->second == ib->second;
+  }
+
+  KvMap base_;
+  std::vector<ModelBatch> history_;
+  size_t durable_mark_ = 0;
+};
+
+}  // namespace test
+}  // namespace pmblade
+
+#endif  // PMBLADE_TESTS_TEST_MODEL_H_

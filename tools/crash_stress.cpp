@@ -1,0 +1,150 @@
+// crash_stress: standalone randomized crash-recovery stress runner.
+//
+// Drives the same model-checked harness as tests/crash_recovery_test.cc but
+// as a CLI, for long scheduled runs. By default the seed is drawn from the
+// clock and PRINTED FIRST THING, so any failure replays exactly:
+//
+//   crash_stress --seed=<printed seed> --cycles=<N> [--layout=...] ...
+//
+// Environment overrides (used by the CI stress job):
+//   PMBLADE_CRASH_SEED    — same as --seed
+//   PMBLADE_CRASH_CYCLES  — same as --cycles
+//
+// Exit status: 0 = every invariant held, 1 = loss/torn-batch/error detected.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "tests/crash_harness.h"
+
+namespace {
+
+void Usage() {
+  fprintf(stderr,
+          "usage: crash_stress [options]\n"
+          "  --cycles=N        crash/reopen cycles per configuration "
+          "(default 200)\n"
+          "  --seed=S          workload/crash seed (default: from clock)\n"
+          "  --layout=pm|ssd   level-0 layout (default pm)\n"
+          "  --pm-crash-sim    enable PM persist-granularity faults\n"
+          "  --all-layouts     run pm, ssd and pm+crash-sim configurations\n"
+          "  --max-ops=N       max operations per cycle (default 120)\n"
+          "  --dir=PATH        scratch directory (default /tmp)\n"
+          "  --verbose         per-cycle crash-plan log\n");
+}
+
+bool ParseInt(const char* arg, const char* flag, long* out) {
+  size_t n = strlen(flag);
+  if (strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  *out = strtol(arg + n + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using pmblade::test::CrashHarness;
+  using pmblade::test::CrashHarnessOptions;
+  using pmblade::test::CrashHarnessResult;
+
+  long cycles = 200;
+  unsigned long long seed = static_cast<unsigned long long>(time(nullptr));
+  std::string layout = "pm";
+  bool pm_crash_sim = false;
+  bool all_layouts = false;
+  long max_ops = 120;
+  std::string dir = "/tmp";
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long v = 0;
+    if (ParseInt(arg, "--cycles", &v)) {
+      cycles = v;
+    } else if (strncmp(arg, "--seed=", 7) == 0) {
+      seed = strtoull(arg + 7, nullptr, 10);
+    } else if (strncmp(arg, "--layout=", 9) == 0) {
+      layout = arg + 9;
+    } else if (strcmp(arg, "--pm-crash-sim") == 0) {
+      pm_crash_sim = true;
+    } else if (strcmp(arg, "--all-layouts") == 0) {
+      all_layouts = true;
+    } else if (ParseInt(arg, "--max-ops", &v)) {
+      max_ops = v;
+    } else if (strncmp(arg, "--dir=", 6) == 0) {
+      dir = arg + 6;
+    } else if (strcmp(arg, "--verbose") == 0) {
+      verbose = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (const char* s = getenv("PMBLADE_CRASH_SEED")) {
+    seed = strtoull(s, nullptr, 10);
+  }
+  if (const char* s = getenv("PMBLADE_CRASH_CYCLES")) {
+    long v = strtol(s, nullptr, 10);
+    if (v > 0) cycles = v;
+  }
+
+  // The seed goes out first so a dead CI job still shows how to replay.
+  printf("crash_stress: seed=%llu cycles=%ld (replay: crash_stress "
+         "--seed=%llu --cycles=%ld)\n",
+         seed, cycles, seed, cycles);
+  fflush(stdout);
+
+  struct Config {
+    const char* name;
+    pmblade::L0Layout layout;
+    bool pm_crash_sim;
+  };
+  std::vector<Config> configs;
+  if (all_layouts) {
+    configs = {{"pm", pmblade::L0Layout::kPmTable, false},
+               {"ssd", pmblade::L0Layout::kSstable, false},
+               {"pm+crash-sim", pmblade::L0Layout::kPmTable, true}};
+  } else {
+    configs = {{layout.c_str(),
+                layout == "ssd" ? pmblade::L0Layout::kSstable
+                                : pmblade::L0Layout::kPmTable,
+                pm_crash_sim}};
+  }
+
+  bool ok = true;
+  for (const Config& config : configs) {
+    CrashHarnessOptions opts;
+    opts.dbname = dir + "/pmblade_crash_stress_" +
+                  std::to_string(static_cast<unsigned long long>(seed));
+    opts.seed = seed;
+    opts.cycles = static_cast<int>(cycles);
+    opts.l0_layout = config.layout;
+    opts.pm_crash_sim = config.pm_crash_sim;
+    opts.max_ops_per_cycle = static_cast<int>(max_ops);
+    opts.verbose = verbose;
+
+    printf("== %s: %ld cycles ==\n", config.name, cycles);
+    fflush(stdout);
+    CrashHarness harness(opts);
+    CrashHarnessResult result = harness.Run();
+    if (result.ok()) {
+      printf("   PASS: %d cycles (%d syncpoint / %d between-op crashes), "
+             "%lld ops\n",
+             result.cycles_run, result.syncpoint_crashes,
+             result.between_op_crashes, result.ops_issued);
+    } else {
+      printf("   FAIL at cycle %d: %s\n   replay: crash_stress --seed=%llu "
+             "--cycles=%ld --layout=%s%s\n",
+             result.failed_cycle, result.failure.c_str(), seed, cycles,
+             config.layout == pmblade::L0Layout::kSstable ? "ssd" : "pm",
+             config.pm_crash_sim ? " --pm-crash-sim" : "");
+      ok = false;
+    }
+    fflush(stdout);
+  }
+  return ok ? 0 : 1;
+}
