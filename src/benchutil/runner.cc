@@ -65,6 +65,7 @@ Status BenchEnv::OpenEngine(EngineConfig config, KvEngine** engine) {
       opts.cost.tau_w = options_.memtable_bytes * 4;
       opts.internal_table_target_bytes = options_.memtable_bytes * 4;
       opts.block_cache_bytes = options_.block_cache_bytes;
+      opts.background_compaction = options_.background_compaction;
 
       switch (config) {
         case EngineConfig::kPmBlade:

@@ -58,6 +58,11 @@ struct BenchEnvOptions {
   /// must not swallow the whole working set or SSD configs never touch the
   /// device).
   size_t block_cache_bytes = 256 << 10;
+  /// When false, the flush path blocks on the compaction scheduler draining
+  /// (the historical inline-compaction stall). Only meaningful for the
+  /// PM-Blade configs; used by `benchmark_kv --compaction_stall` for A/B
+  /// comparison against the backgrounded default.
+  bool background_compaction = true;
   std::vector<std::string> partition_boundaries;
 };
 
@@ -86,6 +91,11 @@ class BenchEnv {
   MatrixKvDb* matrixkv_db() { return matrix_.get(); }
   LeveledDb* leveled_db() { return leveled_.get(); }
   EngineConfig config() const { return config_; }
+
+  /// Benches that reopen the engine per measurement point (write_scaling,
+  /// compaction_stall) may tweak these between OpenEngine calls. Takes
+  /// effect on the next OpenEngine.
+  BenchEnvOptions* mutable_options() { return &options_; }
 
   /// Forces everything down to its resting place (flush; engines compact on
   /// their own policies).

@@ -94,6 +94,29 @@ struct MajorCompactor::SubtaskState {
   bool done = false;
 };
 
+// A failed Run must not leave its output files behind: the manifest never
+// references them, so they would survive as orphans until a manual cleanup.
+// Abandon whatever each builder buffered, release still-open file handles,
+// and unlink every path this run created — including outputs that were
+// already sealed before a later subtask failed. Removal errors are ignored:
+// this is best-effort tidying on an already-failing path, and the startup GC
+// sweeps anything that slips through.
+void MajorCompactor::CleanupFailedRun(
+    std::vector<SubtaskState>& states,
+    std::vector<CompactionOutputMeta>* outputs) {
+  for (SubtaskState& st : states) {
+    if (st.builder != nullptr) st.builder->Abandon();
+    if (st.raw_file != nullptr) {
+      st.raw_file->Close();
+      st.raw_file.reset();
+    }
+    if (!st.meta.path.empty()) {
+      raw_env_->RemoveFile(st.meta.path);
+    }
+  }
+  outputs->clear();
+}
+
 MajorCompactor::MajorCompactor(Env* raw_env, SsdModel* model,
                                L0TableFactory* factory,
                                const MajorCompactionOptions& options)
@@ -127,8 +150,11 @@ Status MajorCompactor::Run(
     snprintf(name, sizeof(name), "/%06llu.sst",
              static_cast<unsigned long long>(st.meta.file_number));
     st.meta.path = fopts.ssd_dir + name;
-    PMBLADE_RETURN_IF_ERROR(
-        raw_env_->NewWritableFile(st.meta.path, &st.raw_file));
+    Status open_status = raw_env_->NewWritableFile(st.meta.path, &st.raw_file);
+    if (!open_status.ok()) {
+      CleanupFailedRun(states, outputs);
+      return open_status;
+    }
     SubtaskState* stp = &st;
     st.chunk_file.reset(new ChunkingFile(
         st.raw_file.get(), options_.write_block_bytes,
@@ -161,21 +187,36 @@ Status MajorCompactor::Run(
       s = RunCoroutineEngine(states, /*use_flush_coroutine=*/true);
       break;
   }
-  PMBLADE_RETURN_IF_ERROR(s);
+  if (!s.ok()) {
+    CleanupFailedRun(states, outputs);
+    return s;
+  }
 
   // Seal outputs (install point: only now do the new tables become real).
   for (SubtaskState& st : states) {
-    PMBLADE_RETURN_IF_ERROR(st.status);
+    if (!st.status.ok()) {
+      CleanupFailedRun(states, outputs);
+      return st.status;
+    }
     if (st.output_records == 0) {
       st.builder->Abandon();
       st.raw_file->Close();
+      st.raw_file.reset();
       raw_env_->RemoveFile(st.meta.path);
+      st.meta.path.clear();
       continue;
     }
     st.meta.file_size = st.builder->FileSize();
     st.meta.num_entries = st.builder->NumEntries();
-    PMBLADE_RETURN_IF_ERROR(st.raw_file->Sync());
-    PMBLADE_RETURN_IF_ERROR(st.raw_file->Close());
+    Status seal = st.raw_file->Sync();
+    if (seal.ok()) {
+      seal = st.raw_file->Close();
+      st.raw_file.reset();  // Close releases the handle even on error
+    }
+    if (!seal.ok()) {
+      CleanupFailedRun(states, outputs);
+      return seal;
+    }
     outputs->push_back(st.meta);
     stats->input_records += st.input_records;
     stats->output_records += st.output_records;

@@ -140,6 +140,11 @@ class MajorCompactor {
   Status RunThreadEngine(std::vector<SubtaskState>& states);
   Status RunCoroutineEngine(std::vector<SubtaskState>& states,
                             bool use_flush_coroutine);
+  /// Deletes every output file a failed Run created (whether half-written,
+  /// sealed, or not yet opened past name reservation) and clears `outputs`,
+  /// so an error never strands orphan .sst files for the caller to track.
+  void CleanupFailedRun(std::vector<SubtaskState>& states,
+                        std::vector<CompactionOutputMeta>* outputs);
 
   Env* raw_env_;
   SsdModel* model_;

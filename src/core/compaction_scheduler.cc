@@ -1,0 +1,213 @@
+#include "core/compaction_scheduler.h"
+
+#include <utility>
+
+#include "util/sync_point.h"
+
+namespace pmblade {
+
+CompactionScheduler::CompactionScheduler(const Options& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : SystemClock()),
+      logger_(options.logger != nullptr ? options.logger : NullLogger()) {
+  if (options_.metrics != nullptr) {
+    queued_counter_ =
+        options_.metrics->GetCounter("pmblade.compaction.sched.queued");
+    completed_counter_ =
+        options_.metrics->GetCounter("pmblade.compaction.sched.completed");
+    failed_counter_ =
+        options_.metrics->GetCounter("pmblade.compaction.sched.failed");
+    retry_counter_ =
+        options_.metrics->GetCounter("pmblade.compaction.sched.retries");
+    dedup_counter_ =
+        options_.metrics->GetCounter("pmblade.compaction.sched.deduped");
+    // Live depth of the scheduler: work the flush path has handed off but
+    // that has not finished yet. `this` outlives the registry's last
+    // Snapshot() because DBImpl declares the scheduler before the registry.
+    options_.metrics->RegisterGaugeCallback(
+        "pmblade.compaction.queue_depth",
+        [this] { return static_cast<double>(QueueDepth()); });
+    options_.metrics->RegisterGaugeCallback(
+        "pmblade.compaction.running", [this] { return running() ? 1.0 : 0.0; });
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+CompactionScheduler::~CompactionScheduler() { Shutdown(); }
+
+void CompactionScheduler::set_check(std::function<Status()> check) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_ = std::move(check);
+}
+
+void CompactionScheduler::ScheduleCheck() {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || !check_) return;
+    if (check_queued_) {
+      if (dedup_counter_ != nullptr) dedup_counter_->Inc();
+      return;
+    }
+    check_queued_ = true;
+    queue_.push_back(Job{JobKind::kCheck, check_, nullptr});
+    depth = queue_.size() + (running_ ? 1 : 0);
+    work_cv_.notify_one();
+  }
+  if (queued_counter_ != nullptr) queued_counter_->Inc();
+  EmitQueued(depth, JobKind::kCheck);
+}
+
+Status CompactionScheduler::RunExclusive(std::function<Status()> job) {
+  auto waiter = std::make_shared<ManualWaiter>();
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::Aborted("compaction scheduler is shut down");
+    }
+    queue_.push_back(Job{JobKind::kManual, std::move(job), waiter});
+    depth = queue_.size() + (running_ ? 1 : 0);
+    work_cv_.notify_one();
+  }
+  if (queued_counter_ != nullptr) queued_counter_->Inc();
+  EmitQueued(depth, JobKind::kManual);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return waiter->done; });
+  return waiter->status;
+}
+
+void CompactionScheduler::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+void CompactionScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    work_cv_.notify_all();
+  }
+  // Idempotent for sequential callers (DBImpl::~DBImpl then the scheduler
+  // destructor); joinable() is false on the second call.
+  if (worker_.joinable()) worker_.join();
+}
+
+size_t CompactionScheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + (running_ ? 1 : 0);
+}
+
+bool CompactionScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint64_t CompactionScheduler::checks_completed() const {
+  return completed_counter_ != nullptr ? completed_counter_->Value() : 0;
+}
+
+uint64_t CompactionScheduler::checks_failed() const {
+  return failed_counter_ != nullptr ? failed_counter_->Value() : 0;
+}
+
+uint64_t CompactionScheduler::retries() const {
+  return retry_counter_ != nullptr ? retry_counter_->Value() : 0;
+}
+
+void CompactionScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) {
+      // Queued checks are dropped (redoable); queued manual jobs must not
+      // strand their waiters.
+      for (Job& job : queue_) {
+        if (job.kind == JobKind::kManual) {
+          job.waiter->status =
+              Status::Aborted("compaction scheduler is shut down");
+          job.waiter->done = true;
+        }
+      }
+      queue_.clear();
+      check_queued_ = false;
+      done_cv_.notify_all();
+      return;
+    }
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    if (job.kind == JobKind::kCheck) check_queued_ = false;
+    running_ = true;
+    const int failure_streak = consecutive_failures_;
+    lock.unlock();
+
+    PMBLADE_SYNC_POINT("CompactionScheduler::BeforeJob");
+    EmitStart(job.kind);
+    const uint64_t start_nanos = clock_->NowNanos();
+    Status s = job.fn();
+    EmitEnd(job.kind, s, start_nanos, failure_streak);
+    PMBLADE_SYNC_POINT("CompactionScheduler::AfterJob");
+
+    if (s.ok()) {
+      if (completed_counter_ != nullptr) completed_counter_->Inc();
+    } else if (failed_counter_ != nullptr) {
+      failed_counter_->Inc();
+    }
+
+    lock.lock();
+    running_ = false;
+    if (job.kind == JobKind::kManual) {
+      job.waiter->status = s;
+      job.waiter->done = true;
+    } else if (s.ok()) {
+      consecutive_failures_ = 0;
+    } else {
+      // Retryable by design: log it, count it, and re-enqueue — bounded so
+      // a persistently failing env does not hot-loop. After the cap the
+      // check is parked until the next flush schedules a fresh one (which
+      // gets exactly one attempt while the failure streak persists).
+      ++consecutive_failures_;
+      PMBLADE_WARN(logger_,
+                   "background compaction check failed (attempt %d/%d): %s",
+                   consecutive_failures_, options_.retry_limit + 1,
+                   s.ToString().c_str());
+      if (consecutive_failures_ <= options_.retry_limit && !shutdown_ &&
+          !check_queued_ && check_) {
+        check_queued_ = true;
+        queue_.push_back(Job{JobKind::kCheck, check_, nullptr});
+        if (retry_counter_ != nullptr) retry_counter_->Inc();
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void CompactionScheduler::EmitQueued(size_t depth, JobKind kind) {
+  obs::EventBus* bus = options_.event_bus;
+  if (bus == nullptr || !bus->active()) return;
+  bus->Emit(obs::Event(obs::EventType::kCompactionQueued, clock_->NowNanos())
+                .With("queue_depth", static_cast<double>(depth))
+                .With("manual", kind == JobKind::kManual ? 1.0 : 0.0));
+}
+
+void CompactionScheduler::EmitStart(JobKind kind) {
+  obs::EventBus* bus = options_.event_bus;
+  if (bus == nullptr || !bus->active()) return;
+  bus->Emit(obs::Event(obs::EventType::kCompactionStart, clock_->NowNanos())
+                .With("manual", kind == JobKind::kManual ? 1.0 : 0.0));
+}
+
+void CompactionScheduler::EmitEnd(JobKind kind, const Status& status,
+                                  uint64_t start_nanos, int failure_streak) {
+  obs::EventBus* bus = options_.event_bus;
+  if (bus == nullptr || !bus->active()) return;
+  const uint64_t now = clock_->NowNanos();
+  bus->Emit(obs::Event(obs::EventType::kCompactionEnd, now)
+                .With("manual", kind == JobKind::kManual ? 1.0 : 0.0)
+                .With("ok", status.ok() ? 1.0 : 0.0)
+                .With("duration_nanos", static_cast<double>(now - start_nanos))
+                .With("retries", static_cast<double>(failure_streak)));
+}
+
+}  // namespace pmblade

@@ -1,0 +1,139 @@
+// CompactionScheduler: the dedicated background worker that runs Algorithm 1
+// (internal compaction + the S1/S2/S3 major compaction) OFF the flush thread.
+//
+// Before this existed, the background flush thread ran every compaction
+// inline while holding the DB mutex, so one major compaction stalled every
+// reader, writer and the next memtable flush for its whole duration. The
+// scheduler decouples them:
+//
+//   * BackgroundFlush enqueues a "check" (one Algorithm-1 evaluation) and
+//     returns; stalled writers are woken as soon as the flush commits.
+//   * The single worker thread pops the check, snapshots its inputs under a
+//     short DB-mutex critical section, runs the merge and all simulated-SSD
+//     I/O with the mutex released, and re-acquires it only for the install +
+//     manifest commit.
+//   * Manual maintenance (CompactLevel0 / CompactToLevel1) is funneled
+//     through the same thread via RunExclusive, so at most ONE compaction is
+//     ever in flight engine-wide — install sites never race each other, and
+//     a partition's sorted/L1 runs are only ever mutated from this thread.
+//
+// Error discipline: a failed check is RETRYABLE — it is logged, counted and
+// re-enqueued up to `retry_limit` consecutive times, then parked until the
+// next flush schedules a fresh check. Compaction failures never poison the
+// DB's sticky background error (compactions are always redoable from the
+// state they failed over); that error is reserved for flush/WAL/manifest
+// failures.
+
+#ifndef PMBLADE_CORE_COMPACTION_SCHEDULER_H_
+#define PMBLADE_CORE_COMPACTION_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace pmblade {
+
+class CompactionScheduler {
+ public:
+  struct Options {
+    /// Consecutive failed checks are self-rescheduled up to this many times;
+    /// afterwards the scheduler waits for the next external ScheduleCheck.
+    int retry_limit = 2;
+    obs::EventBus* event_bus = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;  // may be nullptr (tests)
+    Clock* clock = nullptr;                   // defaults to SystemClock()
+    Logger* logger = nullptr;                 // defaults to NullLogger()
+  };
+
+  explicit CompactionScheduler(const Options& options);
+  ~CompactionScheduler();
+
+  CompactionScheduler(const CompactionScheduler&) = delete;
+  CompactionScheduler& operator=(const CompactionScheduler&) = delete;
+
+  /// The Algorithm-1 evaluation invoked on the worker thread. Must be set
+  /// before the first ScheduleCheck.
+  void set_check(std::function<Status()> check);
+
+  /// Enqueues one Algorithm-1 check. Deduplicated: while a check is already
+  /// queued (but not yet running) this is a no-op — the queued check will
+  /// see the caller's state anyway. Never blocks.
+  void ScheduleCheck();
+
+  /// Runs `job` on the worker thread after any queued work and returns its
+  /// status. Used by manual compaction entry points so they serialize with
+  /// background checks. Returns Aborted after Shutdown.
+  Status RunExclusive(std::function<Status()> job);
+
+  /// Blocks until nothing is queued or running (including self-scheduled
+  /// retries). Maintenance callers use this to observe post-compaction
+  /// state deterministically.
+  void WaitIdle();
+
+  /// Stops the worker: the in-flight job finishes, queued checks are
+  /// dropped (compaction work is always redoable), queued manual jobs
+  /// complete with Aborted. Idempotent; called by the destructor.
+  void Shutdown();
+
+  // ---- introspection (tests / gauges) ----
+  size_t QueueDepth() const;
+  bool running() const;
+  uint64_t checks_completed() const;
+  uint64_t checks_failed() const;
+  uint64_t retries() const;
+
+ private:
+  struct ManualWaiter {
+    bool done = false;       // guarded by mu_
+    Status status;           // guarded by mu_
+  };
+  enum class JobKind { kCheck, kManual };
+  struct Job {
+    JobKind kind;
+    std::function<Status()> fn;
+    std::shared_ptr<ManualWaiter> waiter;  // kManual only
+  };
+
+  void WorkerLoop();
+  void EmitQueued(size_t depth, JobKind kind);
+  void EmitStart(JobKind kind);
+  void EmitEnd(JobKind kind, const Status& status, uint64_t start_nanos,
+               int failure_streak);
+
+  Options options_;
+  Clock* clock_;
+  Logger* logger_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // worker wakeup
+  std::condition_variable done_cv_;   // manual waiters + WaitIdle
+  std::deque<Job> queue_;
+  std::function<Status()> check_;     // set once before first use
+  bool check_queued_ = false;         // dedup flag for kCheck entries
+  bool running_ = false;
+  bool shutdown_ = false;
+  int consecutive_failures_ = 0;
+
+  // Counters (registered with the metrics registry when provided; also read
+  // directly by tests).
+  obs::Counter* queued_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Counter* failed_counter_ = nullptr;
+  obs::Counter* retry_counter_ = nullptr;
+  obs::Counter* dedup_counter_ = nullptr;
+
+  std::thread worker_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_COMPACTION_SCHEDULER_H_

@@ -87,11 +87,17 @@ DBImpl::~DBImpl() {
   // before it dies.
   if (model_ != nullptr) model_->set_event_bus(nullptr);
   // Drain the background flush before tearing anything down (the job takes
-  // mu_ itself, so wait without holding it).
+  // mu_ itself, so wait without holding it). This must precede the
+  // scheduler shutdown: an inline-mode flush blocks on the scheduler
+  // draining, and any flush may enqueue a check.
   if (flush_pool_ != nullptr) {
     flush_pool_->Wait();
     flush_pool_.reset();
   }
+  // Stop the compaction worker: the in-flight job (which takes mu_ itself)
+  // finishes, queued checks are dropped — compaction is redoable, the next
+  // open re-evaluates.
+  if (compaction_scheduler_ != nullptr) compaction_scheduler_->Shutdown();
   std::lock_guard<std::mutex> lock(mu_);
   if (wal_file_ != nullptr) wal_file_->Close();
   if (mem_ != nullptr) mem_->Unref();
@@ -241,6 +247,31 @@ Status DBImpl::Init() {
   mem_->Ref();
   flush_pool_.reset(new ThreadPool(1));
 
+  // The dedicated Algorithm-1 worker (see compaction_scheduler.h for the
+  // thread/lock model). Created before recovery so manual compactions work
+  // immediately after Open.
+  CompactionScheduler::Options copts;
+  copts.retry_limit = options_.compaction_retry_limit;
+  copts.event_bus = &events_;
+  copts.metrics = &metrics_;
+  copts.clock = clock_;
+  copts.logger = options_.logger;
+  compaction_scheduler_.reset(new CompactionScheduler(copts));
+  compaction_scheduler_->set_check([this] {
+    return BackgroundCompactionCheck();
+  });
+  file_gc_fail_counter_ = metrics_.GetCounter("pmblade.gc.remove_failures");
+
+  // Live q_cli: when env_ is a SimEnv sharing our model, its file wrappers
+  // already classify client I/O into the inflight gauges; otherwise DBImpl
+  // registers its own client ops (WAL writes, SSD-resident reads) so the
+  // io-gate's q_cli term reflects real foreground pressure instead of a
+  // constant 0.
+  {
+    SimEnv* sim = dynamic_cast<SimEnv*>(env_);
+    track_client_io_ = (sim == nullptr || sim->model() != model_);
+  }
+
   // Recover or bootstrap.
   ManifestState state;
   Status s = ReadManifest(env_, dbname_, &state);
@@ -261,6 +292,22 @@ Status DBImpl::Init() {
     }
     partitions_.push_back(std::make_unique<Partition>(
         next_partition_id_++, prev, std::string(), clock_));
+    // No manifest means nothing on disk is referenced: a directory that
+    // still holds pool objects or .sst files (a crash before the very first
+    // manifest commit) is all garbage. WAL data replays into the memtable
+    // regardless.
+    for (const auto& info : pool_->ListObjects()) {
+      pool_->Free(info.id);
+    }
+    std::vector<std::string> children;
+    if (env_->GetChildren(dbname_, &children).ok()) {
+      for (const auto& child : children) {
+        if (child.size() > 4 &&
+            child.compare(child.size() - 4, 4, ".sst") == 0) {
+          env_->RemoveFile(dbname_ + "/" + child);
+        }
+      }
+    }
   } else {
     return s;
   }
@@ -554,24 +601,31 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       // memtable insert all run outside mu_: readers and queueing writers
       // proceed concurrently.
       lock.unlock();
-      status = wal_->AddRecord(group->rep());
-      PMBLADE_SYNC_POINT("DBImpl::Write:AfterWalAppend");
-      if (status.ok() && group_sync) {
-        const uint64_t sync_start = clock_->NowNanos();
-        status = wal_file_->Sync();
-        if (!status.ok()) {
-          sync_error = true;
-        } else {
-          wal_sync_counter_->Inc();
-          PMBLADE_SYNC_POINT("DBImpl::Write:AfterWalSync");
-          if (events_.active()) {
-            events_.Emit(
-                obs::Event(obs::EventType::kWalSync, clock_->NowNanos())
-                    .With("bytes", static_cast<double>(group->rep().size()))
-                    .With("writes", static_cast<double>(group_members))
-                    .With("duration_nanos",
-                          static_cast<double>(clock_->NowNanos() -
-                                              sync_start)));
+      {
+        // The WAL append/fsync lands on the SSD: register one client op so
+        // the io-gate's q_cli gauge sees live foreground write pressure
+        // (no-op when the SimEnv already classifies this I/O).
+        ScopedExternalIo wal_io(track_client_io_ ? model_ : nullptr,
+                                IoClass::kClient);
+        status = wal_->AddRecord(group->rep());
+        PMBLADE_SYNC_POINT("DBImpl::Write:AfterWalAppend");
+        if (status.ok() && group_sync) {
+          const uint64_t sync_start = clock_->NowNanos();
+          status = wal_file_->Sync();
+          if (!status.ok()) {
+            sync_error = true;
+          } else {
+            wal_sync_counter_->Inc();
+            PMBLADE_SYNC_POINT("DBImpl::Write:AfterWalSync");
+            if (events_.active()) {
+              events_.Emit(
+                  obs::Event(obs::EventType::kWalSync, clock_->NowNanos())
+                      .With("bytes", static_cast<double>(group->rep().size()))
+                      .With("writes", static_cast<double>(group_members))
+                      .With("duration_nanos",
+                            static_cast<double>(clock_->NowNanos() -
+                                                sync_start)));
+            }
           }
         }
       }
@@ -807,9 +861,21 @@ void DBImpl::BackgroundFlush() {
     PMBLADE_SYNC_POINT("DBImpl::BackgroundFlush:ManifestCommitted");
     if (s.ok()) {
       for (uint64_t number : flushed) {
-        env_->RemoveFile(WalFileName(dbname_, number));
+        const std::string path = WalFileName(dbname_, number);
+        Status rs = env_->RemoveFile(path);
+        if (!rs.ok() && env_->FileExists(path)) {
+          // A WAL that survives its delete is re-replayed on the next open —
+          // harmless for correctness (its data is already durable in L0 and
+          // replay is idempotent) but it costs startup time and disk. Keep
+          // retrying after future manifest commits instead of leaking it.
+          PMBLADE_WARN(options_.logger, "failed to delete flushed wal %s: %s",
+                       path.c_str(), rs.ToString().c_str());
+          file_gc_fail_counter_->Inc();
+          pending_file_gc_.push_back(path);
+        }
       }
       PMBLADE_SYNC_POINT("DBImpl::BackgroundFlush:WalsDeleted");
+      RetryPendingFileGcLocked();
     }
     if (events_.active()) {
       events_.Emit(
@@ -818,8 +884,25 @@ void DBImpl::BackgroundFlush() {
               .With("duration_nanos",
                     static_cast<double>(clock_->NowNanos() - flush_start)));
     }
-    // Algorithm 1 runs here on the background thread, off the write path.
-    if (s.ok()) s = MaybeScheduleCompactions(touched);
+    if (s.ok()) {
+      if (options_.background_compaction) {
+        // The flush is committed and imm_ is clear: wake stalled writers
+        // NOW. Algorithm 1 is handed to the scheduler below and must not
+        // extend the stall (writers used to sleep through an entire major
+        // compaction here).
+        flush_done_cv_.notify_all();
+        ScheduleCompactionCheck(touched);
+      } else {
+        // A/B benchmarking mode: historical inline behaviour. The work
+        // still executes on the scheduler thread (single-compactor
+        // invariant), but this flush thread blocks until it drains, holding
+        // stalled writers down for the compaction's duration.
+        ScheduleCompactionCheck(touched);
+        lock.unlock();
+        compaction_scheduler_->WaitIdle();
+        lock.lock();
+      }
+    }
   } else {
     // Failed build: drop partial outputs. imm_ stays installed for reads
     // and its data remains recoverable from the still-live WALs.
@@ -833,24 +916,72 @@ void DBImpl::BackgroundFlush() {
   flush_done_cv_.notify_all();
 }
 
+void DBImpl::RetryPendingFileGcLocked() {
+  if (pending_file_gc_.empty()) return;
+  std::vector<std::string> still_pending;
+  for (const std::string& path : pending_file_gc_) {
+    if (!env_->FileExists(path)) continue;  // a later attempt got it
+    Status rs = env_->RemoveFile(path);
+    if (!rs.ok() && env_->FileExists(path)) still_pending.push_back(path);
+  }
+  pending_file_gc_ = std::move(still_pending);
+}
+
 Status DBImpl::FlushMemTable() {
   // Rotate the memtable through the writer queue (a batch-less marker) so
   // WAL rotation stays leader-exclusive, then wait for the background
   // flush to commit.
   PMBLADE_RETURN_IF_ERROR(Write(WriteOptions(), nullptr));
-  std::unique_lock<std::mutex> lock(mu_);
-  flush_done_cv_.wait(lock, [this] {
-    return imm_ == nullptr || !bg_error_.ok();
-  });
-  return bg_error_;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    flush_done_cv_.wait(lock, [this] {
+      return imm_ == nullptr || !bg_error_.ok();
+    });
+    PMBLADE_RETURN_IF_ERROR(bg_error_);
+  }
+  // Algorithm-1 work triggered by this flush runs on the compaction
+  // scheduler; drain it so maintenance callers (tests, CompactToLevel1, the
+  // crash model) observe the post-compaction state deterministically.
+  // Bounded even when the env is dying: failed checks retry at most
+  // compaction_retry_limit times, then the scheduler parks.
+  compaction_scheduler_->WaitIdle();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
 // Compaction scheduling (Algorithm 1)
 // ---------------------------------------------------------------------------
 
-Status DBImpl::MaybeScheduleCompactions(
-    const std::vector<Partition*>& touched) {
+void DBImpl::ScheduleCompactionCheck(const std::vector<Partition*>& touched) {
+  for (Partition* partition : touched) {
+    if (std::find(compaction_dirty_.begin(), compaction_dirty_.end(),
+                  partition) == compaction_dirty_.end()) {
+      compaction_dirty_.push_back(partition);
+    }
+  }
+  compaction_scheduler_->ScheduleCheck();
+}
+
+Status DBImpl::BackgroundCompactionCheck() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<Partition*> touched = std::move(compaction_dirty_);
+  compaction_dirty_.clear();
+  Status s = RunCompactionsLocked(lock, touched);
+  if (!s.ok()) {
+    // Re-arm the dirty set so the scheduler's retry (or the next
+    // flush-triggered check) re-evaluates the same partitions.
+    for (Partition* partition : touched) {
+      if (std::find(compaction_dirty_.begin(), compaction_dirty_.end(),
+                    partition) == compaction_dirty_.end()) {
+        compaction_dirty_.push_back(partition);
+      }
+    }
+  }
+  return s;
+}
+
+Status DBImpl::RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
+                                    const std::vector<Partition*>& touched) {
   if (options_.enable_cost_model) {
     if (options_.enable_internal_compaction) {
       for (Partition* partition : touched) {
@@ -882,7 +1013,7 @@ Status DBImpl::MaybeScheduleCompactions(
         }
         if (decision.triggered()) {
           PMBLADE_RETURN_IF_ERROR(
-              RunInternalCompactionOnPartition(partition));
+              RunInternalCompactionOnPartition(lock, partition));
         }
       }
     }
@@ -921,7 +1052,8 @@ Status DBImpl::MaybeScheduleCompactions(
         EmitKeepSetEvent(all, keep, tau_t, total_l0);
       }
       if (!victims.empty()) {
-        PMBLADE_RETURN_IF_ERROR(RunMajorCompactionOnPartitions(victims));
+        PMBLADE_RETURN_IF_ERROR(
+            RunMajorCompactionOnPartitions(lock, victims));
       }
     }
     return Status::OK();
@@ -947,7 +1079,7 @@ Status DBImpl::MaybeScheduleCompactions(
       if (partition->L0Bytes() > 0) victims.push_back(partition.get());
     }
     if (!victims.empty()) {
-      PMBLADE_RETURN_IF_ERROR(RunMajorCompactionOnPartitions(victims));
+      PMBLADE_RETURN_IF_ERROR(RunMajorCompactionOnPartitions(lock, victims));
     }
   }
   return Status::OK();
@@ -984,41 +1116,67 @@ void DBImpl::EmitKeepSetEvent(const std::vector<PartitionCounters>& all,
           .WithDetail(std::move(detail)));
 }
 
-Status DBImpl::RunInternalCompactionOnPartition(Partition* partition) {
+Status DBImpl::RunInternalCompactionOnPartition(
+    std::unique_lock<std::mutex>& lock, Partition* partition) {
   if (partition->unsorted().empty() && partition->sorted_run().size() <= 1) {
     return Status::OK();
   }
-  std::vector<L0TableRef> inputs = partition->unsorted();  // newest first
-  for (const auto& table : partition->sorted_run()) inputs.push_back(table);
+  // Snapshot the inputs under mu_. Only this (scheduler) thread ever
+  // removes tables from the partition, so the snapshot stays a suffix of
+  // unsorted() while the merge runs; flushes may prepend newer tables.
+  std::vector<L0TableRef> snap_unsorted = partition->unsorted();
+  std::vector<L0TableRef> snap_sorted = partition->sorted_run();
+  std::vector<L0TableRef> inputs = snap_unsorted;  // newest first
+  for (const auto& table : snap_sorted) inputs.push_back(table);
 
   L0TableFactory* factory =
       l0_factory_ != nullptr ? l0_factory_.get() : l1_factory_.get();
 
   InternalCompactionOptions copts;
   copts.target_table_bytes = options_.internal_table_target_bytes;
+  // l1_run is only mutated by this thread, so the verdict stays valid while
+  // the lock is released below.
   copts.drop_tombstones = partition->l1_run().empty();
   copts.oldest_snapshot = OldestLiveSnapshot();
   copts.clock = clock_;
   copts.event_bus = &events_;
   copts.partition_id = partition->id();
 
+  // The merge runs without mu_: readers and the write pipeline proceed.
+  lock.unlock();
   std::vector<L0TableRef> outputs;
   InternalCompactionStats cstats;
-  PMBLADE_RETURN_IF_ERROR(RunInternalCompaction(
-      copts, icmp_, inputs, factory, &outputs, &cstats));
+  Status s =
+      RunInternalCompaction(copts, icmp_, inputs, factory, &outputs, &cstats);
   PMBLADE_SYNC_POINT("DBImpl::InternalCompaction:Outputs");
+  if (!s.ok()) {
+    // Retryable: drop any tables built before the failure so PM is not
+    // leaked, mutate nothing.
+    for (auto& table : outputs) table->Destroy();
+    lock.lock();
+    return s;
+  }
+  lock.lock();
 
-  std::vector<L0TableRef> old_unsorted = std::move(partition->unsorted());
-  std::vector<L0TableRef> old_sorted = std::move(partition->sorted_run());
-  partition->unsorted().clear();
+  // Install under mu_: remove exactly the snapshotted tables (newer flushed
+  // tables at the front of unsorted() stay, correctly ordered above the
+  // merged run).
+  Partition::RemoveTables(&partition->unsorted(), snap_unsorted);
   partition->sorted_run() = std::move(outputs);
   partition->ResetCounters();
   stats_.AddInternalCompaction(cstats.input_bytes, cstats.output_bytes);
 
-  PMBLADE_RETURN_IF_ERROR(PersistManifest());
+  s = PersistManifest();
+  if (!s.ok()) {
+    // The new run is already installed in memory; a manifest that cannot be
+    // written is a stop-the-world condition (same class as a flush-side
+    // manifest failure), not a retryable compaction error.
+    bg_error_ = s;
+    return s;
+  }
   PMBLADE_SYNC_POINT("DBImpl::InternalCompaction:AfterManifest");
-  for (auto& table : old_unsorted) table->Destroy();
-  for (auto& table : old_sorted) table->Destroy();
+  for (auto& table : snap_unsorted) table->Destroy();
+  for (auto& table : snap_sorted) table->Destroy();
 
   PMBLADE_INFO(options_.logger,
                "internal compaction p%llu: %llu->%llu tables, released %lld B",
@@ -1030,10 +1188,26 @@ Status DBImpl::RunInternalCompactionOnPartition(Partition* partition) {
 }
 
 Status DBImpl::RunMajorCompactionOnPartitions(
+    std::unique_lock<std::mutex>& lock,
     const std::vector<Partition*>& victims) {
+  // Snapshot every victim's table sets under mu_ (both for the merge inputs
+  // and for the identity-based install below — tables flushed during the
+  // merge must survive it).
+  struct VictimSnapshot {
+    std::vector<L0TableRef> unsorted;
+    std::vector<L0TableRef> sorted;
+    std::vector<L0TableRef> l1;
+  };
+  std::vector<VictimSnapshot> snaps;
+  snaps.reserve(victims.size());
   std::vector<CompactionSubtaskInput> subtasks;
   subtasks.reserve(victims.size());
   for (Partition* partition : victims) {
+    VictimSnapshot snap;
+    snap.unsorted = partition->unsorted();
+    snap.sorted = partition->sorted_run();
+    snap.l1 = partition->l1_run();
+
     CompactionSubtaskInput sub;
     uint64_t l0_bytes = partition->L0Bytes();
     uint64_t l1_bytes = partition->L1Bytes();
@@ -1043,9 +1217,9 @@ Status DBImpl::RunMajorCompactionOnPartitions(
             : 0.0;
     if (options_.l0_layout == L0Layout::kSstable) sub.ssd_input_fraction = 1.0;
     // Capture the table sets by value so iterators outlive version edits.
-    std::vector<L0TableRef> unsorted = partition->unsorted();
-    std::vector<L0TableRef> sorted = partition->sorted_run();
-    std::vector<L0TableRef> l1 = partition->l1_run();
+    std::vector<L0TableRef> unsorted = snap.unsorted;
+    std::vector<L0TableRef> sorted = snap.sorted;
+    std::vector<L0TableRef> l1 = snap.l1;
     const InternalKeyComparator* icmp = &icmp_;
     sub.make_input = [unsorted, sorted, l1, icmp]() -> Iterator* {
       std::vector<Iterator*> children;
@@ -1059,6 +1233,7 @@ Status DBImpl::RunMajorCompactionOnPartitions(
       return merged;
     };
     subtasks.push_back(std::move(sub));
+    snaps.push_back(std::move(snap));
   }
 
   MajorCompactionOptions mopts = options_.major;
@@ -1067,42 +1242,76 @@ Status DBImpl::RunMajorCompactionOnPartitions(
   mopts.clock = clock_;
   MajorCompactor compactor(raw_env_, model_, l1_factory_.get(), mopts);
 
+  // Merge + all simulated-SSD I/O without mu_.
+  lock.unlock();
   std::vector<CompactionOutputMeta> outputs;
   MajorCompactionStats mstats;
-  PMBLADE_RETURN_IF_ERROR(compactor.Run(subtasks, &outputs, &mstats));
+  Status s = compactor.Run(subtasks, &outputs, &mstats);
   PMBLADE_SYNC_POINT("DBImpl::MajorCompaction:AfterRun");
 
-  // Install: per victim, the (single) output replaces L0 + old L1.
+  // Open ALL outputs before touching any victim: either every table is
+  // ready to install or nothing is mutated. (Opening one victim at a time
+  // used to leave earlier victims half-installed — and their doomed tables
+  // leaked — when an Open failed at victim v>0, and a later flush's
+  // manifest commit would persist the mixed state.)
   TableReaderOptions ropts;
   ropts.comparator = &icmp_;
   ropts.filter_policy = filter_policy_.get();
   ropts.block_cache = block_cache_.get();
 
+  std::vector<std::vector<L0TableRef>> new_l1(victims.size());
+  size_t opened = 0;
+  while (s.ok() && opened < outputs.size()) {
+    const CompactionOutputMeta& meta = outputs[opened];
+    TableReaderOptions opts = ropts;
+    opts.file_number = meta.file_number;
+    std::shared_ptr<SsdL0Table> table;
+    s = SsdL0Table::Open(env_, meta.path, meta.file_number, opts, &table);
+    if (!s.ok()) break;  // `opened` must not count this file: it still
+                         // needs the RemoveFile below, not a Destroy
+    new_l1[meta.subtask_index].push_back(std::move(table));
+    ++opened;
+  }
+  if (!s.ok()) {
+    // Nothing was installed; delete the compaction's output files so a
+    // failed run leaves no orphans (opened tables drop theirs via Destroy
+    // at last ref, unopened ones are removed directly), and report a
+    // retryable failure.
+    for (auto& run : new_l1) {
+      for (auto& table : run) table->Destroy();
+    }
+    for (size_t i = opened; i < outputs.size(); ++i) {
+      raw_env_->RemoveFile(outputs[i].path);
+    }
+    lock.lock();
+    return s;
+  }
+  lock.lock();
+
+  // Install ALL victims atomically under one mu_ hold + one manifest
+  // commit. Remove exactly the snapshotted tables; anything flushed into a
+  // victim while the merge ran stays in unsorted(), above the new L1.
   std::vector<L0TableRef> doomed;
   for (size_t v = 0; v < victims.size(); ++v) {
     Partition* partition = victims[v];
-    std::vector<L0TableRef> new_l1;
-    for (const auto& meta : outputs) {
-      if (meta.subtask_index != v) continue;
-      TableReaderOptions opts = ropts;
-      opts.file_number = meta.file_number;
-      std::shared_ptr<SsdL0Table> table;
-      PMBLADE_RETURN_IF_ERROR(SsdL0Table::Open(env_, meta.path,
-                                               meta.file_number, opts,
-                                               &table));
-      new_l1.push_back(std::move(table));
-    }
-    for (auto& t : partition->unsorted()) doomed.push_back(t);
-    for (auto& t : partition->sorted_run()) doomed.push_back(t);
-    for (auto& t : partition->l1_run()) doomed.push_back(t);
-    partition->unsorted().clear();
-    partition->sorted_run().clear();
-    partition->l1_run() = std::move(new_l1);
+    const VictimSnapshot& snap = snaps[v];
+    for (auto& t : snap.unsorted) doomed.push_back(t);
+    for (auto& t : snap.sorted) doomed.push_back(t);
+    for (auto& t : snap.l1) doomed.push_back(t);
+    Partition::RemoveTables(&partition->unsorted(), snap.unsorted);
+    Partition::RemoveTables(&partition->sorted_run(), snap.sorted);
+    partition->l1_run() = std::move(new_l1[v]);
     partition->ResetCounters();
   }
   stats_.AddMajorCompaction(mstats.ssd_bytes_written);
 
-  PMBLADE_RETURN_IF_ERROR(PersistManifest());
+  s = PersistManifest();
+  if (!s.ok()) {
+    // Installed state that cannot reach the manifest: stop-the-world, same
+    // class as a flush-side manifest failure.
+    bg_error_ = s;
+    return s;
+  }
   PMBLADE_SYNC_POINT("DBImpl::MajorCompaction:AfterManifest");
   for (auto& table : doomed) table->Destroy();
 
@@ -1115,43 +1324,49 @@ Status DBImpl::RunMajorCompactionOnPartitions(
 }
 
 Status DBImpl::CompactLevel0() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& partition : partitions_) {
-    PMBLADE_RETURN_IF_ERROR(
-        RunInternalCompactionOnPartition(partition.get()));
-  }
-  return Status::OK();
+  // Serialize with background checks on the scheduler thread — the only
+  // thread allowed to mutate sorted runs (see partition.h).
+  return compaction_scheduler_->RunExclusive([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto& partition : partitions_) {
+      PMBLADE_RETURN_IF_ERROR(
+          RunInternalCompactionOnPartition(lock, partition.get()));
+    }
+    return Status::OK();
+  });
 }
 
 Status DBImpl::CompactToLevel1(bool respect_cost_model) {
   // Drain the memtable through the normal (queued, background) flush path
-  // before taking the lock for the L0 -> L1 move.
+  // first; FlushMemTable also drains the scheduler, so the victim selection
+  // below sees post-compaction state.
   PMBLADE_RETURN_IF_ERROR(FlushMemTable());
-  std::lock_guard<std::mutex> lock(mu_);
-
-  std::set<size_t> keep;
-  if (respect_cost_model && options_.enable_cost_model) {
-    std::vector<PartitionCounters> all;
-    uint64_t total_l0 = 0;
-    for (const auto& partition : partitions_) {
-      all.push_back(partition->Counters());
-      total_l0 += partition->L0Bytes();
+  return compaction_scheduler_->RunExclusive([this, respect_cost_model] {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::set<size_t> keep;
+    if (respect_cost_model && options_.enable_cost_model) {
+      std::vector<PartitionCounters> all;
+      uint64_t total_l0 = 0;
+      for (const auto& partition : partitions_) {
+        all.push_back(partition->Counters());
+        total_l0 += partition->L0Bytes();
+      }
+      std::vector<size_t> retained = cost_model_->SelectRetained(all);
+      keep.insert(retained.begin(), retained.end());
+      keep_set_counter_->Inc();
+      if (events_.active()) {
+        EmitKeepSetEvent(all, keep, /*tau_t=*/0, total_l0);
+      }
     }
-    std::vector<size_t> retained = cost_model_->SelectRetained(all);
-    keep.insert(retained.begin(), retained.end());
-    keep_set_counter_->Inc();
-    if (events_.active()) {
-      EmitKeepSetEvent(all, keep, /*tau_t=*/0, total_l0);
+    std::vector<Partition*> victims;
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      if (keep.count(i) == 0 && partitions_[i]->L0Bytes() > 0) {
+        victims.push_back(partitions_[i].get());
+      }
     }
-  }
-  std::vector<Partition*> victims;
-  for (size_t i = 0; i < partitions_.size(); ++i) {
-    if (keep.count(i) == 0 && partitions_[i]->L0Bytes() > 0) {
-      victims.push_back(partitions_[i].get());
-    }
-  }
-  if (victims.empty()) return Status::OK();
-  return RunMajorCompactionOnPartitions(victims);
+    if (victims.empty()) return Status::OK();
+    return RunMajorCompactionOnPartitions(lock, victims);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -1227,7 +1442,12 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     source = ReadSource::kMemtable;
     result = probe_status;
   }
+  // SSD-resident probes register as one client op each for the live q_cli
+  // gauge; PM-resident level-0 probes never touch the SSD queue.
+  const bool ssd_l0 =
+      track_client_io_ && options_.l0_layout == L0Layout::kSstable;
   if (!answered) {
+    ScopedExternalIo io(ssd_l0 ? model_ : nullptr, IoClass::kClient);
     for (const auto& table : unsorted) {
       bool found = false;
       Status s = L0TableGet(*table, icmp_, lkey, &local_value, &found,
@@ -1246,6 +1466,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     }
   }
   if (!answered && !sorted.empty()) {
+    ScopedExternalIo io(ssd_l0 ? model_ : nullptr, IoClass::kClient);
     bool found = false;
     Status s =
         RunGet(sorted, icmp_, lkey, &local_value, &found, &probe_status);
@@ -1261,6 +1482,8 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     }
   }
   if (!answered && !l1.empty()) {
+    // Level-1 always lives on the SSD.
+    ScopedExternalIo io(track_client_io_ ? model_ : nullptr, IoClass::kClient);
     bool found = false;
     Status s = RunGet(l1, icmp_, lkey, &local_value, &found, &probe_status);
     if (!s.ok()) {
@@ -1356,6 +1579,26 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
   }
   if (property == "pmblade.bg-flushes") {
     *value = bg_flush_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.compactions-completed") {
+    *value = compaction_scheduler_->checks_completed();
+    return true;
+  }
+  if (property == "pmblade.compactions-failed") {
+    *value = compaction_scheduler_->checks_failed();
+    return true;
+  }
+  if (property == "pmblade.compaction-retries") {
+    *value = compaction_scheduler_->retries();
+    return true;
+  }
+  if (property == "pmblade.compaction-queue-depth") {
+    *value = compaction_scheduler_->QueueDepth();
+    return true;
+  }
+  if (property == "pmblade.file-gc-failures") {
+    *value = file_gc_fail_counter_->Value();
     return true;
   }
   std::lock_guard<std::mutex> lock(mu_);

@@ -12,11 +12,20 @@
 //     mem_ -> imm_ and schedules the PM-table build on a one-thread pool;
 //     writers are backpressured (slowdown, then hard stall) instead of
 //     building tables inline. Flush completion installs the level-0 tables
-//     under a short critical section and then runs the Eq. 1/2/3 compaction
-//     triggers on the same background thread.
+//     under a short critical section, wakes stalled writers, and hands the
+//     Eq. 1/2/3 compaction triggers to the compaction scheduler.
+//   * Algorithm 1 (internal + major compaction) runs on a DEDICATED
+//     CompactionScheduler thread, never on the flush thread: the check
+//     snapshots partition table refs and counters under a short mu_ hold,
+//     runs the merge and all simulated-SSD I/O with the mutex released, and
+//     re-acquires mu_ only for the install + PersistManifest step. Manual
+//     compactions (CompactLevel0/CompactToLevel1) funnel through the same
+//     thread, so at most one compaction is in flight engine-wide and only
+//     that thread ever removes tables from a partition (the flush thread
+//     only prepends) — see the ref discipline notes in partition.h.
 //   * Readers grab {mem, imm, partition table refs, snapshot} under a brief
-//     mutex hold and probe everything lock-free afterwards, so a flush in
-//     flight never blocks a Get.
+//     mutex hold and probe everything lock-free afterwards, so neither a
+//     flush nor a compaction in flight ever blocks a Get past that grab.
 //   * The major-compaction engine additionally parallelizes internally with
 //     its own worker threads + coroutines.
 
@@ -36,6 +45,7 @@
 #include "compaction/internal_compaction.h"
 #include "compaction/major_compaction.h"
 #include "compaction/minor_compaction.h"
+#include "core/compaction_scheduler.h"
 #include "core/db.h"
 #include "core/manifest.h"
 #include "core/partition.h"
@@ -118,18 +128,35 @@ class DBImpl final : public DB {
   WriteBatch* BuildBatchGroup(WriterState** last_writer, bool* sync,
                               size_t* num_members);
   /// Runs on flush_pool_: builds per-partition L0 tables from imm_ without
-  /// the mutex, installs them + commits the manifest under it, then runs
-  /// the compaction triggers.
+  /// the mutex, installs them + commits the manifest under it, wakes
+  /// stalled writers, then enqueues the compaction triggers to the
+  /// scheduler.
   void BackgroundFlush();
   /// Eq. 2 update-detection counters for one commit group; runs in the
   /// unlocked leader section BEFORE the group is inserted into `mem`.
   void NoteGroupWrites(const WriteBatch& group, MemTable* mem);
 
-  /// Runs Algorithm 1 for the partitions touched by the last flush.
-  Status MaybeScheduleCompactions(const std::vector<Partition*>& touched);
-  Status RunInternalCompactionOnPartition(Partition* partition);
+  /// mu_ held. Records the partitions the flush touched and enqueues one
+  /// Algorithm-1 check on the compaction scheduler. Cannot fail — so the
+  /// flush path never inherits a compaction error (bg_error_ is reserved
+  /// for flush/WAL/manifest failures).
+  void ScheduleCompactionCheck(const std::vector<Partition*>& touched);
+  /// Scheduler-thread entry: drains compaction_dirty_ and runs Algorithm 1.
+  /// A failure re-arms the dirty set so the scheduler's retry (or the next
+  /// flush-triggered check) re-evaluates the same partitions.
+  Status BackgroundCompactionCheck();
+  /// Algorithm 1 for `touched`. Enters and leaves with `lock` held, but
+  /// releases it for every merge and simulated-SSD I/O.
+  Status RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
+                              const std::vector<Partition*>& touched);
+  Status RunInternalCompactionOnPartition(std::unique_lock<std::mutex>& lock,
+                                          Partition* partition);
   Status RunMajorCompactionOnPartitions(
+      std::unique_lock<std::mutex>& lock,
       const std::vector<Partition*>& victims);
+  /// mu_ held. Retries file deletions whose first attempt failed (flushed
+  /// WALs); called after a successful manifest commit.
+  void RetryPendingFileGcLocked();
   /// Emits a keep_set_selected event carrying the Eq. 3 score of every
   /// partition (reads/byte) and which side of the knapsack it landed on.
   void EmitKeepSetEvent(const std::vector<PartitionCounters>& all,
@@ -185,7 +212,23 @@ class DBImpl final : public DB {
   // Background flush.
   std::unique_ptr<ThreadPool> flush_pool_;  // one thread
   std::condition_variable flush_done_cv_;   // imm_ drained / bg error
-  Status bg_error_;                          // sticky fatal background error
+  Status bg_error_;  // sticky fatal background error (flush/WAL/manifest
+                     // failures ONLY — compaction failures are retryable and
+                     // stay inside the scheduler)
+
+  // Background compaction. Declared before metrics_ (the scheduler
+  // registers gauge callbacks capturing itself).
+  std::unique_ptr<CompactionScheduler> compaction_scheduler_;
+  /// Partitions touched by flushes since the last Algorithm-1 check ran;
+  /// guarded by mu_.
+  std::vector<Partition*> compaction_dirty_;
+  /// Files whose deletion failed once (flushed WALs); retried after the
+  /// next successful manifest commit. Guarded by mu_.
+  std::vector<std::string> pending_file_gc_;
+  /// True when DBImpl itself must register client I/O with the SSD model's
+  /// per-class inflight gauges (q_cli): set at Init unless env_ is a SimEnv
+  /// sharing model_, whose file wrappers already classify client I/O.
+  bool track_client_io_ = false;
 
   std::vector<std::unique_ptr<Partition>> partitions_;  // ascending ranges
   uint64_t next_partition_id_ = 1;
@@ -215,6 +258,7 @@ class DBImpl final : public DB {
   obs::Counter* stall_counter_ = nullptr;
   obs::Counter* stall_nanos_counter_ = nullptr;
   obs::Counter* bg_flush_counter_ = nullptr;
+  obs::Counter* file_gc_fail_counter_ = nullptr;  // failed RemoveFile calls
 };
 
 }  // namespace pmblade

@@ -26,6 +26,7 @@ Status Options::Sanitize() {
           "partition_boundaries must be strictly ascending");
     }
   }
+  if (compaction_retry_limit < 0) compaction_retry_limit = 0;
   if (major.concurrency < 1) major.concurrency = 1;
   if (major.worker_threads < 1) major.worker_threads = 1;
   if (major.max_io_q < 1) major.max_io_q = 1;

@@ -11,6 +11,7 @@
 #ifndef PMBLADE_CORE_PARTITION_H_
 #define PMBLADE_CORE_PARTITION_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -41,13 +42,42 @@ class Partition {
     return true;
   }
 
-  // ---- table sets (caller holds the DB mutex) ----
+  // ---- table sets ----
+  // Ref discipline with a background compaction in flight (every access to
+  // the vectors themselves happens under the DB mutex):
+  //   * Readers copy the ref vectors under the mutex and probe lock-free;
+  //     the deferred L0Table::Destroy (storage freed at last ref drop)
+  //     keeps those copies valid across any concurrent install.
+  //   * The flush thread only PREPENDS to unsorted() (newest first).
+  //   * Only the single compaction-scheduler thread removes from unsorted()
+  //     or mutates sorted_run()/l1_run(). A compaction therefore snapshots
+  //     the vectors, merges with the mutex released, and installs by
+  //     removing exactly the snapshotted refs (RemoveTables) — tables
+  //     flushed during the merge stay, still newest-first, above the
+  //     compaction's output.
   std::vector<L0TableRef>& unsorted() { return unsorted_; }
   std::vector<L0TableRef>& sorted_run() { return sorted_run_; }
   std::vector<L0TableRef>& l1_run() { return l1_run_; }
   const std::vector<L0TableRef>& unsorted() const { return unsorted_; }
   const std::vector<L0TableRef>& sorted_run() const { return sorted_run_; }
   const std::vector<L0TableRef>& l1_run() const { return l1_run_; }
+
+  /// Removes exactly the tables in `snapshot` (by table identity) from
+  /// `from`, preserving the order of everything else. Install step of a
+  /// compaction whose inputs were snapshotted before the mutex was
+  /// released; entries that arrived since (flushed tables at the front of
+  /// unsorted()) are untouched. Caller holds the DB mutex.
+  static void RemoveTables(std::vector<L0TableRef>* from,
+                           const std::vector<L0TableRef>& snapshot) {
+    from->erase(std::remove_if(from->begin(), from->end(),
+                               [&snapshot](const L0TableRef& table) {
+                                 for (const auto& snap : snapshot) {
+                                   if (snap.get() == table.get()) return true;
+                                 }
+                                 return false;
+                               }),
+                from->end());
+  }
 
   /// Total level-0 bytes (s_i).
   uint64_t L0Bytes() const {

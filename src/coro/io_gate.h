@@ -7,6 +7,12 @@
 // the SSD. The flush coroutine may only have q_flush write I/Os in flight,
 // so writes soak up idle device capacity and back off when foreground
 // traffic needs it.
+//
+// q_cli is a LIVE gauge, not a configured constant: SimEnv file wrappers
+// classify their I/O per class, and when the engine's Env bypasses the model
+// (PosixEnv setups) DBImpl registers foreground WAL appends and L1/SSD reads
+// via SsdModel::Begin/EndExternalOp. Either way, a gate polled during a
+// background compaction sees the actual foreground pressure at that instant.
 
 #ifndef PMBLADE_CORO_IO_GATE_H_
 #define PMBLADE_CORO_IO_GATE_H_

@@ -94,6 +94,18 @@ class SsdModel {
     return inflight_[static_cast<int>(klass)].load(std::memory_order_relaxed);
   }
 
+  /// Registers an I/O performed OUTSIDE the model — no latency injection, no
+  /// byte/busy accounting, only the per-class inflight gauge — so q_cli in
+  /// the io-gate policy sees live foreground pressure even when the engine's
+  /// Env does not route its file I/O through this model (e.g. PosixEnv
+  /// setups, where the gauge would otherwise read a constant 0).
+  void BeginExternalOp(IoClass klass) {
+    inflight_[static_cast<int>(klass)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void EndExternalOp(IoClass klass) {
+    inflight_[static_cast<int>(klass)].fetch_sub(1, std::memory_order_relaxed);
+  }
+
   // ---- statistics ----
   uint64_t bytes_read() const { return bytes_read_.load(); }
   uint64_t bytes_written() const { return bytes_written_.load(); }
@@ -155,6 +167,26 @@ class SsdModel {
   uint64_t busy_nanos_ = 0;      // guarded by mu_
   uint64_t busy_since_ = 0;      // guarded by mu_; valid when busy_count_ > 0
   int busy_count_ = 0;           // guarded by mu_
+};
+
+/// RAII form of Begin/EndExternalOp. A null model is a no-op, so call sites
+/// can pass their (possibly absent) tracking handle unconditionally.
+class ScopedExternalIo {
+ public:
+  ScopedExternalIo(SsdModel* model, IoClass klass)
+      : model_(model), klass_(klass) {
+    if (model_ != nullptr) model_->BeginExternalOp(klass_);
+  }
+  ~ScopedExternalIo() {
+    if (model_ != nullptr) model_->EndExternalOp(klass_);
+  }
+
+  ScopedExternalIo(const ScopedExternalIo&) = delete;
+  ScopedExternalIo& operator=(const ScopedExternalIo&) = delete;
+
+ private:
+  SsdModel* model_;
+  IoClass klass_;
 };
 
 }  // namespace pmblade

@@ -32,6 +32,12 @@ const char* EventTypeName(EventType type) {
       return "io_gate_change";
     case EventType::kSsdQueueDepth:
       return "ssd_queue_depth";
+    case EventType::kCompactionQueued:
+      return "compaction_queued";
+    case EventType::kCompactionStart:
+      return "compaction_start";
+    case EventType::kCompactionEnd:
+      return "compaction_end";
   }
   return "unknown";
 }

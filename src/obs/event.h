@@ -39,6 +39,12 @@ enum class EventType : uint8_t {
   kIoGateChange,
   /// SSD model reached a new queue-depth high-water mark.
   kSsdQueueDepth,
+  /// Algorithm-1 work enqueued to the background compaction scheduler.
+  kCompactionQueued,
+  /// A queued compaction job started running on the scheduler thread.
+  kCompactionStart,
+  /// A compaction job finished (fields: ok, duration_nanos, retries).
+  kCompactionEnd,
 };
 
 const char* EventTypeName(EventType type);

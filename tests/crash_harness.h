@@ -19,12 +19,15 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/db.h"
 #include "core/db_impl.h"
+#include "core/manifest.h"
 #include "env/crash_env.h"
 #include "tests/test_model.h"
 #include "util/random.h"
@@ -91,6 +94,10 @@ class CrashHarness {
       result.failure = "final check: " + why;
       return result;
     }
+    if (!CheckNoOrphanSstFiles(&why)) {
+      result.failure = "final check: " + why;
+      return result;
+    }
     db.reset();
     DestroyDB(options, opts_.dbname);
     return result;
@@ -121,6 +128,12 @@ class CrashHarness {
         {"DBImpl::InternalCompaction:AfterManifest", false, true},
         {"DBImpl::MajorCompaction:AfterRun", false, true},
         {"DBImpl::MajorCompaction:AfterManifest", false, true},
+        // Cuts around the background scheduler's job boundaries: BeforeJob
+        // dies with work handed off but not started, AfterJob right after a
+        // compaction (or its failure cleanup) finished. Flushes are what
+        // feed the scheduler, so bias the workload toward them.
+        {"CompactionScheduler::BeforeJob", true, false},
+        {"CompactionScheduler::AfterJob", true, false},
     };
     return sites;
   }
@@ -156,6 +169,47 @@ class CrashHarness {
     return model_.CheckRecovered(recovered, why);
   }
 
+  // Right after a reopen the DB is quiescent (WAL replay never rotates the
+  // memtable, so no background flush or compaction is in flight) and startup
+  // GC has run: every .sst in the directory must be referenced by the
+  // manifest. A file that isn't is an orphan a crashed flush or compaction
+  // leaked.
+  bool CheckNoOrphanSstFiles(std::string* why) {
+    ManifestState state;
+    Status s = ReadManifest(&crash_env_, opts_.dbname, &state);
+    std::set<uint64_t> referenced;
+    if (s.ok()) {
+      for (const ManifestPartition& p : state.partitions) {
+        referenced.insert(p.unsorted_file_numbers.begin(),
+                          p.unsorted_file_numbers.end());
+        referenced.insert(p.sorted_file_numbers.begin(),
+                          p.sorted_file_numbers.end());
+        referenced.insert(p.l1_file_numbers.begin(), p.l1_file_numbers.end());
+      }
+    } else if (!s.IsNotFound()) {  // no manifest yet: nothing is referenced
+      *why = "manifest read failed: " + s.ToString();
+      return false;
+    }
+    std::vector<std::string> children;
+    s = crash_env_.GetChildren(opts_.dbname, &children);
+    if (!s.ok()) {
+      *why = "listing db dir failed: " + s.ToString();
+      return false;
+    }
+    for (const std::string& child : children) {
+      if (child.size() <= 4 ||
+          child.compare(child.size() - 4, 4, ".sst") != 0) {
+        continue;
+      }
+      const uint64_t number = strtoull(child.c_str(), nullptr, 10);
+      if (referenced.count(number) == 0) {
+        *why = "orphan sst after reopen: " + child;
+        return false;
+      }
+    }
+    return true;
+  }
+
   bool RunCycle(const Options& options, int cycle,
                 CrashHarnessResult* result) {
     crash_env_.ResetState();
@@ -167,6 +221,10 @@ class CrashHarness {
     }
     std::string why;
     if (!CheckDb(db.get(), &why)) {
+      result->failure = why;
+      return false;
+    }
+    if (!CheckNoOrphanSstFiles(&why)) {
       result->failure = why;
       return false;
     }

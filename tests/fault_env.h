@@ -5,6 +5,12 @@
 //   fail_new_files       — NewWritableFile fails until cleared
 //   writes_until_failure — countdown: the Nth write-side operation from now
 //                          (and every one after it) fails; -1 disarms.
+//   random_opens_until_failure — countdown on NewRandomAccessFile: the Nth
+//                          open from now (and every one after it) fails;
+//                          -1 disarms. Targets SSTable opens (table installs
+//                          read the file back through this path).
+//   fail_removes         — every RemoveFile fails until cleared (stuck WAL /
+//                          obsolete-file GC).
 
 #ifndef PMBLADE_TESTS_FAULT_ENV_H_
 #define PMBLADE_TESTS_FAULT_ENV_H_
@@ -24,20 +30,23 @@ class FaultyEnv final : public Env {
 
   std::atomic<bool> fail_writes{false};
   std::atomic<bool> fail_new_files{false};
-  std::atomic<int> writes_until_failure{-1};  // -1 = no countdown
+  std::atomic<bool> fail_removes{false};
+  std::atomic<int> writes_until_failure{-1};        // -1 = no countdown
+  std::atomic<int> random_opens_until_failure{-1};  // -1 = no countdown
 
-  bool ShouldFail() {
-    if (fail_writes.load()) return true;
-    // Claim a countdown slot with one atomic CAS loop. The old
-    // load-check-fetch_sub version raced: two threads could both read
-    // remaining==1, both decrement, and the counter would sail past zero
-    // without either of them failing.
-    int remaining = writes_until_failure.load();
+  bool ShouldFail() { return fail_writes.load() ||
+                             CountdownHit(&writes_until_failure); }
+
+  /// Claims a countdown slot with one atomic CAS loop. The old
+  /// load-check-fetch_sub version raced: two threads could both read
+  /// remaining==1, both decrement, and the counter would sail past zero
+  /// without either of them failing.
+  static bool CountdownHit(std::atomic<int>* counter) {
+    int remaining = counter->load();
     while (true) {
       if (remaining < 0) return false;  // disarmed
       if (remaining == 0) return true;  // exhausted: fail from here on
-      if (writes_until_failure.compare_exchange_weak(remaining,
-                                                     remaining - 1)) {
+      if (counter->compare_exchange_weak(remaining, remaining - 1)) {
         return false;  // successfully consumed one pre-failure slot
       }
       // CAS failed: `remaining` was reloaded; re-evaluate.
@@ -82,6 +91,9 @@ class FaultyEnv final : public Env {
   Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* result) override {
+    if (CountdownHit(&random_opens_until_failure)) {
+      return Status::IOError("injected open fault: " + fname);
+    }
     return base_->NewRandomAccessFile(fname, result);
   }
   bool FileExists(const std::string& fname) override {
@@ -92,6 +104,9 @@ class FaultyEnv final : public Env {
     return base_->GetChildren(dir, result);
   }
   Status RemoveFile(const std::string& fname) override {
+    if (fail_removes.load()) {
+      return Status::IOError("injected remove fault: " + fname);
+    }
     return base_->RemoveFile(fname);
   }
   Status CreateDir(const std::string& dirname) override {
