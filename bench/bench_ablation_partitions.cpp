@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/runner.h"
 #include "benchutil/workload.h"

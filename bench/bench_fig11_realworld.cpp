@@ -12,6 +12,7 @@
 //
 // Flags: --load_orders (default 400), --transactions (default 1200).
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/retail_workload.h"
 #include "benchutil/runner.h"

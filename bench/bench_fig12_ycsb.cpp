@@ -10,6 +10,7 @@
 // Flags: --records (default 3000), --ops (default 2000),
 //        --value_size (default 512).
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/runner.h"
 #include "benchutil/ycsb.h"

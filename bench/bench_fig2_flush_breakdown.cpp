@@ -10,6 +10,7 @@
 //
 // Flags: --entries (default 20000).
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/workload.h"
 #include "memtable/internal_key.h"

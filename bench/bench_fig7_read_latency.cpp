@@ -20,6 +20,7 @@
 #include <functional>
 #include <thread>
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/runner.h"
 #include "benchutil/workload.h"

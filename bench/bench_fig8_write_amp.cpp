@@ -15,6 +15,7 @@
 // Flags: --write_bytes (default 12 MiB), --value_size (default 512),
 //        --ops (default 8000).
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/runner.h"
 #include "benchutil/workload.h"

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/workload.h"
 #include "compaction/major_compaction.h"

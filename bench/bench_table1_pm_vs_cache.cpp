@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/workload.h"
 #include "compaction/minor_compaction.h"

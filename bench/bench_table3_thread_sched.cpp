@@ -10,6 +10,7 @@
 //
 // Flags: --entries_per_task (default 12000), --value_size (default 256).
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/workload.h"
 #include "compaction/major_compaction.h"

@@ -10,6 +10,7 @@
 //
 // Flags: --write_bytes (default 8 MiB), --value_size (default 256).
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/workload.h"
 #include "core/db.h"

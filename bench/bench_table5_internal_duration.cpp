@@ -10,6 +10,7 @@
 //
 // Flags: --data_bytes (default 4194304).
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/workload.h"
 #include "compaction/internal_compaction.h"

@@ -1,0 +1,99 @@
+#include "benchutil/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pmblade {
+namespace bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (strncmp(arg, "--", 2) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const char* eq = strchr(arg + 2, '=');
+    if (eq != nullptr) {
+      kv_.emplace_back(std::string(arg + 2, eq - arg - 2),
+                       std::string(eq + 1));
+    } else {
+      kv_.emplace_back(std::string(arg + 2), "true");
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    if (k == name) return true;
+  }
+  return false;
+}
+
+int64_t Flags::Int(const std::string& name, int64_t default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return strtoll(v.c_str(), nullptr, 10);
+  }
+  return default_value;
+}
+
+double Flags::Double(const std::string& name, double default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return strtod(v.c_str(), nullptr);
+  }
+  return default_value;
+}
+
+bool Flags::Bool(const std::string& name, bool default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return v == "true" || v == "1";
+  }
+  return default_value;
+}
+
+std::string Flags::Str(const std::string& name,
+                       const std::string& default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return v;
+  }
+  return default_value;
+}
+
+std::vector<int64_t> Flags::IntList(
+    const std::string& name, std::vector<int64_t> default_value) const {
+  for (const auto& [k, v] : kv_) {
+    if (k != name) continue;
+    std::vector<int64_t> out;
+    const char* p = v.c_str();
+    while (*p != '\0') {
+      char* end = nullptr;
+      long long parsed = strtoll(p, &end, 10);
+      if (end != p) out.push_back(parsed);
+      p = end;
+      while (*p == ',' || *p == ' ') ++p;
+    }
+    return out;
+  }
+  return default_value;
+}
+
+std::vector<std::string> Flags::Unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    bool found = false;
+    for (const auto& name : known) {
+      if (k == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace pmblade

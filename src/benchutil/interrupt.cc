@@ -1,0 +1,41 @@
+#include "benchutil/interrupt.h"
+
+#include <signal.h>
+
+namespace pmblade {
+namespace bench {
+
+namespace {
+
+volatile sig_atomic_t g_signal = 0;
+InterruptCallback g_callback = nullptr;
+
+void Handler(int signo) {
+  g_signal = signo;
+  // Re-raise kills on the second signal (default disposition restored).
+  struct sigaction dfl;
+  sigemptyset(&dfl.sa_mask);
+  dfl.sa_flags = 0;
+  dfl.sa_handler = SIG_DFL;
+  sigaction(signo, &dfl, nullptr);
+  if (g_callback != nullptr) g_callback();
+}
+
+}  // namespace
+
+void InstallInterruptHandler(InterruptCallback callback) {
+  g_callback = callback;
+  struct sigaction sa;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking syscalls see EINTR
+  sa.sa_handler = Handler;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool InterruptRequested() { return g_signal != 0; }
+
+int InterruptSignal() { return static_cast<int>(g_signal); }
+
+}  // namespace bench
+}  // namespace pmblade

@@ -1,0 +1,31 @@
+// SIGINT/SIGTERM handling for the CLI tools: long runs that are interrupted
+// finish the current unit of work and emit their partial results (seed log,
+// partial BENCH_*.json) instead of dying mid-write.
+
+#ifndef PMBLADE_BENCHUTIL_INTERRUPT_H_
+#define PMBLADE_BENCHUTIL_INTERRUPT_H_
+
+namespace pmblade {
+namespace bench {
+
+/// Called from the signal handler — must be async-signal-safe (e.g.
+/// Server::RequestShutdown, which only does an atomic store + write()).
+typedef void (*InterruptCallback)();
+
+/// Installs SIGINT/SIGTERM handlers that latch the signal number and invoke
+/// `callback` (optional). Handlers are installed WITHOUT SA_RESTART so
+/// blocking syscalls return EINTR and polling loops observe the flag
+/// promptly. A second signal restores default disposition first, so
+/// Ctrl-C Ctrl-C still kills a wedged tool.
+void InstallInterruptHandler(InterruptCallback callback = nullptr);
+
+/// True once SIGINT or SIGTERM arrived.
+bool InterruptRequested();
+
+/// The latched signal number, or 0. Tools use 128+signal as exit status.
+int InterruptSignal();
+
+}  // namespace bench
+}  // namespace pmblade
+
+#endif  // PMBLADE_BENCHUTIL_INTERRUPT_H_

@@ -74,48 +74,5 @@ void TablePrinter::Print(const std::string& title) const {
   fflush(stdout);
 }
 
-Flags::Flags(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (strncmp(arg, "--", 2) != 0) continue;
-    const char* eq = strchr(arg + 2, '=');
-    if (eq != nullptr) {
-      kv_.emplace_back(std::string(arg + 2, eq - arg - 2),
-                       std::string(eq + 1));
-    } else {
-      kv_.emplace_back(std::string(arg + 2), "true");
-    }
-  }
-}
-
-int64_t Flags::Int(const std::string& name, int64_t default_value) const {
-  for (const auto& [k, v] : kv_) {
-    if (k == name) return strtoll(v.c_str(), nullptr, 10);
-  }
-  return default_value;
-}
-
-double Flags::Double(const std::string& name, double default_value) const {
-  for (const auto& [k, v] : kv_) {
-    if (k == name) return strtod(v.c_str(), nullptr);
-  }
-  return default_value;
-}
-
-bool Flags::Bool(const std::string& name, bool default_value) const {
-  for (const auto& [k, v] : kv_) {
-    if (k == name) return v == "true" || v == "1";
-  }
-  return default_value;
-}
-
-std::string Flags::Str(const std::string& name,
-                       const std::string& default_value) const {
-  for (const auto& [k, v] : kv_) {
-    if (k == name) return v;
-  }
-  return default_value;
-}
-
 }  // namespace bench
 }  // namespace pmblade

@@ -29,21 +29,6 @@ class TablePrinter {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Simple command-line flag access: --name=value. Unknown flags are ignored
-/// so every bench accepts a common set.
-class Flags {
- public:
-  Flags(int argc, char** argv);
-  int64_t Int(const std::string& name, int64_t default_value) const;
-  double Double(const std::string& name, double default_value) const;
-  bool Bool(const std::string& name, bool default_value) const;
-  std::string Str(const std::string& name,
-                  const std::string& default_value) const;
-
- private:
-  std::vector<std::pair<std::string, std::string>> kv_;
-};
-
 }  // namespace bench
 }  // namespace pmblade
 

@@ -22,6 +22,10 @@
 
 namespace pmblade {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class DB : public KvEngine {
  public:
   /// Opens (creating or recovering) the database rooted at `dbname`.
@@ -62,6 +66,15 @@ class DB : public KvEngine {
   /// "pmblade.num-partitions", "pmblade.pm-used-bytes",
   /// "pmblade.num-unsorted-tables", "pmblade.num-sorted-tables".
   virtual bool GetProperty(const std::string& property, uint64_t* value) = 0;
+  /// Instantaneous write-path backpressure state (see WritePressure).
+  /// Cheap — one short mutex hold — so admission controllers may poll it
+  /// per request. Also exposed as the "pmblade.write-pressure" property.
+  virtual WritePressure GetWritePressure() = 0;
+  /// The engine-wide metrics registry backing the stats exporters.
+  /// External subsystems (the RESP server) register their own
+  /// counters/gauges/histograms here so one snapshot covers the whole
+  /// process. Never nullptr after Open.
+  virtual obs::MetricsRegistry* metrics_registry() = 0;
   /// String-valued properties:
   ///   "pmblade.stats.json"       — full metrics snapshot + recent trace
   ///                                events as one JSON document,

@@ -1551,7 +1551,27 @@ void DBImpl::ReleaseSnapshot(uint64_t snapshot) {
 // Properties
 // ---------------------------------------------------------------------------
 
+WritePressure DBImpl::GetWritePressure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) return WritePressure::kStall;
+  if (imm_ == nullptr) return WritePressure::kNone;
+  // A flush is in flight: grade by how full the active memtable is, the
+  // same thresholds MakeRoomForWrite applies (slowdown at the watermark,
+  // hard stall when full).
+  const size_t usage = mem_->ApproximateMemoryUsage();
+  if (usage >= options_.memtable_bytes) return WritePressure::kStall;
+  if (usage >= static_cast<size_t>(options_.memtable_bytes *
+                                   options_.write_slowdown_watermark)) {
+    return WritePressure::kSlowdown;
+  }
+  return WritePressure::kNone;
+}
+
 bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
+  if (property == "pmblade.write-pressure") {
+    *value = static_cast<uint64_t>(GetWritePressure());
+    return true;
+  }
   // Counter-backed properties first: they are atomic and need no lock.
   if (property == "pmblade.wal-syncs") {
     *value = wal_sync_counter_->Value();

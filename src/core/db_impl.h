@@ -79,6 +79,8 @@ class DBImpl final : public DB {
   Status CompactToLevel1(bool respect_cost_model) override;
   const DbStatistics& statistics() const override { return stats_; }
   DbStatistics& statistics() override { return stats_; }
+  WritePressure GetWritePressure() override;
+  obs::MetricsRegistry* metrics_registry() override { return &metrics_; }
   bool GetProperty(const std::string& property, uint64_t* value) override;
   bool GetProperty(const std::string& property, std::string* value) override;
 

@@ -33,4 +33,16 @@ Status Options::Sanitize() {
   return Status::OK();
 }
 
+const char* WritePressureName(WritePressure pressure) {
+  switch (pressure) {
+    case WritePressure::kNone:
+      return "none";
+    case WritePressure::kSlowdown:
+      return "slowdown";
+    case WritePressure::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
 }  // namespace pmblade

@@ -151,6 +151,20 @@ struct WriteOptions {
   bool sync = false;
 };
 
+/// Instantaneous state of the write path's backpressure machinery (the
+/// slowdown-then-stop ladder documented at Options::write_slowdown_watermark),
+/// cheap enough to poll per request. Admission controllers — the RESP
+/// server's in particular — use it to shed or delay work BEFORE a request
+/// ties up a thread sleeping inside DB::Write.
+enum class WritePressure {
+  kNone = 0,      // writes proceed at full speed
+  kSlowdown = 1,  // flush is behind; each write eats a one-off delay
+  kStall = 2,     // both memtables full (or the engine's background error
+                  // is set); writers block until the flush drains
+};
+
+const char* WritePressureName(WritePressure pressure);
+
 }  // namespace pmblade
 
 #endif  // PMBLADE_CORE_OPTIONS_H_

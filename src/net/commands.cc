@@ -1,0 +1,478 @@
+#include "net/commands.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "memtable/write_batch.h"
+
+namespace pmblade {
+namespace net {
+
+namespace {
+
+const char* kCommandNames[] = {
+    "get",  "set",  "del",     "mget",   "mset", "exists",
+    "scan", "dbsize", "ping",  "echo",   "info", "command",
+    "select", "quit", "shutdown", "unknown",
+};
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+CommandId LookupCommand(const std::string& lower_name) {
+  for (size_t i = 0; i < static_cast<size_t>(CommandId::kUnknown); ++i) {
+    if (lower_name == kCommandNames[i]) return static_cast<CommandId>(i);
+  }
+  return CommandId::kUnknown;
+}
+
+}  // namespace
+
+const char* CommandName(CommandId id) {
+  return kCommandNames[static_cast<size_t>(id)];
+}
+
+void ServerMetrics::Register(obs::MetricsRegistry* registry) {
+  connections_accepted =
+      registry->GetCounter("pmblade.server.connections_accepted");
+  connections_closed =
+      registry->GetCounter("pmblade.server.connections_closed");
+  connections_active = registry->GetGauge("pmblade.server.connections");
+  bytes_in = registry->GetCounter("pmblade.server.bytes_in");
+  bytes_out = registry->GetCounter("pmblade.server.bytes_out");
+  commands = registry->GetCounter("pmblade.server.commands");
+  error_replies = registry->GetCounter("pmblade.server.error_replies");
+  parse_errors = registry->GetCounter("pmblade.server.parse_errors");
+  sheds = registry->GetCounter("pmblade.server.sheds");
+  read_pauses = registry->GetCounter("pmblade.server.read_pauses");
+  output_backlog = registry->GetGauge("pmblade.server.output_backlog_bytes");
+  command_nanos = registry->GetHistogram("pmblade.server.command_nanos");
+  per_command.resize(static_cast<size_t>(CommandId::kUnknown) + 1);
+  for (size_t i = 0; i < per_command.size(); ++i) {
+    per_command[i] = registry->GetCounter(
+        std::string("pmblade.server.cmd.") +
+        kCommandNames[i]);
+  }
+}
+
+CommandHandler::CommandHandler(DB* db, const CommandHandlerOptions& options,
+                               ServerMetrics* metrics, Clock* clock)
+    : db_(db), options_(options), metrics_(metrics), clock_(clock) {
+  if (!options_.pressure_probe) {
+    options_.pressure_probe = [db] { return db->GetWritePressure(); };
+  }
+  if (options_.scan_default_count < 1) options_.scan_default_count = 1;
+  if (options_.scan_max_count < options_.scan_default_count) {
+    options_.scan_max_count = options_.scan_default_count;
+  }
+}
+
+void CommandHandler::AddInfoLine(const std::string& key,
+                                 const std::string& value) {
+  info_lines_.emplace_back(key, value);
+}
+
+void CommandHandler::WrongArity(const std::string& name, std::string* out) {
+  metrics_->error_replies->Inc();
+  EncodeError("ERR wrong number of arguments for '" + name + "' command",
+              out);
+}
+
+void CommandHandler::ReplyStatus(const Status& status, std::string* out) {
+  if (status.ok()) {
+    EncodeSimpleString("OK", out);
+  } else {
+    metrics_->error_replies->Inc();
+    EncodeError("ERR " + status.ToString(), out);
+  }
+}
+
+bool CommandHandler::AdmitWrite(std::string* out) {
+  const WritePressure pressure = options_.pressure_probe();
+  const bool shed =
+      pressure == WritePressure::kStall ||
+      (options_.shed_on_slowdown && pressure == WritePressure::kSlowdown);
+  if (!shed) return true;
+  metrics_->sheds->Inc();
+  metrics_->error_replies->Inc();
+  EncodeError(std::string("BUSY engine write pressure: ") +
+                  WritePressureName(pressure) + "; retry later",
+              out);
+  return false;
+}
+
+CommandHandler::Result CommandHandler::Execute(const RespValue& command,
+                                               std::string* out) {
+  Result result;
+  if (command.type != RespValue::Type::kArray) {
+    metrics_->parse_errors->Inc();
+    EncodeError("ERR Protocol error: expected command array", out);
+    result.close_connection = true;
+    return result;
+  }
+  if (command.array.empty()) return result;  // stray inline newline
+  // Commands are arrays of bulk strings; inline commands parse to the same
+  // shape. Anything else in an argument position is a protocol error.
+  std::vector<const std::string*> args;
+  args.reserve(command.array.size());
+  for (const RespValue& element : command.array) {
+    if (element.type != RespValue::Type::kBulkString &&
+        element.type != RespValue::Type::kSimpleString) {
+      metrics_->parse_errors->Inc();
+      EncodeError("ERR Protocol error: command arguments must be bulk "
+                  "strings",
+                  out);
+      result.close_connection = true;
+      return result;
+    }
+    args.push_back(&element.str);
+  }
+
+  const uint64_t start = clock_->NowNanos();
+  result = DoExecute(args, out);
+  metrics_->command_nanos->Observe(clock_->NowNanos() - start);
+  return result;
+}
+
+CommandHandler::Result CommandHandler::DoExecute(
+    const std::vector<const std::string*>& args, std::string* out) {
+  Result result;
+  const std::string name = ToLower(*args[0]);
+  const CommandId id = LookupCommand(name);
+  metrics_->commands->Inc();
+  metrics_->per_command[static_cast<size_t>(id)]->Inc();
+
+  switch (id) {
+    case CommandId::kPing:
+      if (args.size() == 1) {
+        EncodeSimpleString("PONG", out);
+      } else if (args.size() == 2) {
+        EncodeBulkString(*args[1], out);
+      } else {
+        WrongArity(name, out);
+      }
+      return result;
+
+    case CommandId::kEcho:
+      if (args.size() != 2) {
+        WrongArity(name, out);
+      } else {
+        EncodeBulkString(*args[1], out);
+      }
+      return result;
+
+    case CommandId::kGet: {
+      if (args.size() != 2) {
+        WrongArity(name, out);
+        return result;
+      }
+      std::string value;
+      Status s = db_->Get(ReadOptions(), *args[1], &value);
+      if (s.ok()) {
+        EncodeBulkString(value, out);
+      } else if (s.IsNotFound()) {
+        EncodeNullBulkString(out);
+      } else {
+        metrics_->error_replies->Inc();
+        EncodeError("ERR " + s.ToString(), out);
+      }
+      return result;
+    }
+
+    case CommandId::kSet: {
+      if (args.size() != 3) {
+        WrongArity(name, out);
+        return result;
+      }
+      if (!AdmitWrite(out)) return result;
+      ReplyStatus(db_->Put(WriteOptions(), *args[1], *args[2]), out);
+      return result;
+    }
+
+    case CommandId::kMSet: {
+      if (args.size() < 3 || args.size() % 2 != 1) {
+        WrongArity(name, out);
+        return result;
+      }
+      if (!AdmitWrite(out)) return result;
+      WriteBatch batch;
+      for (size_t i = 1; i + 1 < args.size(); i += 2) {
+        batch.Put(*args[i], *args[i + 1]);
+      }
+      ReplyStatus(db_->Write(WriteOptions(), &batch), out);
+      return result;
+    }
+
+    case CommandId::kDel: {
+      if (args.size() < 2) {
+        WrongArity(name, out);
+        return result;
+      }
+      if (!AdmitWrite(out)) return result;
+      // Redis reports how many keys actually existed; probe first, then
+      // delete everything in one atomic batch through group commit.
+      int64_t removed = 0;
+      WriteBatch batch;
+      for (size_t i = 1; i < args.size(); ++i) {
+        std::string value;
+        if (db_->Get(ReadOptions(), *args[i], &value).ok()) ++removed;
+        batch.Delete(*args[i]);
+      }
+      Status s = db_->Write(WriteOptions(), &batch);
+      if (s.ok()) {
+        EncodeInteger(removed, out);
+      } else {
+        metrics_->error_replies->Inc();
+        EncodeError("ERR " + s.ToString(), out);
+      }
+      return result;
+    }
+
+    case CommandId::kExists: {
+      if (args.size() < 2) {
+        WrongArity(name, out);
+        return result;
+      }
+      int64_t found = 0;
+      for (size_t i = 1; i < args.size(); ++i) {
+        std::string value;
+        if (db_->Get(ReadOptions(), *args[i], &value).ok()) ++found;
+      }
+      EncodeInteger(found, out);
+      return result;
+    }
+
+    case CommandId::kMGet: {
+      if (args.size() < 2) {
+        WrongArity(name, out);
+        return result;
+      }
+      EncodeArrayHeader(args.size() - 1, out);
+      for (size_t i = 1; i < args.size(); ++i) {
+        std::string value;
+        Status s = db_->Get(ReadOptions(), *args[i], &value);
+        if (s.ok()) {
+          EncodeBulkString(value, out);
+        } else {
+          EncodeNullBulkString(out);  // including read errors: per-key null
+        }
+      }
+      return result;
+    }
+
+    case CommandId::kScan:
+      Scan(args, out);
+      return result;
+
+    case CommandId::kDbSize: {
+      if (args.size() != 1) {
+        WrongArity(name, out);
+        return result;
+      }
+      std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+      int64_t count = 0;
+      for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
+      if (!it->status().ok()) {
+        metrics_->error_replies->Inc();
+        EncodeError("ERR " + it->status().ToString(), out);
+      } else {
+        EncodeInteger(count, out);
+      }
+      return result;
+    }
+
+    case CommandId::kInfo:
+      Info(args, out);
+      return result;
+
+    case CommandId::kCommand:
+      // redis-cli sends COMMAND (or COMMAND DOCS) on connect; an empty
+      // array keeps it happy without maintaining a command table.
+      EncodeArrayHeader(0, out);
+      return result;
+
+    case CommandId::kSelect:
+      // Single keyspace; accept any index for client compatibility.
+      if (args.size() != 2) {
+        WrongArity(name, out);
+      } else {
+        EncodeSimpleString("OK", out);
+      }
+      return result;
+
+    case CommandId::kQuit:
+      EncodeSimpleString("OK", out);
+      result.close_connection = true;
+      return result;
+
+    case CommandId::kShutdown:
+      // Matches Redis: a successful SHUTDOWN sends no reply; the connection
+      // just closes as the server drains.
+      result.close_connection = true;
+      result.shutdown_server = true;
+      return result;
+
+    case CommandId::kUnknown:
+      break;
+  }
+
+  metrics_->error_replies->Inc();
+  EncodeError("ERR unknown command '" + *args[0] + "'", out);
+  return result;
+}
+
+// SCAN cursor [MATCH glob] [COUNT n]
+//
+// Each page is an independent snapshot read: open an iterator, seek to the
+// cursor, walk up to COUNT live keys. The returned cursor is the last key
+// visited plus a NUL byte — the exclusive-successor key — so the next page
+// resumes exactly where this one stopped regardless of concurrent writers,
+// flushes or compactions in between (keys are totally ordered; a key can
+// never move). Cursor "0" starts a walk, and "0" comes back when done.
+// Like Redis, COUNT bounds keys *scanned*, so a MATCH page may return
+// fewer (even zero) keys while the cursor still advances.
+void CommandHandler::Scan(const std::vector<const std::string*>& args,
+                          std::string* out) {
+  if (args.size() < 2) {
+    WrongArity("scan", out);
+    return;
+  }
+  std::string pattern;
+  bool have_pattern = false;
+  int64_t count = options_.scan_default_count;
+  for (size_t i = 2; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) {
+      metrics_->error_replies->Inc();
+      EncodeError("ERR syntax error", out);
+      return;
+    }
+    const std::string option = ToLower(*args[i]);
+    if (option == "match") {
+      pattern = *args[i + 1];
+      have_pattern = true;
+    } else if (option == "count") {
+      count = strtoll(args[i + 1]->c_str(), nullptr, 10);
+      if (count < 1) {
+        metrics_->error_replies->Inc();
+        EncodeError("ERR syntax error", out);
+        return;
+      }
+      count = std::min<int64_t>(count, options_.scan_max_count);
+    } else {
+      metrics_->error_replies->Inc();
+      EncodeError("ERR syntax error", out);
+      return;
+    }
+  }
+
+  const std::string& cursor = *args[1];
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  if (cursor == "0") {
+    it->SeekToFirst();
+  } else {
+    it->Seek(cursor);
+  }
+
+  std::vector<std::string> keys;
+  std::string next_cursor = "0";
+  int64_t scanned = 0;
+  for (; it->Valid() && scanned < count; it->Next()) {
+    ++scanned;
+    Slice key = it->key();
+    if (!have_pattern || GlobMatch(pattern, key)) {
+      keys.emplace_back(key.data(), key.size());
+    }
+    if (scanned == count) {
+      // Resume after this key next page.
+      next_cursor.assign(key.data(), key.size());
+      next_cursor.push_back('\0');
+    }
+  }
+  if (!it->status().ok()) {
+    metrics_->error_replies->Inc();
+    EncodeError("ERR " + it->status().ToString(), out);
+    return;
+  }
+  if (!it->Valid()) next_cursor = "0";  // walk finished inside this page
+
+  EncodeArrayHeader(2, out);
+  EncodeBulkString(next_cursor, out);
+  EncodeArrayHeader(keys.size(), out);
+  for (const std::string& key : keys) EncodeBulkString(key, out);
+}
+
+// INFO [server|engine]
+//
+// Built straight from the metrics registry snapshot — the single source of
+// truth the JSON/Prometheus exporters read — never by re-parsing their
+// output. Redis-style sections: "# Server" (static facts + connection
+// state), "# Engine" (every pmblade.* counter/gauge; histograms as
+// count/p50/p99).
+void CommandHandler::Info(const std::vector<const std::string*>& args,
+                          std::string* out) {
+  bool want_server = true;
+  bool want_engine = true;
+  if (args.size() == 2) {
+    const std::string section = ToLower(*args[1]);
+    want_server = section == "server";
+    want_engine = section == "engine";
+    if (!want_server && !want_engine) {
+      EncodeBulkString("", out);
+      return;
+    }
+  } else if (args.size() > 2) {
+    WrongArity("info", out);
+    return;
+  }
+
+  std::string body;
+  if (want_server) {
+    body += "# Server\r\n";
+    body += "engine:pmblade\r\n";
+    body += "protocol:RESP2\r\n";
+    for (const auto& [key, value] : info_lines_) {
+      body += key + ":" + value + "\r\n";
+    }
+    body += "connected_clients:" +
+            std::to_string(metrics_->connections_active->Value()) + "\r\n";
+    body += "total_commands_processed:" +
+            std::to_string(metrics_->commands->Value()) + "\r\n";
+    body += "total_net_input_bytes:" +
+            std::to_string(metrics_->bytes_in->Value()) + "\r\n";
+    body += "total_net_output_bytes:" +
+            std::to_string(metrics_->bytes_out->Value()) + "\r\n";
+    body += "write_pressure:" +
+            std::string(WritePressureName(options_.pressure_probe())) +
+            "\r\n";
+  }
+  if (want_engine) {
+    if (!body.empty()) body += "\r\n";
+    body += "# Engine\r\n";
+    obs::MetricsSnapshot snapshot =
+        db_->metrics_registry()->Snapshot(clock_->NowNanos());
+    char line[160];
+    for (const obs::MetricSample& sample : snapshot.samples) {
+      if (sample.kind == obs::MetricKind::kHistogram) {
+        snprintf(line, sizeof(line),
+                 "%s:count=%llu,p50=%.0f,p99=%.0f\r\n", sample.name.c_str(),
+                 static_cast<unsigned long long>(sample.hist.count()),
+                 sample.hist.Percentile(50), sample.hist.Percentile(99));
+      } else if (sample.value == static_cast<int64_t>(sample.value)) {
+        snprintf(line, sizeof(line), "%s:%lld\r\n", sample.name.c_str(),
+                 static_cast<long long>(sample.value));
+      } else {
+        snprintf(line, sizeof(line), "%s:%.6g\r\n", sample.name.c_str(),
+                 sample.value);
+      }
+      body += line;
+    }
+  }
+  EncodeBulkString(body, out);
+}
+
+}  // namespace net
+}  // namespace pmblade

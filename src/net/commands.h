@@ -1,0 +1,140 @@
+// Command dispatch: maps parsed RESP commands onto the pmblade::DB API.
+//
+// One CommandHandler is shared by every server worker thread; it is
+// stateless apart from cached metric instruments (lock-free counters), so
+// concurrent Execute() calls are safe — the DB itself serializes what needs
+// serializing (group commit, snapshots).
+//
+// Supported commands (RESP2, case-insensitive):
+//   PING [msg] | ECHO msg                 liveness
+//   GET k | MGET k...                     point reads
+//   SET k v | MSET k v [k v ...]          writes (MSET is one atomic
+//                                         WriteBatch through group commit)
+//   DEL k... | EXISTS k...                deletes / existence probes
+//   SCAN cursor [MATCH glob] [COUNT n]    cursor-paged keyspace walk over
+//                                         DB::NewIterator (each page is an
+//                                         independent snapshot read)
+//   DBSIZE                                full key count (O(n) scan)
+//   INFO [server|engine]                  exposition built straight from
+//                                         the metrics registry snapshot
+//   COMMAND [...]                         stub (client handshake compat)
+//   SELECT n | QUIT | SHUTDOWN            session control
+//
+// Admission control: write commands consult the engine's WritePressure
+// before dispatching. At kStall (and, when configured, kSlowdown) the
+// command is shed with "-BUSY ..." instead of tying a worker thread up
+// inside DB::Write — the client is expected to back off and retry.
+
+#ifndef PMBLADE_NET_COMMANDS_H_
+#define PMBLADE_NET_COMMANDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "net/resp.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace pmblade {
+namespace net {
+
+/// The server's instruments, registered under "pmblade.server.*" in the
+/// engine's MetricsRegistry so the existing JSON/Prometheus exporters (and
+/// INFO) surface them with everything else.
+struct ServerMetrics {
+  void Register(obs::MetricsRegistry* registry);
+
+  obs::Counter* connections_accepted = nullptr;
+  obs::Counter* connections_closed = nullptr;
+  obs::Gauge* connections_active = nullptr;
+  obs::Counter* bytes_in = nullptr;
+  obs::Counter* bytes_out = nullptr;
+  obs::Counter* commands = nullptr;       // every dispatched command
+  obs::Counter* error_replies = nullptr;  // -ERR/-BUSY replies sent
+  obs::Counter* parse_errors = nullptr;   // protocol violations (fatal to
+                                          // their connection)
+  obs::Counter* sheds = nullptr;          // commands rejected by admission
+  obs::Counter* read_pauses = nullptr;    // output-cap backpressure events
+  obs::Gauge* output_backlog = nullptr;   // bytes queued to clients
+  obs::HistogramMetric* command_nanos = nullptr;
+
+  // Per-command counters, indexed by CommandId.
+  std::vector<obs::Counter*> per_command;
+};
+
+enum class CommandId {
+  kGet = 0,
+  kSet,
+  kDel,
+  kMGet,
+  kMSet,
+  kExists,
+  kScan,
+  kDbSize,
+  kPing,
+  kEcho,
+  kInfo,
+  kCommand,
+  kSelect,
+  kQuit,
+  kShutdown,
+  kUnknown,  // must stay last
+};
+
+const char* CommandName(CommandId id);
+
+struct CommandHandlerOptions {
+  /// Shed write commands at kSlowdown too (default only at kStall).
+  bool shed_on_slowdown = false;
+  /// SCAN page size when the client sends no COUNT, and its upper bound.
+  int scan_default_count = 10;
+  int scan_max_count = 1000;
+  /// Admission probe; defaults to db->GetWritePressure. Tests inject a
+  /// fixed-pressure probe to pin shed behavior without a real stall.
+  std::function<WritePressure()> pressure_probe;
+};
+
+class CommandHandler {
+ public:
+  CommandHandler(DB* db, const CommandHandlerOptions& options,
+                 ServerMetrics* metrics, Clock* clock);
+
+  struct Result {
+    bool close_connection = false;  // QUIT / SHUTDOWN
+    bool shutdown_server = false;   // SHUTDOWN
+  };
+
+  /// Dispatches one parsed command, appending exactly one reply to *out
+  /// (except SHUTDOWN, which sends nothing — matching Redis — and empty
+  /// inline lines, which are ignored). `command` must be an array; anything
+  /// else is answered with a protocol error and close_connection.
+  Result Execute(const RespValue& command, std::string* out);
+
+  /// Extra "key:value" lines prepended to INFO's "# Server" section
+  /// (listen address, worker count — filled in by the server).
+  void AddInfoLine(const std::string& key, const std::string& value);
+
+ private:
+  Result DoExecute(const std::vector<const std::string*>& args,
+                   std::string* out);
+  void Info(const std::vector<const std::string*>& args, std::string* out);
+  void Scan(const std::vector<const std::string*>& args, std::string* out);
+  /// True when the command may proceed; false = shed (reply appended).
+  bool AdmitWrite(std::string* out);
+  void WrongArity(const std::string& name, std::string* out);
+  void ReplyStatus(const Status& status, std::string* out);
+
+  DB* db_;
+  CommandHandlerOptions options_;
+  ServerMetrics* metrics_;
+  Clock* clock_;
+  std::vector<std::pair<std::string, std::string>> info_lines_;
+};
+
+}  // namespace net
+}  // namespace pmblade
+
+#endif  // PMBLADE_NET_COMMANDS_H_

@@ -1,0 +1,276 @@
+#include "net/resp.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace pmblade {
+namespace net {
+
+void EncodeSimpleString(const Slice& s, std::string* out) {
+  out->push_back('+');
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void EncodeError(const Slice& msg, std::string* out) {
+  out->push_back('-');
+  out->append(msg.data(), msg.size());
+  out->append("\r\n");
+}
+
+void EncodeInteger(int64_t value, std::string* out) {
+  char buf[32];
+  int n = snprintf(buf, sizeof(buf), ":%lld\r\n",
+                   static_cast<long long>(value));
+  out->append(buf, n);
+}
+
+void EncodeBulkString(const Slice& s, std::string* out) {
+  char buf[32];
+  int n = snprintf(buf, sizeof(buf), "$%zu\r\n", s.size());
+  out->append(buf, n);
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void EncodeNullBulkString(std::string* out) { out->append("$-1\r\n"); }
+
+void EncodeArrayHeader(size_t n, std::string* out) {
+  char buf[32];
+  int len = snprintf(buf, sizeof(buf), "*%zu\r\n", n);
+  out->append(buf, len);
+}
+
+void EncodeBulkStringArray(const std::vector<std::string>& elems,
+                           std::string* out) {
+  EncodeArrayHeader(elems.size(), out);
+  for (const std::string& e : elems) EncodeBulkString(e, out);
+}
+
+RespParser::Result RespParser::Fail(const std::string& message) {
+  failed_ = true;
+  error_ = message;
+  return Result::kError;
+}
+
+// Reclaims consumed prefix once it dominates the buffer, so a long-lived
+// pipelined connection does not grow its input buffer without bound.
+void RespParser::Compact() {
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+RespParser::Result RespParser::ParseLine(size_t* pos, Slice* line) {
+  // A line runs to CRLF. Tolerate a bare LF only for inline commands; typed
+  // frames require CRLF (checked by the callers via the returned slice).
+  size_t eol = buffer_.find('\n', *pos);
+  if (eol == std::string::npos) {
+    if (buffer_.size() - *pos > limits_.max_inline_bytes) {
+      return Fail("line exceeds length limit");
+    }
+    return Result::kNeedMore;
+  }
+  size_t end = eol;
+  if (end > *pos && buffer_[end - 1] == '\r') --end;
+  if (end - *pos > limits_.max_inline_bytes) {
+    return Fail("line exceeds length limit");
+  }
+  *line = Slice(buffer_.data() + *pos, end - *pos);
+  *pos = eol + 1;
+  return Result::kValue;
+}
+
+RespParser::Result RespParser::ParseInteger(const Slice& line, int64_t* out) {
+  if (line.size() == 0) return Fail("empty integer");
+  size_t i = 0;
+  bool negative = false;
+  if (line[0] == '-' || line[0] == '+') {
+    negative = line[0] == '-';
+    i = 1;
+    if (line.size() == 1) return Fail("malformed integer");
+  }
+  int64_t value = 0;
+  for (; i < line.size(); ++i) {
+    char c = line[i];
+    if (c < '0' || c > '9') return Fail("malformed integer");
+    if (value > (INT64_MAX - (c - '0')) / 10) {
+      return Fail("integer overflows");
+    }
+    value = value * 10 + (c - '0');
+  }
+  *out = negative ? -value : value;
+  return Result::kValue;
+}
+
+// Inline command: a plain text line, split on spaces/tabs into an array of
+// bulk strings ("PING\r\n" == "*1\r\n$4\r\nPING\r\n"). Redis accepts these
+// so humans can talk to the server with netcat; so do we.
+RespParser::Result RespParser::ParseInline(size_t* pos, RespValue* value) {
+  Slice line;
+  Result r = ParseLine(pos, &line);
+  if (r != Result::kValue) return r;
+  value->type = RespValue::Type::kArray;
+  value->array.clear();
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) {
+      RespValue word;
+      word.type = RespValue::Type::kBulkString;
+      word.str.assign(line.data() + start, i - start);
+      value->array.push_back(std::move(word));
+    }
+  }
+  // An empty line parses as an empty command; the dispatcher ignores it
+  // (matches Redis, where stray newlines between inline commands are legal).
+  return Result::kValue;
+}
+
+RespParser::Result RespParser::ParseValue(size_t* pos, RespValue* value,
+                                          int depth) {
+  if (depth > limits_.max_depth) return Fail("array nesting too deep");
+  if (*pos >= buffer_.size()) return Result::kNeedMore;
+
+  const char tag = buffer_[*pos];
+  if (tag != '+' && tag != '-' && tag != ':' && tag != '$' && tag != '*') {
+    // Not a typed frame. Only top-level bytes may be an inline command;
+    // inside an array this is a framing error.
+    if (depth > 0) return Fail("expected RESP type byte");
+    return ParseInline(pos, value);
+  }
+
+  size_t p = *pos + 1;
+  Slice line;
+  Result r = ParseLine(&p, &line);
+  if (r != Result::kValue) return r;
+
+  switch (tag) {
+    case '+':
+      value->type = RespValue::Type::kSimpleString;
+      value->str.assign(line.data(), line.size());
+      *pos = p;
+      return Result::kValue;
+    case '-':
+      value->type = RespValue::Type::kError;
+      value->str.assign(line.data(), line.size());
+      *pos = p;
+      return Result::kValue;
+    case ':': {
+      int64_t n = 0;
+      r = ParseInteger(line, &n);
+      if (r != Result::kValue) return r;
+      value->type = RespValue::Type::kInteger;
+      value->integer = n;
+      *pos = p;
+      return Result::kValue;
+    }
+    case '$': {
+      int64_t n = 0;
+      r = ParseInteger(line, &n);
+      if (r != Result::kValue) return r;
+      if (n == -1) {
+        value->type = RespValue::Type::kNull;
+        *pos = p;
+        return Result::kValue;
+      }
+      if (n < 0) return Fail("negative bulk length");
+      if (static_cast<uint64_t>(n) > limits_.max_bulk_bytes) {
+        return Fail("bulk string exceeds length limit");
+      }
+      const size_t need = static_cast<size_t>(n) + 2;  // payload + CRLF
+      if (buffer_.size() - p < need) return Result::kNeedMore;
+      if (buffer_[p + n] != '\r' || buffer_[p + n + 1] != '\n') {
+        return Fail("bulk string missing CRLF terminator");
+      }
+      value->type = RespValue::Type::kBulkString;
+      value->str.assign(buffer_.data() + p, static_cast<size_t>(n));
+      *pos = p + need;
+      return Result::kValue;
+    }
+    case '*': {
+      int64_t n = 0;
+      r = ParseInteger(line, &n);
+      if (r != Result::kValue) return r;
+      if (n == -1) {
+        value->type = RespValue::Type::kNull;
+        *pos = p;
+        return Result::kValue;
+      }
+      if (n < 0) return Fail("negative array length");
+      if (static_cast<uint64_t>(n) > limits_.max_array_elements) {
+        return Fail("array exceeds element limit");
+      }
+      value->type = RespValue::Type::kArray;
+      value->array.clear();
+      value->array.reserve(static_cast<size_t>(
+          std::min<int64_t>(n, 1024)));  // defensive: grow as parsed
+      for (int64_t i = 0; i < n; ++i) {
+        RespValue element;
+        r = ParseValue(&p, &element, depth + 1);
+        if (r != Result::kValue) return r;
+        value->array.push_back(std::move(element));
+      }
+      *pos = p;
+      return Result::kValue;
+    }
+  }
+  return Fail("unreachable");
+}
+
+RespParser::Result RespParser::Next(RespValue* value) {
+  if (failed_) return Result::kError;
+  size_t pos = consumed_;
+  Result r = ParseValue(&pos, value, 0);
+  if (r == Result::kValue) {
+    consumed_ = pos;
+    Compact();
+  }
+  return r;
+}
+
+bool GlobMatch(const Slice& pattern, const Slice& text) {
+  // Iterative glob with single backtrack point for '*' (classic two-pointer
+  // matcher; linear in practice).
+  size_t p = 0, t = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    bool matched = false;
+    if (p < pattern.size()) {
+      char pc = pattern[p];
+      if (pc == '*') {
+        star_p = p++;
+        star_t = t;
+        continue;
+      }
+      size_t advance = 1;
+      bool escaped = false;
+      if (pc == '\\' && p + 1 < pattern.size()) {
+        pc = pattern[p + 1];
+        advance = 2;
+        escaped = true;
+      }
+      if ((!escaped && pc == '?') || pc == text[t]) {
+        p += advance;
+        ++t;
+        matched = true;
+      }
+    }
+    if (matched) continue;
+    if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+      continue;
+    }
+    return false;
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace net
+}  // namespace pmblade

@@ -1,0 +1,122 @@
+// RESP2 (REdis Serialization Protocol) wire codec: an incremental,
+// pipelining-friendly parser plus reply encoders.
+//
+// The parser consumes a byte stream fed in arbitrary chunks (partial reads
+// are the normal case under epoll) and yields complete RESP values one at a
+// time, leaving any trailing partial value buffered for the next Feed().
+// Both sides of the wire use it: the server parses client commands (arrays
+// of bulk strings, or inline commands for hand-typed clients), the load
+// generator and tests parse server replies (any RESP type, nested arrays
+// included).
+//
+// Defenses, all configurable through RespParser::Limits: oversized bulk
+// strings and arrays are rejected before any allocation of that size,
+// inline lines are length-capped, and array nesting is depth-capped. A
+// limit violation or malformed frame is a PROTOCOL error: the connection
+// that produced it cannot be resynchronized and must be closed (Redis
+// behaves the same way).
+
+#ifndef PMBLADE_NET_RESP_H_
+#define PMBLADE_NET_RESP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace pmblade {
+namespace net {
+
+/// One decoded RESP value. kNull is RESP2's null bulk string / null array
+/// ("$-1\r\n" / "*-1\r\n").
+struct RespValue {
+  enum class Type {
+    kSimpleString,
+    kError,
+    kInteger,
+    kBulkString,
+    kArray,
+    kNull,
+  };
+
+  Type type = Type::kNull;
+  std::string str;               // simple string, error, bulk string
+  int64_t integer = 0;           // integer
+  std::vector<RespValue> array;  // array
+
+  bool IsError() const { return type == Type::kError; }
+  bool IsNull() const { return type == Type::kNull; }
+};
+
+// ---- encoders (append to *out; cheap to chain for pipelined replies) ----
+void EncodeSimpleString(const Slice& s, std::string* out);  // +s\r\n
+void EncodeError(const Slice& msg, std::string* out);       // -msg\r\n
+void EncodeInteger(int64_t value, std::string* out);        // :n\r\n
+void EncodeBulkString(const Slice& s, std::string* out);    // $n\r\ns\r\n
+void EncodeNullBulkString(std::string* out);                // $-1\r\n
+/// Array header only; the caller appends the n elements afterwards.
+void EncodeArrayHeader(size_t n, std::string* out);         // *n\r\n
+/// Convenience: a full array of bulk strings (e.g. a command).
+void EncodeBulkStringArray(const std::vector<std::string>& elems,
+                           std::string* out);
+
+class RespParser {
+ public:
+  struct Limits {
+    /// Longest accepted bulk-string payload. Redis' default is 512 MiB; the
+    /// engine serves KV pairs, so default far lower.
+    size_t max_bulk_bytes = 64 << 20;
+    /// Most elements in one array (commands are flat; replies may nest).
+    size_t max_array_elements = 1 << 20;
+    /// Longest accepted inline-command line.
+    size_t max_inline_bytes = 64 << 10;
+    /// Deepest accepted array nesting.
+    int max_depth = 8;
+  };
+
+  RespParser() = default;
+  explicit RespParser(const Limits& limits) : limits_(limits) {}
+
+  /// Appends raw bytes from the wire.
+  void Feed(const char* data, size_t n) { buffer_.append(data, n); }
+  void Feed(const Slice& data) { Feed(data.data(), data.size()); }
+
+  enum class Result {
+    kValue,     // *value holds the next complete frame
+    kNeedMore,  // the buffered bytes end mid-frame; Feed() more
+    kError,     // protocol violation; error() says why. Unrecoverable:
+                // the stream cannot be resynchronized.
+  };
+
+  /// Extracts the next complete value from the buffered bytes. Call in a
+  /// loop to drain a pipelined burst. After kError every subsequent call
+  /// returns kError.
+  Result Next(RespValue* value);
+
+  const std::string& error() const { return error_; }
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Result ParseValue(size_t* pos, RespValue* value, int depth);
+  Result ParseLine(size_t* pos, Slice* line);
+  Result ParseInteger(const Slice& line, int64_t* out);
+  Result ParseInline(size_t* pos, RespValue* value);
+  Result Fail(const std::string& message);
+  void Compact();
+
+  Limits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // bytes of buffer_ already returned as values
+  std::string error_;
+  bool failed_ = false;
+};
+
+/// True when `text` matches the glob `pattern` ('*' any run, '?' any one
+/// character, '\' escapes). SCAN's MATCH option.
+bool GlobMatch(const Slice& pattern, const Slice& text);
+
+}  // namespace net
+}  // namespace pmblade
+
+#endif  // PMBLADE_NET_RESP_H_

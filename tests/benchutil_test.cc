@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "benchutil/flags.h"
 #include "benchutil/reporter.h"
 #include "benchutil/retail_workload.h"
 #include "benchutil/runner.h"
@@ -217,6 +218,28 @@ TEST(FlagsTest, ParsesTypes) {
   EXPECT_TRUE(flags.Bool("on", false));
   EXPECT_EQ(flags.Str("name", ""), "zipf");
   EXPECT_EQ(flags.Int("absent", 7), 7);
+}
+
+TEST(FlagsTest, HasListsUnknownAndPositional) {
+  const char* argv[] = {"prog", "--conns=1,8,32", "--typo=x", "seedfile"};
+  Flags flags(4, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.Has("conns"));
+  EXPECT_FALSE(flags.Has("absent"));
+
+  std::vector<int64_t> conns = flags.IntList("conns", {});
+  ASSERT_EQ(conns.size(), 3u);
+  EXPECT_EQ(conns[0], 1);
+  EXPECT_EQ(conns[2], 32);
+  std::vector<int64_t> fallback = flags.IntList("absent", {2, 4});
+  ASSERT_EQ(fallback.size(), 2u);
+  EXPECT_EQ(fallback[1], 4);
+
+  std::vector<std::string> unknown = flags.Unknown({"conns"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "seedfile");
 }
 
 TEST(TablePrinterTest, FormatsUnits) {

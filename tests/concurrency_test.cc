@@ -355,5 +355,171 @@ TEST(WriteBackpressureTest, ReadersProgressDuringForegroundFlush) {
   DestroyDB(options, dbname);
 }
 
+TEST_F(ConcurrencyTest, IteratorSeesOneAtomicVersionUnderChurn) {
+  // A writer thread updates EVERY key to the same version in one atomic
+  // WriteBatch, over and over (with flushes and compactions triggered by the
+  // tiny fixture memtable). Any iterator must therefore observe a single
+  // uniform version across the whole keyspace: mixed versions in one scan
+  // would mean the iterator's snapshot cut through a batch or drifted across
+  // a version change.
+  constexpr int kKeys = 60;
+  constexpr int kRounds = 150;
+  auto key_at = [](int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%03d", i);
+    return std::string(buf);
+  };
+
+  {
+    WriteBatch seed;
+    for (int i = 0; i < kKeys; ++i) seed.Put(key_at(i), "1");
+    ASSERT_TRUE(db_->Write(WriteOptions(), &seed).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scan_errors{0};
+  std::thread writer([&] {
+    for (int v = 2; v <= kRounds && !stop.load(std::memory_order_acquire);
+         ++v) {
+      WriteBatch batch;
+      const std::string version = std::to_string(v);
+      for (int i = 0; i < kKeys; ++i) batch.Put(key_at(i), version);
+      ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  while (!stop.load(std::memory_order_acquire)) {
+    std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+    std::string uniform;
+    int seen = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      const std::string value = it->value().ToString();
+      if (seen == 0) {
+        uniform = value;
+      } else if (value != uniform) {
+        ++scan_errors;  // torn batch or drifting snapshot
+      }
+      ++seen;
+    }
+    if (!it->status().ok() || seen != kKeys) ++scan_errors;
+  }
+  writer.join();
+  EXPECT_EQ(scan_errors.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, ChunkedScanAtSnapshotIgnoresLaterWrites) {
+  // SCAN-style paging: every page opens a FRESH iterator pinned to the same
+  // snapshot and Seeks to the cursor (exactly what the RESP server's SCAN
+  // does). While pages are being fetched, writers overwrite the existing
+  // keys and wedge brand-new keys between them; the union of the pages must
+  // still be exactly the snapshot's keyspace and values.
+  constexpr int kKeys = 100;
+  auto key_at = [](int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%03d", i);
+    return std::string(buf);
+  };
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), key_at(i), "frozen").ok());
+  }
+  const uint64_t snap = db_->GetSnapshot();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> rounds{0};
+  std::thread writer([&] {
+    int round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ++round;
+      rounds.store(round, std::memory_order_release);
+      for (int i = 0; i < kKeys; ++i) {
+        ASSERT_TRUE(db_->Put(WriteOptions(), key_at(i), "thawed").ok());
+        // A key that sorts BETWEEN existing keys, born after the snapshot.
+        ASSERT_TRUE(db_->Put(WriteOptions(),
+                             key_at(i) + "-intruder" + std::to_string(round),
+                             "new")
+                        .ok());
+      }
+      if (round % 3 == 0) ASSERT_TRUE(db_->FlushMemTable().ok());
+    }
+  });
+
+  // Keep paging until the writer has demonstrably churned the keyspace
+  // underneath us at least a few times (flushes included).
+  ReadOptions at_snap;
+  at_snap.snapshot = snap;
+  for (int repeat = 0;
+       repeat < 20 || rounds.load(std::memory_order_acquire) < 4;
+       ++repeat) {
+    ASSERT_LT(repeat, 10000) << "writer thread made no progress";
+    std::vector<std::string> keys;
+    std::string cursor;  // empty = start from the beginning
+    while (true) {
+      std::unique_ptr<Iterator> it(db_->NewIterator(at_snap));
+      if (cursor.empty()) {
+        it->SeekToFirst();
+      } else {
+        it->Seek(cursor);
+      }
+      int in_page = 0;
+      for (; it->Valid() && in_page < 9; it->Next(), ++in_page) {
+        keys.push_back(it->key().ToString());
+        ASSERT_EQ(it->value().ToString(), "frozen") << keys.back();
+      }
+      ASSERT_TRUE(it->status().ok());
+      if (!it->Valid() && in_page < 9) break;
+      cursor = keys.back() + std::string(1, '\0');  // exclusive successor
+    }
+    ASSERT_EQ(keys.size(), static_cast<size_t>(kKeys));
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_EQ(keys[i], key_at(i));  // ordered, no dup, no intruder
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(ConcurrencyTest, IteratorSurvivesFlushAndCompactionMidScan) {
+  // An open iterator must keep returning its pinned version even when the
+  // tables it is reading get flushed, compacted and superseded mid-scan.
+  constexpr int kKeys = 80;
+  auto key_at = [](int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%03d", i);
+    return std::string(buf);
+  };
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), key_at(i), "before").ok());
+  }
+
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  it->SeekToFirst();
+  int seen = 0;
+  for (; it->Valid() && seen < kKeys / 2; it->Next(), ++seen) {
+    ASSERT_EQ(it->value().ToString(), "before");
+  }
+
+  // Rip the ground out from under the iterator.
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), key_at(i), "after").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->CompactLevel0().ok());
+  ASSERT_TRUE(db_->CompactToLevel1(false).ok());
+
+  for (; it->Valid(); it->Next(), ++seen) {
+    ASSERT_EQ(it->value().ToString(), "before") << it->key().ToString();
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(seen, kKeys);
+  it.reset();
+
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), key_at(0), &value).ok());
+  EXPECT_EQ(value, "after");
+}
+
 }  // namespace
 }  // namespace pmblade

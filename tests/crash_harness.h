@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -49,6 +50,11 @@ struct CrashHarnessOptions {
   /// stays bounded and empty-DB recovery is exercised too.
   int fresh_db_period = 25;
   bool verbose = false;
+  /// Polled between cycles; returning true ends the run early at a cycle
+  /// boundary with CrashHarnessResult::interrupted set (the final-reopen
+  /// invariants are still checked). Lets crash_stress finish cleanly on
+  /// SIGINT/SIGTERM and report the cycles it did complete.
+  std::function<bool()> stop_requested;
 };
 
 struct CrashHarnessResult {
@@ -57,7 +63,8 @@ struct CrashHarnessResult {
   int between_op_crashes = 0;
   long long ops_issued = 0;
   int failed_cycle = -1;
-  std::string failure;  // empty = every invariant held
+  bool interrupted = false;  // stopped early via stop_requested
+  std::string failure;       // empty = every invariant held
   bool ok() const { return failure.empty(); }
 };
 
@@ -70,6 +77,10 @@ class CrashHarness {
     CrashHarnessResult result;
     Options options = MakeOptions();
     for (int cycle = 0; cycle < opts_.cycles; ++cycle) {
+      if (opts_.stop_requested && opts_.stop_requested()) {
+        result.interrupted = true;
+        break;
+      }
       if (cycle % opts_.fresh_db_period == 0) {
         crash_env_.ResetState();
         DestroyDB(options, opts_.dbname);

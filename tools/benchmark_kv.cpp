@@ -37,6 +37,8 @@
 #include <sstream>
 #include <thread>
 
+#include "benchutil/flags.h"
+#include "benchutil/interrupt.h"
 #include "benchutil/reporter.h"
 #include "benchutil/runner.h"
 #include "benchutil/table_codec.h"
@@ -94,6 +96,7 @@ void RunWriteScaling(Context* ctx) {
   std::string json = "[\n";
 
   for (size_t pi = 0; pi < points.size(); ++pi) {
+    if (InterruptRequested()) break;  // partial JSON still written below
     const int threads = points[pi];
     KvEngine* engine = nullptr;
     Status s = ctx->env->OpenEngine(ctx->env->config(), &engine);
@@ -120,7 +123,7 @@ void RunWriteScaling(Context* ctx) {
         Histogram local;
         WriteOptions wopts;
         wopts.sync = ctx->sync_writes;
-        for (uint64_t i = 0; i < per_thread; ++i) {
+        for (uint64_t i = 0; i < per_thread && !InterruptRequested(); ++i) {
           uint64_t k = rng.Uniform(ctx->num);
           uint64_t t0 = ctx->clock->NowNanos();
           if (db != nullptr) {
@@ -171,6 +174,10 @@ void RunWriteScaling(Context* ctx) {
              fsyncs_per_write, pi + 1 < points.size() ? "," : "");
     json += point;
   }
+  // An interrupted run stops after a point that still wrote its separator.
+  if (json.size() >= 2 && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);
+  }
   json += "]\n";
 
   table.Print("write_scaling (sync=" +
@@ -212,7 +219,7 @@ void RunCompactionStall(Context* ctx) {
                       "stalls", "stall_ms", "compactions"});
   std::string json = "[\n";
 
-  for (size_t mi = 0; mi < 2; ++mi) {
+  for (size_t mi = 0; mi < 2 && !InterruptRequested(); ++mi) {
     opts->background_compaction = modes[mi].background;
     KvEngine* engine = nullptr;
     Status s = ctx->env->OpenEngine(ctx->env->config(), &engine);
@@ -237,7 +244,7 @@ void RunCompactionStall(Context* ctx) {
 
     Histogram latency;
     const uint64_t start = ctx->clock->NowNanos();
-    for (uint64_t i = 0; i < ctx->num; ++i) {
+    for (uint64_t i = 0; i < ctx->num && !InterruptRequested(); ++i) {
       uint64_t k = rng.Uniform(ctx->num);
       uint64_t t0 = ctx->clock->NowNanos();
       RUN_OP(db->Put(WriteOptions(), keys.KeyAt(k), values.For(k)));
@@ -271,6 +278,9 @@ void RunCompactionStall(Context* ctx) {
              static_cast<unsigned long long>(compactions),
              mi + 1 < 2 ? "," : "");
     json += point;
+  }
+  if (json.size() >= 2 && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);
   }
   json += "]\n";
 
@@ -312,17 +322,23 @@ void RunBenchmark(Context* ctx, const std::string& name) {
     ++ops;
   };
 
+  // Interrupted loops fall through to Report(), so a SIGINT/SIGTERM run
+  // still prints the partial numbers it measured.
+  auto keep_going = [&](uint64_t i, uint64_t n) {
+    return i < n && !InterruptRequested();
+  };
+
   if (name == "fillseq") {
-    for (uint64_t i = 0; i < ctx->num; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num); ++i) {
       timed([&] { RUN_OP(ctx->engine->Put(keys.KeyAt(i), values.For(i))); });
     }
   } else if (name == "fillrandom" || name == "overwrite") {
-    for (uint64_t i = 0; i < ctx->num; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num); ++i) {
       uint64_t k = rng.Uniform(ctx->num);
       timed([&] { RUN_OP(ctx->engine->Put(keys.KeyAt(k), values.For(k))); });
     }
   } else if (name == "readrandom") {
-    for (uint64_t i = 0; i < ctx->num; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num); ++i) {
       uint64_t k = keys.NextIndex();
       timed([&] {
         std::string value;
@@ -330,7 +346,7 @@ void RunBenchmark(Context* ctx, const std::string& name) {
       });
     }
   } else if (name == "readmissing") {
-    for (uint64_t i = 0; i < ctx->num; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num); ++i) {
       timed([&] {
         std::string value;
         RUN_OP(ctx->engine->Get("absent" + std::to_string(i), &value));
@@ -344,7 +360,7 @@ void RunBenchmark(Context* ctx, const std::string& name) {
     }
     RUN_OP(it->status());
   } else if (name == "seekrandom") {
-    for (uint64_t i = 0; i < ctx->num / 10 + 1; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num / 10 + 1); ++i) {
       uint64_t k = keys.NextIndex();
       timed([&] {
         std::unique_ptr<Iterator> it(ctx->engine->NewScanIterator());
@@ -356,7 +372,7 @@ void RunBenchmark(Context* ctx, const std::string& name) {
       });
     }
   } else if (name == "deleterandom") {
-    for (uint64_t i = 0; i < ctx->num / 10 + 1; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num / 10 + 1); ++i) {
       uint64_t k = rng.Uniform(ctx->num);
       timed([&] { RUN_OP(ctx->engine->Delete(keys.KeyAt(k))); });
     }
@@ -366,7 +382,7 @@ void RunBenchmark(Context* ctx, const std::string& name) {
     schema.num_columns = 10;
     schema.indexed_columns = {1, 4, 7};
     TableCodec codec(schema);
-    for (uint64_t i = 0; i < ctx->num; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num); ++i) {
       timed([&] {
         std::vector<std::string> columns(schema.num_columns);
         for (uint32_t c = 0; c < schema.num_columns; ++c) {
@@ -382,7 +398,7 @@ void RunBenchmark(Context* ctx, const std::string& name) {
     schema.num_columns = 10;
     schema.indexed_columns = {1, 4, 7};
     TableCodec codec(schema);
-    for (uint64_t i = 0; i < ctx->num / 10 + 1; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num / 10 + 1); ++i) {
       timed([&] {
         uint32_t column = schema.indexed_columns[rng.Uniform(3)];
         std::string value = "c" + std::to_string(column) + "-" +
@@ -393,7 +409,7 @@ void RunBenchmark(Context* ctx, const std::string& name) {
       });
     }
   } else if (name == "mixed") {
-    for (uint64_t i = 0; i < ctx->num; ++i) {
+    for (uint64_t i = 0; keep_going(i, ctx->num); ++i) {
       uint64_t k = keys.NextIndex();
       if (rng.OneIn(2)) {
         timed([&] {
@@ -441,6 +457,7 @@ void RunBenchmark(Context* ctx, const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  InstallInterruptHandler();
   Flags flags(argc, argv);
 
   std::string engine_name = flags.Str("engine", "pmblade");
@@ -490,8 +507,12 @@ int main(int argc, char** argv) {
       flags.Str("benchmarks", "fillseq,readrandom,seekrandom,mixed,stats");
   std::stringstream ss(benchmarks);
   std::string name;
-  while (std::getline(ss, name, ',')) {
+  while (std::getline(ss, name, ',') && !InterruptRequested()) {
     if (!name.empty()) RunBenchmark(&ctx, name);
+  }
+  if (InterruptRequested()) {
+    printf("benchmark_kv: interrupted by signal %d, partial results above\n",
+           InterruptSignal());
   }
 
   // --stats_dump: after all benchmarks, dump the observability snapshot of
@@ -521,5 +542,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  return InterruptRequested() ? 128 + InterruptSignal() : 0;
 }

@@ -6,20 +6,27 @@
 //
 //   crash_stress --seed=<printed seed> --cycles=<N> [--layout=...] ...
 //
+// SIGINT/SIGTERM stop the run at the next cycle boundary: the harness still
+// performs its final-reopen invariant check, the partial results are printed
+// and written to --json (default crash_stress_summary.json), and the exit
+// status is 128+signal.
+//
 // Environment overrides (used by the CI stress job):
 //   PMBLADE_CRASH_SEED    — same as --seed
 //   PMBLADE_CRASH_CYCLES  — same as --cycles
 //
-// Exit status: 0 = every invariant held, 1 = loss/torn-batch/error detected.
+// Exit status: 0 = every invariant held, 1 = loss/torn-batch/error detected,
+// 2 = bad usage, 128+sig = interrupted (invariants held on what ran).
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <ctime>
 #include <string>
 #include <vector>
 
+#include "benchutil/flags.h"
+#include "benchutil/interrupt.h"
 #include "tests/crash_harness.h"
+#include "util/clock.h"
 
 namespace {
 
@@ -34,14 +41,40 @@ void Usage() {
           "  --all-layouts     run pm, ssd and pm+crash-sim configurations\n"
           "  --max-ops=N       max operations per cycle (default 120)\n"
           "  --dir=PATH        scratch directory (default /tmp)\n"
+          "  --json=PATH       summary JSON (default "
+          "crash_stress_summary.json, empty disables)\n"
           "  --verbose         per-cycle crash-plan log\n");
 }
 
-bool ParseInt(const char* arg, const char* flag, long* out) {
-  size_t n = strlen(flag);
-  if (strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
-  *out = strtol(arg + n + 1, nullptr, 10);
-  return true;
+struct ConfigResult {
+  std::string name;
+  pmblade::test::CrashHarnessResult result;
+};
+
+void WriteSummaryJson(const std::string& path, unsigned long long seed,
+                      long cycles, bool interrupted,
+                      const std::vector<ConfigResult>& results) {
+  if (path.empty()) return;
+  FILE* out = fopen(path.c_str(), "w");
+  if (out == nullptr) return;
+  fprintf(out,
+          "{\n  \"seed\": %llu,\n  \"cycles_requested\": %ld,\n"
+          "  \"interrupted\": %s,\n  \"configs\": [\n",
+          seed, cycles, interrupted ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    fprintf(out,
+            "    {\"name\": \"%s\", \"ok\": %s, \"cycles_run\": %d, "
+            "\"syncpoint_crashes\": %d, \"between_op_crashes\": %d, "
+            "\"ops\": %lld, \"failed_cycle\": %d}%s\n",
+            r.name.c_str(), r.result.ok() ? "true" : "false",
+            r.result.cycles_run, r.result.syncpoint_crashes,
+            r.result.between_op_crashes, r.result.ops_issued,
+            r.result.failed_cycle, i + 1 < results.size() ? "," : "");
+  }
+  fprintf(out, "  ]\n}\n");
+  fclose(out);
+  printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
@@ -50,40 +83,32 @@ int main(int argc, char** argv) {
   using pmblade::test::CrashHarness;
   using pmblade::test::CrashHarnessOptions;
   using pmblade::test::CrashHarnessResult;
+  namespace bench = pmblade::bench;
 
-  long cycles = 200;
-  unsigned long long seed = static_cast<unsigned long long>(time(nullptr));
-  std::string layout = "pm";
-  bool pm_crash_sim = false;
-  bool all_layouts = false;
-  long max_ops = 120;
-  std::string dir = "/tmp";
-  bool verbose = false;
-
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    long v = 0;
-    if (ParseInt(arg, "--cycles", &v)) {
-      cycles = v;
-    } else if (strncmp(arg, "--seed=", 7) == 0) {
-      seed = strtoull(arg + 7, nullptr, 10);
-    } else if (strncmp(arg, "--layout=", 9) == 0) {
-      layout = arg + 9;
-    } else if (strcmp(arg, "--pm-crash-sim") == 0) {
-      pm_crash_sim = true;
-    } else if (strcmp(arg, "--all-layouts") == 0) {
-      all_layouts = true;
-    } else if (ParseInt(arg, "--max-ops", &v)) {
-      max_ops = v;
-    } else if (strncmp(arg, "--dir=", 6) == 0) {
-      dir = arg + 6;
-    } else if (strcmp(arg, "--verbose") == 0) {
-      verbose = true;
-    } else {
-      Usage();
-      return 2;
+  bench::Flags flags(argc, argv);
+  std::vector<std::string> unknown = flags.Unknown(
+      {"cycles", "seed", "layout", "pm-crash-sim", "all-layouts", "max-ops",
+       "dir", "json", "verbose"});
+  if (!unknown.empty() || !flags.positional().empty()) {
+    for (const auto& f : unknown) {
+      fprintf(stderr, "unknown flag --%s\n", f.c_str());
     }
+    Usage();
+    return 2;
   }
+
+  long cycles = static_cast<long>(flags.Int("cycles", 200));
+  unsigned long long seed = static_cast<unsigned long long>(flags.Int(
+      "seed",
+      static_cast<int64_t>(pmblade::SystemClock()->NowNanos() / 1000000)));
+  std::string layout = flags.Str("layout", "pm");
+  const bool pm_crash_sim = flags.Bool("pm-crash-sim", false);
+  const bool all_layouts = flags.Bool("all-layouts", false);
+  long max_ops = static_cast<long>(flags.Int("max-ops", 120));
+  std::string dir = flags.Str("dir", "/tmp");
+  std::string json_path = flags.Str("json", "crash_stress_summary.json");
+  const bool verbose = flags.Bool("verbose", false);
+
   if (const char* s = getenv("PMBLADE_CRASH_SEED")) {
     seed = strtoull(s, nullptr, 10);
   }
@@ -91,6 +116,8 @@ int main(int argc, char** argv) {
     long v = strtol(s, nullptr, 10);
     if (v > 0) cycles = v;
   }
+
+  bench::InstallInterruptHandler();
 
   // The seed goes out first so a dead CI job still shows how to replay.
   printf("crash_stress: seed=%llu cycles=%ld (replay: crash_stress "
@@ -116,7 +143,9 @@ int main(int argc, char** argv) {
   }
 
   bool ok = true;
+  std::vector<ConfigResult> results;
   for (const Config& config : configs) {
+    if (bench::InterruptRequested()) break;
     CrashHarnessOptions opts;
     opts.dbname = dir + "/pmblade_crash_stress_" +
                   std::to_string(static_cast<unsigned long long>(seed));
@@ -126,14 +155,17 @@ int main(int argc, char** argv) {
     opts.pm_crash_sim = config.pm_crash_sim;
     opts.max_ops_per_cycle = static_cast<int>(max_ops);
     opts.verbose = verbose;
+    opts.stop_requested = [] { return bench::InterruptRequested(); };
 
     printf("== %s: %ld cycles ==\n", config.name, cycles);
     fflush(stdout);
     CrashHarness harness(opts);
     CrashHarnessResult result = harness.Run();
+    results.push_back({config.name, result});
     if (result.ok()) {
-      printf("   PASS: %d cycles (%d syncpoint / %d between-op crashes), "
+      printf("   %s: %d cycles (%d syncpoint / %d between-op crashes), "
              "%lld ops\n",
+             result.interrupted ? "INTERRUPTED (partial PASS)" : "PASS",
              result.cycles_run, result.syncpoint_crashes,
              result.between_op_crashes, result.ops_issued);
     } else {
@@ -146,5 +178,14 @@ int main(int argc, char** argv) {
     }
     fflush(stdout);
   }
-  return ok ? 0 : 1;
+
+  const bool interrupted = bench::InterruptRequested();
+  WriteSummaryJson(json_path, seed, cycles, interrupted, results);
+  if (!ok) return 1;
+  if (interrupted) {
+    printf("crash_stress: interrupted by signal %d, partial results above\n",
+           bench::InterruptSignal());
+    return 128 + bench::InterruptSignal();
+  }
+  return 0;
 }
