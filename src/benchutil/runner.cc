@@ -65,6 +65,9 @@ Status BenchEnv::OpenEngine(EngineConfig config, KvEngine** engine) {
       opts.cost.tau_w = options_.memtable_bytes * 4;
       opts.internal_table_target_bytes = options_.memtable_bytes * 4;
       opts.block_cache_bytes = options_.block_cache_bytes;
+      opts.bloom_bits_per_key = options_.bloom_bits_per_key;
+      opts.memory_budget_bytes = options_.memory_budget_bytes;
+      opts.arbiter_interval_ms = options_.arbiter_interval_ms;
       opts.background_compaction = options_.background_compaction;
 
       switch (config) {

@@ -58,6 +58,14 @@ struct BenchEnvOptions {
   /// must not swallow the whole working set or SSD configs never touch the
   /// device).
   size_t block_cache_bytes = 256 << 10;
+  /// Bloom bits per key for SSTable filter blocks and the PM tables' DRAM
+  /// whole-table filters; <= 0 disables filters (the no-filter baseline of
+  /// `benchmark_kv --read_skew`).
+  int bloom_bits_per_key = 10;
+  /// When nonzero, the PM-Blade configs run the MemoryArbiter over this
+  /// budget (memtable quota / block cache / keep-set τ_t).
+  uint64_t memory_budget_bytes = 0;
+  uint64_t arbiter_interval_ms = 250;
   /// When false, the flush path blocks on the compaction scheduler draining
   /// (the historical inline-compaction stall). Only meaningful for the
   /// PM-Blade configs; used by `benchmark_kv --compaction_stall` for A/B

@@ -21,6 +21,7 @@
 #ifndef PMBLADE_COMPACTION_COST_MODEL_H_
 #define PMBLADE_COMPACTION_COST_MODEL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -122,8 +123,26 @@ class CostModel {
 
   const CostModelParams& params() const { return params_; }
 
+  /// Memory-arbiter hook: a runtime replacement for params().tau_t (the
+  /// Eq. 3 keep-set budget). 0 = use the configured value. Atomic so the
+  /// arbiter thread can retune it against concurrent compaction checks;
+  /// SelectRetained and AdaptiveTauT read it through base_tau_t().
+  void set_dynamic_tau_t(uint64_t bytes) {
+    dynamic_tau_t_.store(bytes, std::memory_order_relaxed);
+  }
+  uint64_t dynamic_tau_t() const {
+    return dynamic_tau_t_.load(std::memory_order_relaxed);
+  }
+  /// The effective Eq. 3 budget before adaptive scaling or per-call
+  /// overrides: the arbiter's target when set, else the configured τ_t.
+  uint64_t base_tau_t() const {
+    uint64_t dynamic = dynamic_tau_t();
+    return dynamic != 0 ? dynamic : params_.tau_t;
+  }
+
  private:
   CostModelParams params_;
+  std::atomic<uint64_t> dynamic_tau_t_{0};
 };
 
 }  // namespace pmblade

@@ -12,6 +12,42 @@ L0TableFactory::L0TableFactory(const L0FactoryOptions& options, PmPool* pool,
                                Env* ssd_env)
     : options_(options), pool_(pool), ssd_env_(ssd_env) {}
 
+namespace {
+
+/// Accumulates distinct user keys while a PM-layout build streams through
+/// its input, then installs the whole-table bloom filter on the finished
+/// table. Key versions are adjacent in internal order, so deduplication is
+/// one comparison against the last collected key.
+class FilterCollector {
+ public:
+  explicit FilterCollector(const BloomFilterPolicy* policy)
+      : policy_(policy) {}
+
+  void Observe(const Slice& internal_key) {
+    if (policy_ == nullptr) return;
+    Slice user = ExtractUserKey(internal_key);
+    if (keys_.empty() || user.compare(Slice(keys_.back())) != 0) {
+      keys_.emplace_back(user.data(), user.size());
+    }
+  }
+
+  void InstallOn(L0Table* table) {
+    if (policy_ == nullptr || keys_.empty()) return;
+    std::vector<Slice> slices;
+    slices.reserve(keys_.size());
+    for (const auto& key : keys_) slices.emplace_back(key);
+    std::string filter;
+    policy_->CreateFilter(slices, &filter);
+    table->InstallFilter(policy_, std::move(filter));
+  }
+
+ private:
+  const BloomFilterPolicy* policy_;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace
+
 Status L0TableFactory::BuildFrom(Iterator* input, L0TableRef* table) {
   table->reset();
   if (!input->Valid()) return input->status();
@@ -19,26 +55,32 @@ Status L0TableFactory::BuildFrom(Iterator* input, L0TableRef* table) {
   switch (options_.layout) {
     case L0Layout::kPmTable: {
       PmTableBuilder builder(pool_, options_.pm_table);
+      FilterCollector filter(options_.filter_policy);
       for (; input->Valid(); input->Next()) {
         builder.Add(input->key(), input->value());
+        filter.Observe(input->key());
       }
       PMBLADE_RETURN_IF_ERROR(input->status());
       if (builder.num_entries() == 0) return Status::OK();
       std::shared_ptr<PmTable> t;
       PMBLADE_RETURN_IF_ERROR(builder.Finish(&t));
+      filter.InstallOn(t.get());
       *table = std::move(t);
       return Status::OK();
     }
 
     case L0Layout::kArrayTable: {
       ArrayTableBuilder builder(pool_);
+      FilterCollector filter(options_.filter_policy);
       for (; input->Valid(); input->Next()) {
         builder.Add(input->key(), input->value());
+        filter.Observe(input->key());
       }
       PMBLADE_RETURN_IF_ERROR(input->status());
       if (builder.num_entries() == 0) return Status::OK();
       std::shared_ptr<ArrayTable> t;
       PMBLADE_RETURN_IF_ERROR(builder.Finish(&t));
+      filter.InstallOn(t.get());
       *table = std::move(t);
       return Status::OK();
     }
@@ -49,15 +91,18 @@ Status L0TableFactory::BuildFrom(Iterator* input, L0TableRef* table) {
                            ? 1
                            : options_.snappy_group_size;
       SnappyTableBuilder builder(pool_, group);
+      FilterCollector filter(options_.filter_policy);
       uint64_t added = 0;
       for (; input->Valid(); input->Next()) {
         builder.Add(input->key(), input->value());
+        filter.Observe(input->key());
         ++added;
       }
       PMBLADE_RETURN_IF_ERROR(input->status());
       if (added == 0) return Status::OK();
       std::shared_ptr<SnappyTable> t;
       PMBLADE_RETURN_IF_ERROR(builder.Finish(&t));
+      filter.InstallOn(t.get());
       *table = std::move(t);
       return Status::OK();
     }

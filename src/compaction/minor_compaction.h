@@ -34,7 +34,11 @@ struct L0FactoryOptions {
   PmTableOptions pm_table;      // used when layout == kPmTable
   uint32_t snappy_group_size = 8;
 
-  // SSTable settings (layout == kSstable and level-1 outputs).
+  // `filter_policy` covers every layout: SSTables get a per-block filter
+  // section, PM layouts get a DRAM-resident whole-table filter built from
+  // the keys streamed through BuildFrom. nullptr = no filters.
+  // The remaining SSTable settings apply to layout == kSstable and level-1
+  // outputs.
   const InternalKeyComparator* icmp = nullptr;
   const BloomFilterPolicy* filter_policy = nullptr;
   BlockCache* block_cache = nullptr;

@@ -83,6 +83,9 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname)
     : options_(options), dbname_(dbname), icmp_(BytewiseComparator()) {}
 
 DBImpl::~DBImpl() {
+  // Join the arbiter thread first: its callbacks touch the metrics
+  // registry, the block cache and the cost model, all torn down below.
+  if (arbiter_ != nullptr) arbiter_->Stop();
   // The SSD model may be caller-owned and outlive this DB; detach our bus
   // before it dies.
   if (model_ != nullptr) model_->set_event_bus(nullptr);
@@ -130,8 +133,15 @@ Status DBImpl::Init() {
     model_ = owned_model_.get();
   }
 
-  filter_policy_.reset(new BloomFilterPolicy(options_.bloom_bits_per_key));
-  block_cache_.reset(new BlockCache(options_.block_cache_bytes));
+  // bloom_bits_per_key <= 0 is the no-filter baseline; block_cache_bytes
+  // == 0 the no-cache one (both used by benchmark A/B runs).
+  if (options_.bloom_bits_per_key > 0) {
+    filter_policy_.reset(new BloomFilterPolicy(options_.bloom_bits_per_key));
+  }
+  if (options_.block_cache_bytes > 0) {
+    block_cache_.reset(new BlockCache(options_.block_cache_bytes));
+  }
+  memtable_limit_.store(options_.memtable_bytes, std::memory_order_relaxed);
 
   // PM pool (always opened; cheap when unused by the layout).
   std::string pool_path = options_.pm_pool_path.empty()
@@ -242,6 +252,97 @@ Status DBImpl::Init() {
   // Route major-compaction instrumentation through our bus/registry.
   options_.major.event_bus = &events_;
   options_.major.metrics = &metrics_;
+
+  // Read-path instruments: bloom probe counters (fed from Get's
+  // ReadProbeStats) and block-cache gauges.
+  bloom_check_counter_ = metrics_.GetCounter("pmblade.bloom.checks");
+  bloom_negative_counter_ = metrics_.GetCounter("pmblade.bloom.negatives");
+  bloom_fp_counter_ = metrics_.GetCounter("pmblade.bloom.false_positives");
+  if (block_cache_ != nullptr) {
+    BlockCache* cache = block_cache_.get();
+    metrics_.RegisterGaugeCallback("pmblade.blockcache.hits", [cache] {
+      return static_cast<double>(cache->hits());
+    });
+    metrics_.RegisterGaugeCallback("pmblade.blockcache.misses", [cache] {
+      return static_cast<double>(cache->misses());
+    });
+    metrics_.RegisterGaugeCallback("pmblade.blockcache.charge", [cache] {
+      return static_cast<double>(cache->TotalCharge());
+    });
+    metrics_.RegisterGaugeCallback("pmblade.blockcache.capacity", [cache] {
+      return static_cast<double>(cache->capacity());
+    });
+  }
+
+  // Memory arbitration: one budget over {memtable quota, block cache,
+  // Eq. 3 keep-set}, retuned by the MemoryArbiter's feedback thread. The
+  // configured memtable_bytes/block_cache_bytes/cost.tau_t seed the split;
+  // any remainder of the budget lands on the keep-set.
+  if (options_.memory_budget_bytes > 0) {
+    const uint64_t total = options_.memory_budget_bytes;
+    uint64_t floors[mem::kNumComponents];
+    uint64_t initial[mem::kNumComponents];
+    floors[mem::kMemtable] = std::max<uint64_t>(64 << 10, total / 32);
+    floors[mem::kBlockCache] =
+        block_cache_ != nullptr ? std::max<uint64_t>(64 << 10, total / 32)
+                                : 0;
+    floors[mem::kKeepSet] = 4096;
+    initial[mem::kMemtable] = options_.memtable_bytes;
+    initial[mem::kBlockCache] =
+        block_cache_ != nullptr ? options_.block_cache_bytes : 0;
+    initial[mem::kKeepSet] = options_.cost.tau_t;
+    mem_budget_.reset(new mem::MemoryBudget(total, floors, initial));
+
+    auto apply = [this](int component, uint64_t target) {
+      switch (component) {
+        case mem::kMemtable:
+          memtable_limit_.store(static_cast<size_t>(target),
+                                std::memory_order_relaxed);
+          break;
+        case mem::kBlockCache:
+          if (block_cache_ != nullptr) block_cache_->SetCapacity(target);
+          break;
+        case mem::kKeepSet:
+          // 0 would read as "unset" to base_tau_t(); the floor keeps the
+          // target positive, but stay safe against direct Transfer calls.
+          cost_model_->set_dynamic_tau_t(std::max<uint64_t>(target, 1));
+          break;
+      }
+    };
+    // Push the seeded split into the engine (the ctor may have reshaped
+    // the configured values to fit the budget and floors).
+    for (int c = 0; c < mem::kNumComponents; ++c) {
+      apply(c, mem_budget_->target(c));
+    }
+
+    mem::ArbiterOptions aopts;
+    aopts.interval_ms = options_.arbiter_interval_ms;
+    aopts.clock = clock_;
+    aopts.metrics = &metrics_;
+    aopts.events = &events_;
+    aopts.logger = options_.logger;
+    arbiter_.reset(new mem::MemoryArbiter(
+        aopts, mem_budget_.get(),
+        [this] {
+          mem::ArbiterInputs in;
+          in.reads = stats_.total_reads();
+          in.reads_ssd_l1 = stats_.reads(ReadSource::kSsdLevel1);
+          in.writes = stats_.writes();
+          if (block_cache_ != nullptr) {
+            in.cache_hits = block_cache_->hits();
+            in.cache_misses = block_cache_->misses();
+          }
+          in.bloom_checks = bloom_check_counter_->Value();
+          in.bloom_negatives = bloom_negative_counter_->Value();
+          in.bloom_false_positives = bloom_fp_counter_->Value();
+          in.flushes = stats_.flushes();
+          in.slowdowns = slowdown_counter_->Value();
+          in.stalls = stall_counter_->Value();
+          return in;
+        },
+        apply));
+    arbiter_->Start();
+  }
 
   mem_ = new MemTable(icmp_);
   mem_->Ref();
@@ -354,24 +455,31 @@ Status DBImpl::RecoverPartitions(const ManifestState& state) {
         std::shared_ptr<PmTable> t;
         PMBLADE_RETURN_IF_ERROR(PmTable::Open(pool_.get(), id, &t));
         *table = std::move(t);
-        return Status::OK();
+        break;
       }
       case kArrayTableObject: {
         std::shared_ptr<ArrayTable> t;
         PMBLADE_RETURN_IF_ERROR(ArrayTable::Open(pool_.get(), id, &t));
         *table = std::move(t);
-        return Status::OK();
+        break;
       }
       case kSnappyTableObject:
       case kSnappyGroupTableObject: {
         std::shared_ptr<SnappyTable> t;
         PMBLADE_RETURN_IF_ERROR(SnappyTable::Open(pool_.get(), id, &t));
         *table = std::move(t);
-        return Status::OK();
+        break;
       }
       default:
         return Status::Corruption("manifest references missing pm object");
     }
+    // The DRAM whole-table bloom is not part of the PM media format;
+    // rebuild it by scanning the table (it is immutable from here on), so
+    // reopened tables filter exactly like freshly flushed ones.
+    if (filter_policy_ != nullptr) {
+      (*table)->BuildFilter(filter_policy_.get());
+    }
+    return Status::OK();
   };
 
   auto open_sst = [&](uint64_t number, L0TableRef* table) -> Status {
@@ -744,8 +852,12 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
   while (true) {
     if (!bg_error_.ok()) return bg_error_;
     const size_t usage = mem_->ApproximateMemoryUsage();
+    // The rotation threshold is dynamic: the memory arbiter retunes
+    // memtable_limit_ at runtime (it equals options_.memtable_bytes when
+    // the arbiter is off).
+    const size_t limit = memtable_limit_.load(std::memory_order_relaxed);
     if (allow_delay && imm_ != nullptr &&
-        usage >= static_cast<size_t>(options_.memtable_bytes *
+        usage >= static_cast<size_t>(limit *
                                      options_.write_slowdown_watermark)) {
       // Soft limit: the flush is behind. Delay this write once by ~1 ms to
       // shed load gradually instead of hitting the hard stall cliff.
@@ -756,7 +868,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       allow_delay = false;
       continue;
     }
-    if (!force && usage < options_.memtable_bytes) break;
+    if (!force && usage < limit) break;
     if (imm_ != nullptr) {
       // Hard stall: both memtables are full; wait for the background flush.
       stall_counter_->Inc();
@@ -1431,6 +1543,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
   std::string local_value;
   Status probe_status;
+  ReadProbeStats probe;
   if (mem->Get(lkey, &local_value, &probe_status)) {
     answered = true;
     source = ReadSource::kMemtable;
@@ -1451,7 +1564,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     for (const auto& table : unsorted) {
       bool found = false;
       Status s = L0TableGet(*table, icmp_, lkey, &local_value, &found,
-                            &probe_status);
+                            &probe_status, &probe);
       if (!s.ok()) {
         mem->Unref();
         if (imm != nullptr) imm->Unref();
@@ -1468,8 +1581,8 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   if (!answered && !sorted.empty()) {
     ScopedExternalIo io(ssd_l0 ? model_ : nullptr, IoClass::kClient);
     bool found = false;
-    Status s =
-        RunGet(sorted, icmp_, lkey, &local_value, &found, &probe_status);
+    Status s = RunGet(sorted, icmp_, lkey, &local_value, &found,
+                      &probe_status, &probe);
     if (!s.ok()) {
       mem->Unref();
       if (imm != nullptr) imm->Unref();
@@ -1485,7 +1598,8 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     // Level-1 always lives on the SSD.
     ScopedExternalIo io(track_client_io_ ? model_ : nullptr, IoClass::kClient);
     bool found = false;
-    Status s = RunGet(l1, icmp_, lkey, &local_value, &found, &probe_status);
+    Status s = RunGet(l1, icmp_, lkey, &local_value, &found, &probe_status,
+                      &probe);
     if (!s.ok()) {
       mem->Unref();
       if (imm != nullptr) imm->Unref();
@@ -1508,6 +1622,15 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     source = ReadSource::kNotFound;
   } else {
     source = ReadSource::kNotFound;  // tombstone
+  }
+  if (probe.bloom_checks > 0) {
+    bloom_check_counter_->Inc(probe.bloom_checks);
+    if (probe.bloom_negatives > 0) {
+      bloom_negative_counter_->Inc(probe.bloom_negatives);
+    }
+    if (probe.bloom_false_positives > 0) {
+      bloom_fp_counter_->Inc(probe.bloom_false_positives);
+    }
   }
   stats_.RecordRead(source, clock_->NowNanos() - start);
   return result;
@@ -1559,9 +1682,10 @@ WritePressure DBImpl::GetWritePressure() {
   // same thresholds MakeRoomForWrite applies (slowdown at the watermark,
   // hard stall when full).
   const size_t usage = mem_->ApproximateMemoryUsage();
-  if (usage >= options_.memtable_bytes) return WritePressure::kStall;
-  if (usage >= static_cast<size_t>(options_.memtable_bytes *
-                                   options_.write_slowdown_watermark)) {
+  const size_t limit = memtable_limit_.load(std::memory_order_relaxed);
+  if (usage >= limit) return WritePressure::kStall;
+  if (usage >=
+      static_cast<size_t>(limit * options_.write_slowdown_watermark)) {
     return WritePressure::kSlowdown;
   }
   return WritePressure::kNone;
@@ -1621,6 +1745,34 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
     *value = file_gc_fail_counter_->Value();
     return true;
   }
+  if (property == "pmblade.bloom-checks") {
+    *value = bloom_check_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.bloom-negatives") {
+    *value = bloom_negative_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.bloom-false-positives") {
+    *value = bloom_fp_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.blockcache-charge") {
+    *value = block_cache_ != nullptr ? block_cache_->TotalCharge() : 0;
+    return true;
+  }
+  if (property == "pmblade.blockcache-capacity") {
+    *value = block_cache_ != nullptr ? block_cache_->capacity() : 0;
+    return true;
+  }
+  if (property == "pmblade.mem-rebalances") {
+    *value = arbiter_ != nullptr ? arbiter_->rebalances() : 0;
+    return true;
+  }
+  if (property == "pmblade.memtable-limit") {
+    *value = memtable_limit_.load(std::memory_order_relaxed);
+    return true;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (property == "pmblade.l0-bytes") {
     uint64_t total = 0;
@@ -1677,6 +1829,11 @@ bool DBImpl::GetProperty(const std::string& property, std::string* value) {
   }
   if (property == "pmblade.trace.json") {
     *value = trace_ != nullptr ? trace_->DumpJsonLines() : std::string();
+    return true;
+  }
+  if (property == "pmblade.mem.json") {
+    *value = arbiter_ != nullptr ? arbiter_->ToJson()
+                                 : std::string("{\"enabled\":false}");
     return true;
   }
   return false;

@@ -32,6 +32,7 @@
 #ifndef PMBLADE_CORE_DB_IMPL_H_
 #define PMBLADE_CORE_DB_IMPL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -50,6 +51,7 @@
 #include "core/manifest.h"
 #include "core/partition.h"
 #include "env/sim_env.h"
+#include "mem/arbiter.h"
 #include "memtable/skiplist_memtable.h"
 #include "memtable/wal.h"
 #include "obs/event.h"
@@ -232,6 +234,19 @@ class DBImpl final : public DB {
   /// sharing model_, whose file wrappers already classify client I/O.
   bool track_client_io_ = false;
 
+  // ---- memory arbitration ----
+  /// The live memtable rotation threshold. Seeded from
+  /// options_.memtable_bytes; the arbiter retunes it at runtime, so
+  /// MakeRoomForWrite/GetWritePressure read THIS, never the option.
+  std::atomic<size_t> memtable_limit_{0};
+  /// Budget + arbiter, present only when options_.memory_budget_bytes > 0.
+  /// Declared before metrics_ (the arbiter registers gauge callbacks
+  /// capturing the budget); ~DBImpl stops the arbiter thread before any
+  /// member is destroyed, so its callbacks never outrun metrics_ or the
+  /// cache.
+  std::unique_ptr<mem::MemoryBudget> mem_budget_;
+  std::unique_ptr<mem::MemoryArbiter> arbiter_;
+
   std::vector<std::unique_ptr<Partition>> partitions_;  // ascending ranges
   uint64_t next_partition_id_ = 1;
 
@@ -261,6 +276,11 @@ class DBImpl final : public DB {
   obs::Counter* stall_nanos_counter_ = nullptr;
   obs::Counter* bg_flush_counter_ = nullptr;
   obs::Counter* file_gc_fail_counter_ = nullptr;  // failed RemoveFile calls
+  // Read-path instruments (bloom probes accumulated from Get's
+  // ReadProbeStats; cache gauges registered over block_cache_).
+  obs::Counter* bloom_check_counter_ = nullptr;
+  obs::Counter* bloom_negative_counter_ = nullptr;
+  obs::Counter* bloom_fp_counter_ = nullptr;
 };
 
 }  // namespace pmblade

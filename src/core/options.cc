@@ -26,6 +26,15 @@ Status Options::Sanitize() {
           "partition_boundaries must be strictly ascending");
     }
   }
+  if (memory_budget_bytes != 0) {
+    if (memory_budget_bytes < (1 << 20)) {
+      return Status::InvalidArgument(
+          "memory_budget_bytes must be 0 (arbiter off) or >= 1 MiB");
+    }
+    if (arbiter_interval_ms == 0) {
+      return Status::InvalidArgument("arbiter_interval_ms must be >= 1");
+    }
+  }
   if (compaction_retry_limit < 0) compaction_retry_limit = 0;
   if (major.concurrency < 1) major.concurrency = 1;
   if (major.worker_threads < 1) major.worker_threads = 1;

@@ -112,10 +112,25 @@ struct Options {
   /// triggers a fresh check.
   int compaction_retry_limit = 2;
 
-  // ---- SSTables ----
+  // ---- SSTables / read path ----
   size_t block_size = 4096;
+  /// Bloom bits per key for SSTable filter blocks AND the DRAM whole-table
+  /// filters built over PM level-0 tables. <= 0 disables all filters (the
+  /// no-filter baseline for benchmarking).
   int bloom_bits_per_key = 10;
+  /// SST block cache capacity. 0 disables the cache entirely.
   size_t block_cache_bytes = 8 << 20;
+
+  // ---- memory arbitration ----
+  /// One DRAM budget the MemoryArbiter re-divides at runtime between the
+  /// memtable quota, the SST block cache and the Eq. 3 keep-set target
+  /// (τ_t). 0 disables the arbiter: memtable_bytes / block_cache_bytes /
+  /// cost.tau_t stay fixed at their configured values. When set, those
+  /// three values seed the initial split and the remainder (if any) goes
+  /// to the keep-set.
+  uint64_t memory_budget_bytes = 0;
+  /// Period of the arbiter's feedback tick.
+  uint64_t arbiter_interval_ms = 250;
 
   // ---- observability ----
   /// Capacity of the built-in trace ring (the last N engine events kept for

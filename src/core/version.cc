@@ -255,7 +255,8 @@ Iterator* NewRunIterator(const InternalKeyComparator* icmp,
 
 Status RunGet(const std::vector<L0TableRef>& run,
               const InternalKeyComparator& icmp, const LookupKey& lkey,
-              std::string* value, bool* found, Status* result_status) {
+              std::string* value, bool* found, Status* result_status,
+              ReadProbeStats* probe) {
   *found = false;
   if (run.empty()) return Status::OK();
   // First table whose largest user key >= probe.
@@ -271,7 +272,7 @@ Status RunGet(const std::vector<L0TableRef>& run,
     }
   }
   if (lo == run.size()) return Status::OK();
-  return L0TableGet(*run[lo], icmp, lkey, value, found, result_status);
+  return L0TableGet(*run[lo], icmp, lkey, value, found, result_status, probe);
 }
 
 }  // namespace pmblade

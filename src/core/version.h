@@ -21,10 +21,12 @@ Iterator* NewRunIterator(const InternalKeyComparator* icmp,
                          std::vector<L0TableRef> run);
 
 /// Point lookup in a run: picks the single candidate table by boundary
-/// binary search. Same out-parameters as L0TableGet.
+/// binary search. Same out-parameters as L0TableGet (including the optional
+/// bloom probe accounting).
 Status RunGet(const std::vector<L0TableRef>& run,
               const InternalKeyComparator& icmp, const LookupKey& lkey,
-              std::string* value, bool* found, Status* result_status);
+              std::string* value, bool* found, Status* result_status,
+              ReadProbeStats* probe = nullptr);
 
 /// A snapshot of one partition's table sets, taken under the DB mutex so
 /// iterators survive version changes.

@@ -1,0 +1,99 @@
+#include "mem/memory_budget.h"
+
+#include <cstdio>
+
+namespace pmblade {
+namespace mem {
+
+const char* MemComponentName(int component) {
+  switch (component) {
+    case kMemtable:
+      return "memtable";
+    case kBlockCache:
+      return "block_cache";
+    case kKeepSet:
+      return "keep_set";
+  }
+  return "unknown";
+}
+
+MemoryBudget::MemoryBudget(uint64_t total,
+                           const uint64_t floors[kNumComponents],
+                           const uint64_t initial[kNumComponents]) {
+  uint64_t floor_sum = 0;
+  for (int i = 0; i < kNumComponents; ++i) {
+    floors_[i] = floors[i];
+    floor_sum += floors[i];
+  }
+  // The budget must at least cover the floors; Options::Sanitize enforces
+  // this for user configs, but stay safe against direct construction.
+  if (total < floor_sum) total = floor_sum;
+  total_ = total;
+
+  uint64_t targets[kNumComponents];
+  uint64_t assigned = 0;
+  for (int i = 0; i < kNumComponents; ++i) {
+    targets[i] = initial[i] > floors_[i] ? initial[i] : floors_[i];
+    assigned += targets[i];
+  }
+  if (assigned < total_) {
+    // Surplus goes to the keep-set: PM retention absorbs spare budget best.
+    targets[kKeepSet] += total_ - assigned;
+  } else if (assigned > total_) {
+    // Deficit: shave components above their floor, largest headroom first,
+    // until the split fits.
+    uint64_t excess = assigned - total_;
+    while (excess > 0) {
+      int widest = -1;
+      uint64_t headroom = 0;
+      for (int i = 0; i < kNumComponents; ++i) {
+        uint64_t h = targets[i] - floors_[i];
+        if (h > headroom) {
+          headroom = h;
+          widest = i;
+        }
+      }
+      if (widest < 0) break;  // everything at its floor (cannot happen:
+                              // total_ >= floor_sum)
+      uint64_t cut = excess < headroom ? excess : headroom;
+      targets[widest] -= cut;
+      excess -= cut;
+    }
+  }
+  for (int i = 0; i < kNumComponents; ++i) {
+    targets_[i].store(targets[i], std::memory_order_relaxed);
+  }
+}
+
+uint64_t MemoryBudget::Transfer(int from, int to, uint64_t bytes) {
+  if (from == to || bytes == 0) return 0;
+  uint64_t from_target = target(from);
+  uint64_t headroom =
+      from_target > floors_[from] ? from_target - floors_[from] : 0;
+  uint64_t moved = bytes < headroom ? bytes : headroom;
+  if (moved == 0) return 0;
+  targets_[from].store(from_target - moved, std::memory_order_relaxed);
+  targets_[to].fetch_add(moved, std::memory_order_relaxed);
+  return moved;
+}
+
+std::string MemoryBudget::ToJson() const {
+  char buf[128];
+  std::string out = "{\"total\":";
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(total_));
+  out += buf;
+  out += ",\"components\":[";
+  for (int i = 0; i < kNumComponents; ++i) {
+    snprintf(buf, sizeof(buf),
+             "%s{\"name\":\"%s\",\"target\":%llu,\"floor\":%llu}",
+             i == 0 ? "" : ",", MemComponentName(i),
+             static_cast<unsigned long long>(target(i)),
+             static_cast<unsigned long long>(floors_[i]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mem
+}  // namespace pmblade

@@ -1,0 +1,72 @@
+// MemoryBudget: the engine's single DRAM/PM budget, divided into
+// per-component targets the MemoryArbiter retunes at runtime.
+//
+// Components (the engine's three tunable memory consumers):
+//   * kMemtable   — the active memtable's byte quota (MakeRoomForWrite's
+//                   rotation threshold; larger = fewer flushes, bigger
+//                   group-commit batches absorb write bursts)
+//   * kBlockCache — SST block cache capacity (larger = fewer SSD block
+//                   reads on the cold-read path)
+//   * kKeepSet    — the Eq. 3 keep-set budget τ_t (larger = more hot
+//                   partitions retained on PM past major compaction, fewer
+//                   reads falling through to SSD level-1)
+//
+// Targets are atomics: the arbiter thread writes them while the write path
+// (memtable quota), read path (cache capacity) and compaction scheduler
+// (τ_t) read them concurrently. Invariant: sum(targets) == total(), and
+// every target >= its floor — Transfer() preserves both.
+
+#ifndef PMBLADE_MEM_MEMORY_BUDGET_H_
+#define PMBLADE_MEM_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pmblade {
+namespace mem {
+
+enum MemComponent : int {
+  kMemtable = 0,
+  kBlockCache = 1,
+  kKeepSet = 2,
+  kNumComponents = 3,
+};
+
+const char* MemComponentName(int component);
+
+class MemoryBudget {
+ public:
+  /// Seeds the split. Each initial target is clamped to its floor; any
+  /// surplus or deficit against `total` is settled on the keep-set (the
+  /// most elastic component), then proportionally if the floors force it.
+  MemoryBudget(uint64_t total, const uint64_t floors[kNumComponents],
+               const uint64_t initial[kNumComponents]);
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  uint64_t total() const { return total_; }
+  uint64_t floor(int component) const { return floors_[component]; }
+  uint64_t target(int component) const {
+    return targets_[component].load(std::memory_order_relaxed);
+  }
+
+  /// Moves up to `bytes` from one component to another, never taking
+  /// `from` below its floor. Returns the bytes actually moved (0 when
+  /// `from` sits at its floor already). Only the arbiter calls this.
+  uint64_t Transfer(int from, int to, uint64_t bytes);
+
+  /// {"total":..,"components":[{"name":..,"target":..,"floor":..},..]}
+  std::string ToJson() const;
+
+ private:
+  uint64_t total_;
+  uint64_t floors_[kNumComponents];
+  std::atomic<uint64_t> targets_[kNumComponents];
+};
+
+}  // namespace mem
+}  // namespace pmblade
+
+#endif  // PMBLADE_MEM_MEMORY_BUDGET_H_

@@ -405,22 +405,25 @@ void CommandHandler::Scan(const std::vector<const std::string*>& args,
   for (const std::string& key : keys) EncodeBulkString(key, out);
 }
 
-// INFO [server|engine]
+// INFO [server|engine|memory]
 //
 // Built straight from the metrics registry snapshot — the single source of
 // truth the JSON/Prometheus exporters read — never by re-parsing their
 // output. Redis-style sections: "# Server" (static facts + connection
 // state), "# Engine" (every pmblade.* counter/gauge; histograms as
-// count/p50/p99).
+// count/p50/p99), "# Memory" (the memory arbiter's budget split and
+// pressure state, as one JSON document).
 void CommandHandler::Info(const std::vector<const std::string*>& args,
                           std::string* out) {
   bool want_server = true;
   bool want_engine = true;
+  bool want_memory = true;
   if (args.size() == 2) {
     const std::string section = ToLower(*args[1]);
     want_server = section == "server";
     want_engine = section == "engine";
-    if (!want_server && !want_engine) {
+    want_memory = section == "memory";
+    if (!want_server && !want_engine && !want_memory) {
       EncodeBulkString("", out);
       return;
     }
@@ -470,6 +473,15 @@ void CommandHandler::Info(const std::vector<const std::string*>& args,
       }
       body += line;
     }
+  }
+  if (want_memory) {
+    if (!body.empty()) body += "\r\n";
+    body += "# Memory\r\n";
+    std::string mem_json;
+    if (!db_->GetProperty("pmblade.mem.json", &mem_json)) {
+      mem_json = "{\"enabled\": false}";
+    }
+    body += "mem_arbiter:" + mem_json + "\r\n";
   }
   EncodeBulkString(body, out);
 }

@@ -38,6 +38,8 @@ const char* EventTypeName(EventType type) {
       return "compaction_start";
     case EventType::kCompactionEnd:
       return "compaction_end";
+    case EventType::kMemRebalance:
+      return "mem_rebalance";
   }
   return "unknown";
 }

@@ -45,6 +45,10 @@ enum class EventType : uint8_t {
   kCompactionStart,
   /// A compaction job finished (fields: ok, duration_nanos, retries).
   kCompactionEnd,
+  /// The memory arbiter moved budget between components; fields carry the
+  /// decision (from/to/bytes), the observed pressures that drove it, and
+  /// the post-move targets.
+  kMemRebalance,
 };
 
 const char* EventTypeName(EventType type);

@@ -11,6 +11,13 @@
 //
 // Entries are internal keys (user_key ⊕ seq ⊕ type) in ascending internal
 // order; tables are immutable once built.
+//
+// Every table can carry a bloom filter over its user keys, consulted by
+// L0TableGet before any PM scan or SSD block read. PM layouts hold a
+// DRAM-resident whole-table filter (built at flush/compaction time by the
+// L0TableFactory, rebuilt by a table scan on recovery — the PM media format
+// is unchanged); SsdL0Table overrides MayContain with the SSTable's own
+// per-block filter. One BloomFilterPolicy implementation serves both.
 
 #ifndef PMBLADE_PMTABLE_L0_TABLE_H_
 #define PMBLADE_PMTABLE_L0_TABLE_H_
@@ -24,6 +31,8 @@
 #include "util/status.h"
 
 namespace pmblade {
+
+class BloomFilterPolicy;
 
 /// Object kinds registered in the PM pool directory.
 enum PmObjectKind : uint32_t {
@@ -60,16 +69,65 @@ class L0Table {
   /// concurrent readers and iterators still holding a ref never observe
   /// freed storage.
   virtual Status Destroy() = 0;
+
+  // ---- bloom filter (read-path acceleration) ----
+
+  /// Whether a filter is attached; when false, MayContain is vacuously true
+  /// and probes should not be counted as bloom checks.
+  virtual bool HasFilter() const { return !filter_.empty(); }
+
+  /// Probes the filter with `lkey`'s user key. May return false positives,
+  /// never false negatives for keys in the table. Filterless tables return
+  /// true.
+  virtual bool MayContain(const LookupKey& lkey) const;
+
+  /// Attaches a DRAM-resident whole-table filter produced by
+  /// `policy->CreateFilter` over the table's user keys. Must be called
+  /// before the table is published to readers (build or recovery time);
+  /// the filter is immutable afterwards.
+  void InstallFilter(const BloomFilterPolicy* policy, std::string filter);
+
+  /// Builds and installs the whole-table filter by scanning the table.
+  /// Recovery path for PM layouts, whose on-media format carries no filter
+  /// section. No-op when `policy` is nullptr.
+  void BuildFilter(const BloomFilterPolicy* policy);
+
+  /// DRAM bytes held by the attached filter (0 for SSTables, whose filter
+  /// lives in the TableReader).
+  size_t filter_bytes() const { return filter_.size(); }
+
+ protected:
+  const BloomFilterPolicy* filter_policy_ = nullptr;
+  std::string filter_;  // immutable once the table is published
 };
 
 using L0TableRef = std::shared_ptr<L0Table>;
 
+/// Read-path probe accounting, aggregated per Get by the engine and fed to
+/// the pmblade.bloom.* counters and the memory arbiter.
+struct ReadProbeStats {
+  uint64_t tables_probed = 0;         // passed the key-range rejection
+  uint64_t bloom_checks = 0;          // tables that had a filter to consult
+  uint64_t bloom_negatives = 0;       // probes skipped by the filter
+  uint64_t bloom_false_positives = 0; // filter passed but the key was absent
+
+  void MergeFrom(const ReadProbeStats& other) {
+    tables_probed += other.tables_probed;
+    bloom_checks += other.bloom_checks;
+    bloom_negatives += other.bloom_negatives;
+    bloom_false_positives += other.bloom_false_positives;
+  }
+};
+
 /// Generic point lookup over any L0Table. Searches for `lkey`'s user key at
 /// its snapshot; on a value hit fills *value and returns found=true/OK; on a
 /// tombstone returns found=true and NotFound status via *result_status.
+/// Consults the table's bloom filter (if any) after the range rejection and
+/// before opening an iterator; `probe` (optional) accumulates the filter
+/// accounting.
 Status L0TableGet(const L0Table& table, const InternalKeyComparator& icmp,
                   const LookupKey& lkey, std::string* value, bool* found,
-                  Status* result_status);
+                  Status* result_status, ReadProbeStats* probe = nullptr);
 
 }  // namespace pmblade
 

@@ -33,9 +33,18 @@ struct BlockCache::Shard {
 BlockCache::BlockCache(size_t capacity, int num_shards)
     : num_shards_(num_shards < 1 ? 1 : num_shards) {
   shards_.reset(new Shard[num_shards_]);
+  SetCapacity(capacity);
+}
+
+void BlockCache::SetCapacity(size_t capacity) {
+  capacity_.store(capacity, std::memory_order_relaxed);
+  size_t per_shard = capacity / num_shards_;
+  if (per_shard == 0) per_shard = 1;
   for (int i = 0; i < num_shards_; ++i) {
-    shards_[i].capacity = capacity / num_shards_;
-    if (shards_[i].capacity == 0) shards_[i].capacity = 1;
+    Shard* shard = &shards_[i];
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->capacity = per_shard;
+    shard->EvictToFit();
   }
 }
 

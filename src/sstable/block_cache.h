@@ -35,6 +35,14 @@ class BlockCache {
   /// Drops all entries for a table (called when its file is deleted).
   void EvictTable(uint64_t file_number);
 
+  /// Re-divides a new total byte capacity across the shards, evicting LRU
+  /// entries that no longer fit. Safe against concurrent Lookup/Insert; the
+  /// memory arbiter calls this on every rebalance.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
   size_t TotalCharge() const;
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -51,6 +59,7 @@ class BlockCache {
 
   std::unique_ptr<Shard[]> shards_;
   int num_shards_;
+  std::atomic<size_t> capacity_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
 };

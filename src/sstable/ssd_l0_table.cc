@@ -65,6 +65,12 @@ Iterator* SsdL0Table::NewIterator() const {
   return new HoldingIterator(shared_from_this(), reader_->NewIterator());
 }
 
+bool SsdL0Table::HasFilter() const { return reader_->has_filter(); }
+
+bool SsdL0Table::MayContain(const LookupKey& lkey) const {
+  return reader_->KeyMayMatch(lkey.internal_key());
+}
+
 Status SsdL0Table::Destroy() {
   doomed_ = true;
   return Status::OK();

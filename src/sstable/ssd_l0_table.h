@@ -30,6 +30,11 @@ class SsdL0Table : public L0Table,
   Slice smallest() const override { return smallest_; }
   Slice largest() const override { return largest_; }
   uint64_t id() const override { return id_; }
+  /// SSTables carry their own per-block filter; probe it through the
+  /// DRAM-resident index instead of a whole-table filter (no data-block
+  /// read, no SSD I/O).
+  bool HasFilter() const override;
+  bool MayContain(const LookupKey& lkey) const override;
   Status Destroy() override;
   ~SsdL0Table() override;
 

@@ -333,6 +333,22 @@ Status TableReader::InternalGet(const Slice& key, void* arg,
   return index_iter->status();
 }
 
+bool TableReader::KeyMayMatch(const Slice& internal_key) const {
+  Rep* r = rep_.get();
+  if (r->filter == nullptr) return true;
+  std::unique_ptr<Iterator> index_iter(
+      r->index_block->NewIterator(r->options.comparator));
+  index_iter->Seek(internal_key);
+  if (!index_iter->Valid()) return true;  // boundary case: stay conservative
+  Slice hv = index_iter->value();
+  BlockHandle handle;
+  if (!handle.DecodeFrom(&hv).ok()) return true;
+  // The filter indexes user keys (snapshot-independent).
+  return r->filter->KeyMayMatch(handle.offset(), ExtractUserKey(internal_key));
+}
+
+bool TableReader::has_filter() const { return rep_->filter != nullptr; }
+
 uint64_t TableReader::ApproximateOffsetOf(const Slice& key) const {
   std::unique_ptr<Iterator> index_iter(
       rep_->index_block->NewIterator(rep_->options.comparator));

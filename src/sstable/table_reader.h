@@ -47,6 +47,13 @@ class TableReader {
                      void (*handle_result)(void* arg, const Slice& k,
                                            const Slice& v));
 
+  /// Bloom-only probe: locates `internal_key`'s candidate block through the
+  /// DRAM-resident index and asks its filter about the user key, without
+  /// reading any data block. False when the key is definitively absent;
+  /// true otherwise (including tables without a filter block).
+  bool KeyMayMatch(const Slice& internal_key) const;
+  bool has_filter() const;
+
   uint64_t ApproximateOffsetOf(const Slice& key) const;
 
  private:

@@ -313,8 +313,16 @@ TEST_F(CommandTest, PingEchoInfo) {
   ASSERT_EQ(info.type, RespValue::Type::kBulkString);
   EXPECT_NE(info.str.find("# Server"), std::string::npos);
   EXPECT_NE(info.str.find("# Engine"), std::string::npos);
+  EXPECT_NE(info.str.find("# Memory"), std::string::npos);
+  EXPECT_NE(info.str.find("mem_arbiter:{"), std::string::npos);
   EXPECT_NE(info.str.find("write_pressure:none"), std::string::npos);
   EXPECT_NE(info.str.find("pmblade.server.commands"), std::string::npos);
+
+  // Section filtering: INFO memory returns only the arbiter state.
+  RespValue mem = Call({"INFO", "memory"});
+  ASSERT_EQ(mem.type, RespValue::Type::kBulkString);
+  EXPECT_EQ(mem.str.find("# Engine"), std::string::npos);
+  EXPECT_NE(mem.str.find("mem_arbiter:{"), std::string::npos);
 }
 
 TEST_F(CommandTest, QuitAndShutdownSignalTheServer) {

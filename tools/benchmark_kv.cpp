@@ -28,6 +28,13 @@
 //                fresh engine per mode, tiny memtable + tight L0 budget to
 //                force continuous flush->compaction cycles, reports write
 //                p99/max and stall counters; emits BENCH_compaction_stall.json
+//   read_skew    zipfian point-read sweep over SSD-resident data (2x the
+//                loaded keyspace, so half the probes are absent keys) on a
+//                fresh engine per point: no_filter baseline, bloom+cache,
+//                and bloom+cache+memory-arbiter; reports cold-read ops/s,
+//                SSD reads per Get, bloom rejections and cache hit ratio,
+//                then flips the arbiter point to a write-heavy phase to show
+//                the budget shifting; emits BENCH_read_path.json
 //   flush        force a memtable flush        compact     force L0->L1
 //   stats        print engine statistics
 
@@ -43,6 +50,7 @@
 #include "benchutil/runner.h"
 #include "benchutil/table_codec.h"
 #include "benchutil/workload.h"
+#include "core/db_impl.h"
 #include "util/clock.h"
 #include "util/histogram.h"
 
@@ -304,6 +312,188 @@ void RunCompactionStall(Context* ctx) {
   ctx->engine = engine;
 }
 
+// Zipfian point-read sweep over SSD-resident keys, one fresh engine per
+// point: the no-filter/no-cache baseline, blooms + block cache, and blooms
+// + cache + memory arbiter. Loads EVEN key indices only and reads zipfian
+// over twice the index space, so half the probes are absent keys
+// INTERLEAVED with the present ones (they pass the tables' min/max range
+// check and only a bloom can reject them without an SSD read). Everything
+// is forced down to level-1 first, so every data-block read is an SSD read.
+// The arbiter point then flips to a write-heavy phase and reports how the
+// budget moved. Emits BENCH_read_path.json.
+void RunReadSkew(Context* ctx) {
+  const BenchEnvOptions saved = *ctx->env->mutable_options();
+  BenchEnvOptions* opts = ctx->env->mutable_options();
+
+  struct ModeCfg {
+    const char* name;
+    int bloom_bits;
+    size_t cache_bytes;
+    uint64_t budget_bytes;
+  };
+  const ModeCfg modes[] = {
+      {"no_filter", 0, 0, 0},
+      {"filter_cache", 10, saved.block_cache_bytes, 0},
+      {"filter_cache_arbiter", 10, saved.block_cache_bytes, 8ull << 20},
+  };
+  const size_t num_modes = sizeof(modes) / sizeof(modes[0]);
+
+  // Key space: present keys are the EVEN indices in [0, 2*num); reads draw
+  // zipfian from the full range.
+  KeySpec space;
+  space.num_keys = ctx->num * 2;
+  space.zipf_theta = ctx->zipf;
+
+  TablePrinter table({"mode", "ops/sec", "ssd_reads/get", "bloom_neg/get",
+                      "cache_hit%", "rebalances"});
+  std::string json = "[\n";
+
+  for (size_t mi = 0; mi < num_modes && !InterruptRequested(); ++mi) {
+    const ModeCfg& mode = modes[mi];
+    opts->bloom_bits_per_key = mode.bloom_bits;
+    opts->block_cache_bytes = mode.cache_bytes;
+    opts->memory_budget_bytes = mode.budget_bytes;
+    opts->arbiter_interval_ms = 25;  // visible shifts within bench runtime
+    opts->partition_boundaries = KeyGenerator(space).PartitionBoundaries(8);
+    KvEngine* engine = nullptr;
+    Status s = ctx->env->OpenEngine(ctx->env->config(), &engine);
+    if (!s.ok()) {
+      fprintf(stderr, "read_skew reopen: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+    ctx->engine = engine;
+    DB* db = ctx->env->pmblade_db();
+    if (db == nullptr) {
+      fprintf(stderr,
+              "read_skew needs a pmblade engine "
+              "(--engine=pmblade|pmblade-pm|pmblade-ssd)\n");
+      exit(1);
+    }
+
+    // Load the even indices, then force everything to SSD level-1.
+    KeyGenerator keys(space);
+    ValueGenerator values(ctx->value_size);
+    for (uint64_t i = 0; i < ctx->num && !InterruptRequested(); ++i) {
+      RUN_OP(db->Put(WriteOptions(), keys.KeyAt(2 * i), values.For(2 * i)));
+    }
+    RUN_OP(db->FlushMemTable());
+    RUN_OP(db->CompactToLevel1(false));
+
+    // Cold zipfian read phase over the doubled key space.
+    KeyGenerator read_keys(space);
+    const uint64_t gets = ctx->num;
+    const uint64_t ssd_reads_before = ctx->env->ssd_model()->reads();
+    uint64_t negatives_before = 0;
+    db->GetProperty("pmblade.bloom-negatives", &negatives_before);
+    Histogram latency;
+    const uint64_t start = ctx->clock->NowNanos();
+    for (uint64_t i = 0; i < gets && !InterruptRequested(); ++i) {
+      uint64_t k = read_keys.NextIndex();
+      uint64_t t0 = ctx->clock->NowNanos();
+      std::string value;
+      RUN_OP(db->Get(ReadOptions(), read_keys.KeyAt(k), &value));
+      latency.Add(ctx->clock->NowNanos() - t0);
+    }
+    const uint64_t nanos = ctx->clock->NowNanos() - start;
+
+    const double ops_per_sec = nanos > 0 ? gets * 1e9 / nanos : 0;
+    const double ssd_reads_per_get =
+        gets > 0 ? static_cast<double>(ctx->env->ssd_model()->reads() -
+                                       ssd_reads_before) /
+                       gets
+                 : 0;
+    uint64_t negatives = 0;
+    db->GetProperty("pmblade.bloom-negatives", &negatives);
+    const double negatives_per_get =
+        gets > 0
+            ? static_cast<double>(negatives - negatives_before) / gets
+            : 0;
+    DBImpl* impl = static_cast<DBImpl*>(db);
+    double cache_hit_ratio = 0;
+    if (impl->options().block_cache_bytes > 0) {
+      obs::MetricsSnapshot snap =
+          impl->metrics()->Snapshot(ctx->clock->NowNanos());
+      const obs::MetricSample* h = snap.Find("pmblade.blockcache.hits");
+      const obs::MetricSample* m = snap.Find("pmblade.blockcache.misses");
+      const double hits = h != nullptr ? h->value : 0;
+      const double misses = m != nullptr ? m->value : 0;
+      if (hits + misses > 0) cache_hit_ratio = hits / (hits + misses);
+    }
+
+    // Arbiter point only: flip to a write-heavy phase and record the
+    // budget shift (read phase should have pulled budget toward the cache;
+    // write backpressure pulls it back toward the memtable).
+    uint64_t rebalances = 0;
+    uint64_t read_mem = 0, read_cache = 0, write_mem = 0, write_cache = 0;
+    if (mode.budget_bytes > 0) {
+      db->GetProperty("pmblade.memtable-limit", &read_mem);
+      db->GetProperty("pmblade.blockcache-capacity", &read_cache);
+      Random rng(301);
+      for (uint64_t i = 0; i < ctx->num && !InterruptRequested(); ++i) {
+        uint64_t k = rng.Uniform(ctx->num);
+        RUN_OP(db->Put(WriteOptions(), keys.KeyAt(2 * k), values.For(k)));
+      }
+      db->GetProperty("pmblade.memtable-limit", &write_mem);
+      db->GetProperty("pmblade.blockcache-capacity", &write_cache);
+      db->GetProperty("pmblade.mem-rebalances", &rebalances);
+    }
+
+    Report(mode.name, gets, nanos, latency);
+    table.AddRow({mode.name, TablePrinter::Fmt(ops_per_sec, 0),
+                  TablePrinter::Fmt(ssd_reads_per_get, 3),
+                  TablePrinter::Fmt(negatives_per_get, 3),
+                  TablePrinter::Fmt(cache_hit_ratio * 100, 1),
+                  std::to_string(rebalances)});
+
+    char point[512];
+    snprintf(point, sizeof(point),
+             "  {\"mode\": \"%s\", \"gets\": %llu, \"ops_per_sec\": %.0f, "
+             "\"p99_us\": %.2f, \"ssd_reads_per_get\": %.4f, "
+             "\"bloom_negatives_per_get\": %.4f, \"cache_hit_ratio\": %.4f",
+             mode.name, static_cast<unsigned long long>(gets), ops_per_sec,
+             latency.Percentile(99) / 1000.0, ssd_reads_per_get,
+             negatives_per_get, cache_hit_ratio);
+    json += point;
+    if (mode.budget_bytes > 0) {
+      snprintf(point, sizeof(point),
+               ", \"arbiter\": {\"rebalances\": %llu, \"read_phase\": "
+               "{\"memtable_target\": %llu, \"block_cache_target\": %llu}, "
+               "\"write_phase\": {\"memtable_target\": %llu, "
+               "\"block_cache_target\": %llu}}",
+               static_cast<unsigned long long>(rebalances),
+               static_cast<unsigned long long>(read_mem),
+               static_cast<unsigned long long>(read_cache),
+               static_cast<unsigned long long>(write_mem),
+               static_cast<unsigned long long>(write_cache));
+      json += point;
+    }
+    json += mi + 1 < num_modes ? "},\n" : "}\n";
+  }
+  if (json.size() >= 2 && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);
+  }
+  json += "]\n";
+
+  table.Print("read_skew (zipf=" + TablePrinter::Fmt(ctx->zipf, 2) +
+              ", 50% absent keys)");
+  FILE* out = fopen("BENCH_read_path.json", "w");
+  if (out != nullptr) {
+    fputs(json.c_str(), out);
+    fclose(out);
+    printf("wrote BENCH_read_path.json\n");
+  }
+
+  // Restore the configuration the rest of the benchmark list expects.
+  *ctx->env->mutable_options() = saved;
+  KvEngine* engine = nullptr;
+  Status s = ctx->env->OpenEngine(ctx->env->config(), &engine);
+  if (!s.ok()) {
+    fprintf(stderr, "read_skew restore: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+  ctx->engine = engine;
+}
+
 void RunBenchmark(Context* ctx, const std::string& name) {
   KeySpec spec;
   spec.num_keys = ctx->num;
@@ -426,6 +616,9 @@ void RunBenchmark(Context* ctx, const std::string& name) {
     return;
   } else if (name == "compaction_stall") {
     RunCompactionStall(ctx);
+    return;
+  } else if (name == "read_skew") {
+    RunReadSkew(ctx);
     return;
   } else if (name == "flush") {
     timed([&] { RUN_OP(ctx->engine->Flush()); });
