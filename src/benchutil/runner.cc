@@ -1,7 +1,5 @@
 #include "benchutil/runner.h"
 
-#include "core/db_impl.h"
-
 namespace pmblade {
 namespace bench {
 
@@ -69,6 +67,7 @@ Status BenchEnv::OpenEngine(EngineConfig config, KvEngine** engine) {
       opts.memory_budget_bytes = options_.memory_budget_bytes;
       opts.arbiter_interval_ms = options_.arbiter_interval_ms;
       opts.background_compaction = options_.background_compaction;
+      opts.num_shards = options_.num_shards;
 
       switch (config) {
         case EngineConfig::kPmBlade:
@@ -157,7 +156,8 @@ Status BenchEnv::OpenEngine(EngineConfig config, KvEngine** engine) {
 
 uint64_t BenchEnv::PmBytesWritten() const {
   if (db_ != nullptr) {
-    return static_cast<DBImpl*>(db_.get())->pm_pool()->stats().bytes_written();
+    uint64_t v = 0;
+    return db_->GetProperty("pmblade.pm-bytes-written", &v) ? v : 0;
   }
   if (matrix_ != nullptr) {
     return matrix_->pm_pool()->stats().bytes_written();

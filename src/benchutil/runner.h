@@ -71,6 +71,11 @@ struct BenchEnvOptions {
   /// PM-Blade configs; used by `benchmark_kv --compaction_stall` for A/B
   /// comparison against the backgrounded default.
   bool background_compaction = true;
+  /// Shard count for the PM-Blade configs (1 = the classic single engine;
+  /// N > 1 opens a ShardedDB). Per-shard knobs (memtable_bytes,
+  /// pm_pool_capacity, the cost budgets) apply to EACH shard. Ignored by
+  /// the baseline engines.
+  uint32_t num_shards = 1;
   std::vector<std::string> partition_boundaries;
 };
 

@@ -69,7 +69,26 @@ class DB : public KvEngine {
   /// Instantaneous write-path backpressure state (see WritePressure).
   /// Cheap — one short mutex hold — so admission controllers may poll it
   /// per request. Also exposed as the "pmblade.write-pressure" property.
+  /// On a sharded DB this is the MAX across shards (the box-level view);
+  /// admission control should prefer the keyed overload below so one hot
+  /// shard cannot shed traffic bound for idle shards.
   virtual WritePressure GetWritePressure() = 0;
+
+  // ---- sharding ----
+  /// Number of independent engine shards behind this DB (1 for the classic
+  /// single-DBImpl engine).
+  virtual uint32_t num_shards() const { return 1; }
+  /// Backpressure of the shard `key` routes to. On the single-shard engine
+  /// this is just GetWritePressure().
+  virtual WritePressure GetWritePressure(const Slice& key) {
+    (void)key;
+    return GetWritePressure();
+  }
+  /// Backpressure of one shard by index (for INFO / metrics breakdown).
+  virtual WritePressure GetShardWritePressure(uint32_t shard) {
+    (void)shard;
+    return GetWritePressure();
+  }
   /// The engine-wide metrics registry backing the stats exporters.
   /// External subsystems (the RESP server) register their own
   /// counters/gauges/histograms here so one snapshot covers the whole

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "compaction/merging_iterator.h"
+#include "core/sharded_db.h"
 #include "core/version.h"
 #include "obs/exporter.h"
 #include "pmtable/array_table.h"
@@ -64,6 +65,26 @@ class BoundedIterator final : public Iterator {
 Status DB::Open(const Options& options, const std::string& dbname,
                 std::unique_ptr<DB>* db) {
   db->reset();
+  if (options.num_shards > 1) {
+    auto sharded = std::make_unique<ShardedDB>(options, dbname);
+    PMBLADE_RETURN_IF_ERROR(sharded->Init());
+    *db = std::move(sharded);
+    return Status::OK();
+  }
+  // A directory pinned by a ShardedDB cannot be opened single-shard: the
+  // data lives in shard-<i> subdirectories the classic engine would
+  // silently ignore, presenting an empty DB.
+  {
+    Env* env = options.env != nullptr ? options.env : PosixEnv();
+    const std::string marker = dbname + "/SHARDS";
+    if (env->FileExists(marker)) {
+      std::string pinned;
+      (void)ReadFileToString(env, marker, &pinned);
+      return Status::InvalidArgument(
+          dbname + " was created with num_shards=" + pinned +
+          "; open it with that shard count");
+    }
+  }
   auto impl = std::make_unique<DBImpl>(options, dbname);
   PMBLADE_RETURN_IF_ERROR(impl->Init());
   *db = std::move(impl);
@@ -72,8 +93,16 @@ Status DB::Open(const Options& options, const std::string& dbname,
 
 Status DestroyDB(const Options& options, const std::string& dbname) {
   Env* env = options.env != nullptr ? options.env : PosixEnv();
-  if (!options.pm_pool_path.empty() && env->FileExists(options.pm_pool_path)) {
-    env->RemoveFile(options.pm_pool_path);
+  if (!options.pm_pool_path.empty()) {
+    if (env->FileExists(options.pm_pool_path)) {
+      env->RemoveFile(options.pm_pool_path);
+    }
+    // A sharded DB opened with an explicit pool path suffixes it per shard.
+    for (uint32_t i = 0; i < options.num_shards; ++i) {
+      const std::string shard_pool =
+          ShardedDB::ShardPmPoolPath(options.pm_pool_path, i);
+      if (env->FileExists(shard_pool)) env->RemoveFile(shard_pool);
+    }
   }
   if (!env->FileExists(dbname)) return Status::OK();
   return env->RemoveDirRecursively(dbname);
@@ -138,8 +167,11 @@ Status DBImpl::Init() {
   if (options_.bloom_bits_per_key > 0) {
     filter_policy_.reset(new BloomFilterPolicy(options_.bloom_bits_per_key));
   }
-  if (options_.block_cache_bytes > 0) {
-    block_cache_.reset(new BlockCache(options_.block_cache_bytes));
+  if (options_.shared_block_cache != nullptr) {
+    block_cache_ = options_.shared_block_cache;  // ShardedDB-owned
+  } else if (options_.block_cache_bytes > 0) {
+    owned_block_cache_.reset(new BlockCache(options_.block_cache_bytes));
+    block_cache_ = owned_block_cache_.get();
   }
   memtable_limit_.store(options_.memtable_bytes, std::memory_order_relaxed);
 
@@ -158,7 +190,7 @@ Status DBImpl::Init() {
   l1opts.layout = L0Layout::kSstable;
   l1opts.icmp = &icmp_;
   l1opts.filter_policy = filter_policy_.get();
-  l1opts.block_cache = block_cache_.get();
+  l1opts.block_cache = block_cache_;
   l1opts.block_size = options_.block_size;
   l1opts.ssd_dir = dbname_;
   l1_factory_.reset(new L0TableFactory(l1opts, pool_.get(), env_));
@@ -259,7 +291,7 @@ Status DBImpl::Init() {
   bloom_negative_counter_ = metrics_.GetCounter("pmblade.bloom.negatives");
   bloom_fp_counter_ = metrics_.GetCounter("pmblade.bloom.false_positives");
   if (block_cache_ != nullptr) {
-    BlockCache* cache = block_cache_.get();
+    BlockCache* cache = block_cache_;
     metrics_.RegisterGaugeCallback("pmblade.blockcache.hits", [cache] {
       return static_cast<double>(cache->hits());
     });
@@ -438,7 +470,7 @@ Status DBImpl::RecoverPartitions(const ManifestState& state) {
   TableReaderOptions ropts;
   ropts.comparator = &icmp_;
   ropts.filter_policy = filter_policy_.get();
-  ropts.block_cache = block_cache_.get();
+  ropts.block_cache = block_cache_;
 
   auto open_pm = [&](uint64_t id, L0TableRef* table) -> Status {
     referenced_pm_ids.insert(id);
@@ -1369,7 +1401,7 @@ Status DBImpl::RunMajorCompactionOnPartitions(
   TableReaderOptions ropts;
   ropts.comparator = &icmp_;
   ropts.filter_policy = filter_policy_.get();
-  ropts.block_cache = block_cache_.get();
+  ropts.block_cache = block_cache_;
 
   std::vector<std::vector<L0TableRef>> new_l1(victims.size());
   size_t opened = 0;
@@ -1691,6 +1723,11 @@ WritePressure DBImpl::GetWritePressure() {
   return WritePressure::kNone;
 }
 
+void DBImpl::SetDynamicTauT(uint64_t bytes) {
+  // 0 reads as "unset" to base_tau_t(); keep the target positive.
+  cost_model_->set_dynamic_tau_t(std::max<uint64_t>(bytes, 1));
+}
+
 bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
   if (property == "pmblade.write-pressure") {
     *value = static_cast<uint64_t>(GetWritePressure());
@@ -1771,6 +1808,14 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
   }
   if (property == "pmblade.memtable-limit") {
     *value = memtable_limit_.load(std::memory_order_relaxed);
+    return true;
+  }
+  if (property == "pmblade.pm-bytes-written") {
+    *value = pool_ != nullptr ? pool_->stats().bytes_written() : 0;
+    return true;
+  }
+  if (property == "pmblade.num-shards") {
+    *value = 1;
     return true;
   }
   std::lock_guard<std::mutex> lock(mu_);

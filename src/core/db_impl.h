@@ -81,6 +81,8 @@ class DBImpl final : public DB {
   Status CompactToLevel1(bool respect_cost_model) override;
   const DbStatistics& statistics() const override { return stats_; }
   DbStatistics& statistics() override { return stats_; }
+  using DB::GetWritePressure;  // keyed/per-shard overloads (single shard:
+                               // they forward to the global probe)
   WritePressure GetWritePressure() override;
   obs::MetricsRegistry* metrics_registry() override { return &metrics_; }
   bool GetProperty(const std::string& property, uint64_t* value) override;
@@ -96,6 +98,17 @@ class DBImpl final : public DB {
   obs::MetricsRegistry* metrics() { return &metrics_; }
   obs::EventBus* event_bus() { return &events_; }
   obs::TraceRecorder* trace() { return trace_.get(); }
+
+  // ---- hooks for an external arbiter (ShardedDB's shared MemoryArbiter;
+  // also exercised directly by tests) ----
+  /// Retunes the live memtable rotation threshold (what the embedded
+  /// arbiter's apply callback does for mem::kMemtable).
+  void SetMemtableLimit(size_t bytes) {
+    memtable_limit_.store(bytes, std::memory_order_relaxed);
+  }
+  /// Retunes the Eq. 3 keep-set budget τ_t (mem::kKeepSet). Clamped to >= 1
+  /// because 0 reads as "unset" to the cost model.
+  void SetDynamicTauT(uint64_t bytes);
 
  private:
   friend class DBUserIterator;
@@ -186,7 +199,11 @@ class DBImpl final : public DB {
 
   InternalKeyComparator icmp_;
   std::unique_ptr<BloomFilterPolicy> filter_policy_;
-  std::unique_ptr<BlockCache> block_cache_;
+  /// The SST block cache this engine reads through: either owned (created
+  /// from block_cache_bytes) or the process-wide cache a ShardedDB injected
+  /// via Options::shared_block_cache. nullptr = caching disabled.
+  BlockCache* block_cache_ = nullptr;
+  std::unique_ptr<BlockCache> owned_block_cache_;
   std::unique_ptr<PmPool> pool_;
   std::unique_ptr<L0TableFactory> l0_factory_;     // level-0 layout
   std::unique_ptr<L0TableFactory> l1_factory_;     // SSTables for level-1

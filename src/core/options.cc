@@ -20,6 +20,9 @@ Status Options::Sanitize() {
     return Status::InvalidArgument(
         "write_slowdown_watermark must be in (0, 1]");
   }
+  if (num_shards < 1 || num_shards > 128) {
+    return Status::InvalidArgument("num_shards must be in [1, 128]");
+  }
   for (size_t i = 1; i < partition_boundaries.size(); ++i) {
     if (partition_boundaries[i - 1] >= partition_boundaries[i]) {
       return Status::InvalidArgument(

@@ -18,6 +18,8 @@
 
 namespace pmblade {
 
+class BlockCache;
+
 struct Options {
   // ---- environments / devices ----
   /// Filesystem the engine reads/writes SSTables, WAL and manifest through.
@@ -74,6 +76,21 @@ struct Options {
   /// Interior user-key boundaries splitting the keyspace into
   /// boundaries.size()+1 range partitions. Empty = single partition.
   std::vector<std::string> partition_boundaries;
+
+  // ---- sharding ----
+  /// Number of independent engine shards. 1 (the default) opens the classic
+  /// single DBImpl — zero behavioral change. N > 1 makes DB::Open return a
+  /// ShardedDB: N DBImpls (each with its own directory under <dbname>,
+  /// memtable, WAL + group-commit leader, level-0, flush thread and
+  /// compaction scheduler) routed by hash(user key) % N. Per-shard options
+  /// (memtable_bytes, pm_pool_capacity, the cost budgets) apply to EACH
+  /// shard; block_cache_bytes and memory_budget_bytes stay process-wide
+  /// (one shared cache, one arbiter over every shard's quotas).
+  uint32_t num_shards = 1;
+  /// Internal (set by ShardedDB): a process-wide block cache this engine
+  /// must use instead of creating its own from block_cache_bytes. Not
+  /// owned; must outlive the DB.
+  BlockCache* shared_block_cache = nullptr;
 
   // ---- compaction policy ----
   /// Master switch for internal compaction (PMB-P turns it off).

@@ -1,0 +1,563 @@
+#include "core/sharded_db.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "compaction/merging_iterator.h"
+#include "obs/exporter.h"
+#include "util/comparator.h"
+
+namespace pmblade {
+
+namespace {
+
+/// Splits one WriteBatch into per-shard sub-batches, preserving op order
+/// within each shard (order across shards is immaterial: keyspaces are
+/// disjoint under hash routing).
+class ShardSplitter final : public WriteBatch::Handler {
+ public:
+  ShardSplitter(std::vector<WriteBatch>* subs, uint32_t num_shards)
+      : subs_(subs), num_shards_(num_shards) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    (*subs_)[ShardedDB::ShardOfKey(key, num_shards_)].Put(key, value);
+  }
+  void Delete(const Slice& key) override {
+    (*subs_)[ShardedDB::ShardOfKey(key, num_shards_)].Delete(key);
+  }
+
+ private:
+  std::vector<WriteBatch>* subs_;
+  uint32_t num_shards_;
+};
+
+/// "pmblade.shard.<i>.<suffix>" -> (i, "pmblade.<suffix>").
+bool ParseShardProperty(const std::string& property, uint32_t num_shards,
+                        uint32_t* shard, std::string* rest) {
+  static constexpr char kPrefix[] = "pmblade.shard.";
+  static constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (property.rfind(kPrefix, 0) != 0) return false;
+  const size_t dot = property.find('.', kPrefixLen);
+  if (dot == std::string::npos || dot == kPrefixLen) return false;
+  uint64_t index = 0;
+  for (size_t i = kPrefixLen; i < dot; ++i) {
+    if (property[i] < '0' || property[i] > '9') return false;
+    index = index * 10 + (property[i] - '0');
+  }
+  if (index >= num_shards) return false;
+  *shard = static_cast<uint32_t>(index);
+  *rest = "pmblade." + property.substr(dot + 1);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+uint32_t ShardedDB::ShardOfKey(const Slice& key, uint32_t num_shards) {
+  // FNV-1a 64: cheap, stable across platforms (the shard of a key is part
+  // of the on-disk contract — see the SHARDS marker).
+  uint64_t hash = 1469598103934665603ull;
+  for (size_t i = 0; i < key.size(); ++i) {
+    hash ^= static_cast<unsigned char>(key.data()[i]);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(hash % num_shards);
+}
+
+std::string ShardedDB::ShardPmPoolPath(const std::string& base,
+                                       uint32_t shard) {
+  return base + ".shard-" + std::to_string(shard);
+}
+
+std::string ShardedDB::ShardDirName(const std::string& dbname,
+                                    uint32_t shard) {
+  return dbname + "/shard-" + std::to_string(shard);
+}
+
+// ---------------------------------------------------------------------------
+// Open / close
+// ---------------------------------------------------------------------------
+
+ShardedDB::ShardedDB(const Options& options, const std::string& dbname)
+    : options_(options), dbname_(dbname) {}
+
+ShardedDB::~ShardedDB() {
+  // Join the arbiter thread before any member it touches (the shards'
+  // quotas, the shared cache, the facade registry) is destroyed.
+  if (arbiter_ != nullptr) arbiter_->Stop();
+  // Shards read through shared_cache_; drop them while it is still alive
+  // (declaration order already guarantees this — made explicit here).
+  shards_.clear();
+}
+
+Status ShardedDB::Init() {
+  PMBLADE_RETURN_IF_ERROR(options_.Sanitize());
+  env_ = options_.env;
+
+  if (env_->FileExists(dbname_) && options_.error_if_exists) {
+    return Status::InvalidArgument(dbname_ + " already exists");
+  }
+  if (!env_->FileExists(dbname_) && !options_.create_if_missing) {
+    return Status::NotFound(dbname_ + " does not exist");
+  }
+  PMBLADE_RETURN_IF_ERROR(env_->CreateDir(dbname_));
+  PMBLADE_RETURN_IF_ERROR(CheckOrPinShardCount());
+
+  if (options_.shared_block_cache == nullptr &&
+      options_.block_cache_bytes > 0) {
+    shared_cache_.reset(new BlockCache(options_.block_cache_bytes));
+  }
+  BlockCache* cache = options_.shared_block_cache != nullptr
+                          ? options_.shared_block_cache
+                          : shared_cache_.get();
+
+  shards_.reserve(options_.num_shards);
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    Options shard_opts = options_;
+    shard_opts.num_shards = 1;
+    shard_opts.shared_block_cache = cache;
+    // One arbiter over every shard (below), not one per shard.
+    shard_opts.memory_budget_bytes = 0;
+    // Existence checks happened at the facade level; shard directories
+    // come and go with it.
+    shard_opts.error_if_exists = false;
+    shard_opts.create_if_missing = true;
+    if (!options_.pm_pool_path.empty()) {
+      shard_opts.pm_pool_path = ShardPmPoolPath(options_.pm_pool_path, i);
+    }
+    auto shard =
+        std::make_unique<DBImpl>(shard_opts, ShardDirName(dbname_, i));
+    PMBLADE_RETURN_IF_ERROR(shard->Init());
+    shards_.push_back(std::move(shard));
+  }
+
+  RegisterAggregatedMetrics();
+  if (options_.memory_budget_bytes > 0) {
+    PMBLADE_RETURN_IF_ERROR(SetUpSharedArbiter());
+  }
+  return Status::OK();
+}
+
+Status ShardedDB::CheckOrPinShardCount() {
+  const std::string marker = dbname_ + "/SHARDS";
+  if (env_->FileExists(marker)) {
+    std::string data;
+    PMBLADE_RETURN_IF_ERROR(ReadFileToString(env_, marker, &data));
+    const unsigned long pinned = std::strtoul(data.c_str(), nullptr, 10);
+    if (pinned != options_.num_shards) {
+      return Status::InvalidArgument(
+          dbname_ + " was created with num_shards=" + std::to_string(pinned) +
+          "; reopening with num_shards=" +
+          std::to_string(options_.num_shards) + " would mis-route keys");
+    }
+    return Status::OK();
+  }
+  return WriteStringToFile(env_, Slice(std::to_string(options_.num_shards)),
+                           marker);
+}
+
+Status ShardedDB::SetUpSharedArbiter() {
+  const uint64_t total = options_.memory_budget_bytes;
+  const uint64_t n = shards_.size();
+  uint64_t floors[mem::kNumComponents];
+  uint64_t initial[mem::kNumComponents];
+  // Same shape as DBImpl's embedded arbiter, scaled: the memtable and
+  // keep-set components cover ALL shards (apply splits them evenly), the
+  // cache component is the one shared cache.
+  floors[mem::kMemtable] = std::max<uint64_t>(4096 * n, total / 32);
+  floors[mem::kBlockCache] =
+      shared_cache_ != nullptr ? std::max<uint64_t>(64 << 10, total / 32) : 0;
+  floors[mem::kKeepSet] = 4096;
+  initial[mem::kMemtable] = static_cast<uint64_t>(options_.memtable_bytes) * n;
+  initial[mem::kBlockCache] =
+      shared_cache_ != nullptr ? options_.block_cache_bytes : 0;
+  initial[mem::kKeepSet] = options_.cost.tau_t * n;
+  mem_budget_.reset(new mem::MemoryBudget(total, floors, initial));
+
+  auto apply = [this](int component, uint64_t target) {
+    const uint64_t n_shards = shards_.size();
+    switch (component) {
+      case mem::kMemtable: {
+        // Even split; the 4 KiB clamp keeps a pathological split from
+        // wedging a shard's write path.
+        const uint64_t per = std::max<uint64_t>(target / n_shards, 4096);
+        for (auto& shard : shards_) {
+          shard->SetMemtableLimit(static_cast<size_t>(per));
+        }
+        break;
+      }
+      case mem::kBlockCache:
+        if (shared_cache_ != nullptr) shared_cache_->SetCapacity(target);
+        break;
+      case mem::kKeepSet: {
+        const uint64_t per = std::max<uint64_t>(target / n_shards, 1);
+        for (auto& shard : shards_) shard->SetDynamicTauT(per);
+        break;
+      }
+    }
+  };
+  for (int c = 0; c < mem::kNumComponents; ++c) {
+    apply(c, mem_budget_->target(c));
+  }
+
+  mem::ArbiterOptions aopts;
+  aopts.interval_ms = options_.arbiter_interval_ms;
+  aopts.clock = options_.clock;
+  aopts.metrics = &metrics_;
+  aopts.logger = options_.logger;
+  arbiter_.reset(new mem::MemoryArbiter(
+      aopts, mem_budget_.get(),
+      [this] {
+        mem::ArbiterInputs in;
+        for (auto& shard : shards_) {
+          const DbStatistics& stats =
+              static_cast<const DBImpl&>(*shard).statistics();
+          in.reads += stats.total_reads();
+          in.reads_ssd_l1 += stats.reads(ReadSource::kSsdLevel1);
+          in.writes += stats.writes();
+          in.flushes += stats.flushes();
+          uint64_t v = 0;
+          if (shard->GetProperty("pmblade.bloom-checks", &v)) {
+            in.bloom_checks += v;
+          }
+          if (shard->GetProperty("pmblade.bloom-negatives", &v)) {
+            in.bloom_negatives += v;
+          }
+          if (shard->GetProperty("pmblade.bloom-false-positives", &v)) {
+            in.bloom_false_positives += v;
+          }
+          if (shard->GetProperty("pmblade.write-slowdowns", &v)) {
+            in.slowdowns += v;
+          }
+          if (shard->GetProperty("pmblade.write-stalls", &v)) in.stalls += v;
+        }
+        if (shared_cache_ != nullptr) {
+          in.cache_hits = shared_cache_->hits();
+          in.cache_misses = shared_cache_->misses();
+        }
+        return in;
+      },
+      apply));
+  arbiter_->Start();
+  return Status::OK();
+}
+
+void ShardedDB::RegisterAggregatedMetrics() {
+  metrics_.RegisterGaugeCallback("pmblade.shards", [this] {
+    return static_cast<double>(shards_.size());
+  });
+  // Splice every shard's registry into facade snapshots: a
+  // pmblade.shard.<i>.* breakdown plus cross-shard aggregates under the
+  // original names (counters/histograms sum; gauges sum too — sizes and
+  // depths add up across shards). Metrics over a process-wide resource
+  // (the shared block cache; a caller-shared SSD model) are identical in
+  // every shard's registry, so the first shard's value stands instead of
+  // an N-fold sum.
+  const bool shared_ssd = options_.ssd_model != nullptr;
+  metrics_.RegisterSnapshotProvider(
+      [this, shared_ssd](std::vector<obs::MetricSample>* out) {
+        std::map<std::string, obs::MetricSample> agg;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+          obs::MetricsSnapshot snap =
+              shards_[i]->metrics_registry()->Snapshot(0);
+          for (auto& sample : snap.samples) {
+            std::string suffix = sample.name;
+            static constexpr char kRoot[] = "pmblade.";
+            if (suffix.rfind(kRoot, 0) == 0) {
+              suffix = suffix.substr(sizeof(kRoot) - 1);
+            }
+            const bool shared_resource =
+                sample.name.rfind("pmblade.blockcache.", 0) == 0 ||
+                (shared_ssd && sample.name.rfind("pmblade.ssd.", 0) == 0);
+            obs::MetricSample per_shard = sample;
+            per_shard.name =
+                "pmblade.shard." + std::to_string(i) + "." + suffix;
+            out->push_back(std::move(per_shard));
+            auto it = agg.find(sample.name);
+            if (it == agg.end()) {
+              agg.emplace(sample.name, std::move(sample));
+            } else if (!shared_resource) {
+              if (it->second.kind == obs::MetricKind::kHistogram) {
+                it->second.hist.Merge(sample.hist);
+                it->second.value =
+                    static_cast<double>(it->second.hist.count());
+              } else {
+                it->second.value += sample.value;
+              }
+            }
+          }
+        }
+        for (auto& [name, sample] : agg) {
+          (void)name;
+          out->push_back(std::move(sample));
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+Status ShardedDB::Put(const WriteOptions& options, const Slice& key,
+                      const Slice& value) {
+  return shards_[Route(key)]->Put(options, key, value);
+}
+
+Status ShardedDB::Delete(const WriteOptions& options, const Slice& key) {
+  return shards_[Route(key)]->Delete(options, key);
+}
+
+Status ShardedDB::Write(const WriteOptions& options, WriteBatch* batch) {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("null WriteBatch");
+  }
+  const uint32_t n = static_cast<uint32_t>(shards_.size());
+  std::vector<WriteBatch> subs(n);
+  ShardSplitter splitter(&subs, n);
+  PMBLADE_RETURN_IF_ERROR(batch->Iterate(&splitter));
+  // Each sub-batch is atomic within its shard; cross-shard atomicity is
+  // NOT provided (documented in sharded_db.h). Apply every sub-batch even
+  // after a failure — partial progress plus the first error beats an
+  // arbitrary prefix.
+  Status result;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (subs[i].Count() == 0) continue;
+    Status s = shards_[i]->Write(options, &subs[i]);
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reads / snapshots
+// ---------------------------------------------------------------------------
+
+Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
+                      std::string* value) {
+  const uint32_t shard = Route(key);
+  if (options.snapshot == 0) {
+    return shards_[shard]->Get(options, key, value);
+  }
+  ReadOptions ropts = options;
+  PMBLADE_RETURN_IF_ERROR(
+      TranslateSnapshot(options.snapshot, shard, &ropts.snapshot));
+  return shards_[shard]->Get(ropts, key, value);
+}
+
+Iterator* ShardedDB::NewIterator(const ReadOptions& options) {
+  std::vector<uint64_t> seqs;  // empty = read at each shard's latest
+  if (options.snapshot != 0) {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = snapshots_.find(options.snapshot);
+    if (it == snapshots_.end()) {
+      return NewErrorIterator(
+          Status::InvalidArgument("unknown snapshot handle"));
+    }
+    seqs = it->second;
+  }
+  std::vector<Iterator*> children;
+  children.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ReadOptions ropts = options;
+    ropts.snapshot = seqs.empty() ? 0 : seqs[i];
+    children.push_back(shards_[i]->NewIterator(ropts));
+  }
+  // Each child already yields live user keys in bytewise order, and hash
+  // routing keeps the shards' keyspaces disjoint, so the plain merge IS
+  // the global sorted view.
+  return NewMergingIterator(BytewiseComparator(), std::move(children));
+}
+
+uint64_t ShardedDB::GetSnapshot() {
+  std::vector<uint64_t> seqs;
+  seqs.reserve(shards_.size());
+  for (auto& shard : shards_) seqs.push_back(shard->GetSnapshot());
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  const uint64_t handle = next_snapshot_handle_++;
+  snapshots_.emplace(handle, std::move(seqs));
+  return handle;
+}
+
+void ShardedDB::ReleaseSnapshot(uint64_t snapshot) {
+  std::vector<uint64_t> seqs;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = snapshots_.find(snapshot);
+    if (it == snapshots_.end()) return;
+    seqs = std::move(it->second);
+    snapshots_.erase(it);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->ReleaseSnapshot(seqs[i]);
+  }
+}
+
+Status ShardedDB::TranslateSnapshot(uint64_t handle, uint32_t shard,
+                                    uint64_t* shard_snapshot) const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  auto it = snapshots_.find(handle);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("unknown snapshot handle");
+  }
+  *shard_snapshot = it->second[shard];
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+Status ShardedDB::FlushMemTable() {
+  Status result;
+  for (auto& shard : shards_) {
+    Status s = shard->FlushMemTable();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
+}
+
+Status ShardedDB::CompactLevel0() {
+  Status result;
+  for (auto& shard : shards_) {
+    Status s = shard->CompactLevel0();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
+}
+
+Status ShardedDB::CompactToLevel1(bool respect_cost_model) {
+  Status result;
+  for (auto& shard : shards_) {
+    Status s = shard->CompactToLevel1(respect_cost_model);
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+void ShardedDB::RefreshAggregateStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  agg_stats_.Reset();
+  for (const auto& shard : shards_) {
+    agg_stats_.AddFrom(static_cast<const DBImpl&>(*shard).statistics());
+  }
+}
+
+const DbStatistics& ShardedDB::statistics() const {
+  RefreshAggregateStats();
+  return agg_stats_;
+}
+
+DbStatistics& ShardedDB::statistics() {
+  RefreshAggregateStats();
+  return agg_stats_;
+}
+
+WritePressure ShardedDB::GetWritePressure() {
+  WritePressure worst = WritePressure::kNone;
+  for (auto& shard : shards_) {
+    WritePressure p = shard->GetWritePressure();
+    if (static_cast<int>(p) > static_cast<int>(worst)) worst = p;
+    if (worst == WritePressure::kStall) break;
+  }
+  return worst;
+}
+
+WritePressure ShardedDB::GetWritePressure(const Slice& key) {
+  return shards_[Route(key)]->GetWritePressure();
+}
+
+WritePressure ShardedDB::GetShardWritePressure(uint32_t shard) {
+  if (shard >= shards_.size()) return WritePressure::kNone;
+  return shards_[shard]->GetWritePressure();
+}
+
+bool ShardedDB::GetProperty(const std::string& property, uint64_t* value) {
+  const uint32_t n = static_cast<uint32_t>(shards_.size());
+  if (property == "pmblade.num-shards") {
+    *value = n;
+    return true;
+  }
+  if (property == "pmblade.write-pressure") {
+    *value = static_cast<uint64_t>(GetWritePressure());
+    return true;
+  }
+  // Per-shard drill-down: "pmblade.shard.<i>.<prop>".
+  uint32_t shard = 0;
+  std::string rest;
+  if (ParseShardProperty(property, n, &shard, &rest)) {
+    return shards_[shard]->GetProperty(rest, value);
+  }
+  // Process-wide resources: one value, not a per-shard sum.
+  if (property == "pmblade.blockcache-charge") {
+    *value = shared_cache_ != nullptr ? shared_cache_->TotalCharge() : 0;
+    return true;
+  }
+  if (property == "pmblade.blockcache-capacity") {
+    *value = shared_cache_ != nullptr ? shared_cache_->capacity() : 0;
+    return true;
+  }
+  if (property == "pmblade.mem-rebalances") {
+    *value = arbiter_ != nullptr ? arbiter_->rebalances() : 0;
+    return true;
+  }
+  // Everything else sums across shards (counters and sizes both add up;
+  // pmblade.memtable-limit becomes the combined write quota).
+  uint64_t total = 0;
+  for (auto& s : shards_) {
+    uint64_t v = 0;
+    if (!s->GetProperty(property, &v)) return false;
+    total += v;
+  }
+  *value = total;
+  return true;
+}
+
+bool ShardedDB::GetProperty(const std::string& property, std::string* value) {
+  if (property == "pmblade.stats.json") {
+    obs::MetricsSnapshot snapshot =
+        metrics_.Snapshot(options_.clock->NowNanos());
+    *value = obs::ExportJson(snapshot, {});
+    return true;
+  }
+  if (property == "pmblade.stats.prometheus") {
+    *value = obs::ExportPrometheus(metrics_.Snapshot(options_.clock->NowNanos()));
+    return true;
+  }
+  if (property == "pmblade.stats") {
+    RefreshAggregateStats();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    *value = agg_stats_.ToString();
+    return true;
+  }
+  if (property == "pmblade.mem.json") {
+    *value = arbiter_ != nullptr ? arbiter_->ToJson()
+                                 : std::string("{\"enabled\":false}");
+    return true;
+  }
+  if (property == "pmblade.trace.json") {
+    // Concatenated per-shard traces (each line is a self-contained JSON
+    // event; ordering across shards is by shard, not time).
+    value->clear();
+    for (auto& shard : shards_) {
+      std::string part;
+      if (shard->GetProperty(property, &part)) value->append(part);
+    }
+    return true;
+  }
+  uint32_t shard = 0;
+  std::string rest;
+  if (ParseShardProperty(property, static_cast<uint32_t>(shards_.size()),
+                         &shard, &rest)) {
+    return shards_[shard]->GetProperty(rest, value);
+  }
+  return false;
+}
+
+}  // namespace pmblade

@@ -1,0 +1,156 @@
+// ShardedDB: a shard-per-core engine behind the pmblade::DB interface.
+//
+// N independent DBImpl shards — each with its own directory under <dbname>,
+// memtable, WAL + group-commit leader, PM level-0, flush thread and
+// compaction scheduler — routed by hash(user key) % N. The point of the
+// design is that the hot single-shard serialization points (the writer
+// queue's leader, the single flush thread, the compaction scheduler, the DB
+// mutex) stop being process-wide: a write stalls only when ITS shard's flush
+// is behind, and N leaders fsync N WALs concurrently.
+//
+// Semantics vs the single-shard engine:
+//   * Point ops (Get/Put/Delete) are identical — one shard serves each key.
+//   * WriteBatch (MSET/mixed batches): the batch is split into per-shard
+//     sub-batches; each sub-batch commits atomically WITHIN its shard, but
+//     there is no cross-shard atomicity — a reader may observe shard A's
+//     half of a batch before shard B's. Crash recovery replays every
+//     shard's WAL, so a batch can also surface partially after a crash.
+//   * Iterators/SCAN: an N-way merge of per-shard user-key iterators.
+//     Hash routing makes shard keyspaces disjoint, so a bytewise merge of
+//     the per-shard sorted views IS the global sorted view. Without an
+//     explicit snapshot the view is per-shard-consistent, not
+//     point-in-time across shards (same caveat as MGET fan-out).
+//   * Snapshots: GetSnapshot() captures one sequence per shard and returns
+//     an opaque handle; reads/iterators translate the handle back to the
+//     per-shard sequences, giving a consistent view within every shard.
+//   * Backpressure: GetWritePressure() is the max across shards (the
+//     box-level view); GetWritePressure(key) is the routed shard's, which
+//     is what the RESP server's admission control uses so one stalled
+//     shard never sheds traffic bound for idle shards.
+//
+// Process-wide resources: one BlockCache (Options::block_cache_bytes) is
+// shared by every shard, and one MemoryBudget/MemoryArbiter
+// (Options::memory_budget_bytes) re-divides DRAM between the combined
+// memtable quota, the shared cache and the combined Eq. 3 keep-set — the
+// per-component targets are split evenly across shards on apply.
+//
+// The shard count is pinned in a <dbname>/SHARDS marker at creation;
+// reopening with a different num_shards fails loudly instead of silently
+// mis-routing keys.
+
+#ifndef PMBLADE_CORE_SHARDED_DB_H_
+#define PMBLADE_CORE_SHARDED_DB_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/db_impl.h"
+#include "mem/arbiter.h"
+#include "mem/memory_budget.h"
+#include "obs/metrics.h"
+#include "sstable/block_cache.h"
+
+namespace pmblade {
+
+class ShardedDB final : public DB {
+ public:
+  ShardedDB(const Options& options, const std::string& dbname);
+  ~ShardedDB() override;
+
+  /// Used by DB::Open (options.num_shards > 1).
+  Status Init();
+
+  // ---- routing (static so DestroyDB and tests can reuse them) ----
+  /// FNV-1a over the user key, mod num_shards.
+  static uint32_t ShardOfKey(const Slice& key, uint32_t num_shards);
+  /// The per-shard PM pool path when Options::pm_pool_path is explicit
+  /// ("<path>.shard-<i>"); shards with an empty path default to
+  /// "<shard dir>/pool.pm" as usual.
+  static std::string ShardPmPoolPath(const std::string& base, uint32_t shard);
+  /// "<dbname>/shard-<i>".
+  static std::string ShardDirName(const std::string& dbname, uint32_t shard);
+
+  // ---- DB interface ----
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  uint64_t GetSnapshot() override;
+  void ReleaseSnapshot(uint64_t snapshot) override;
+  Status FlushMemTable() override;
+  Status CompactLevel0() override;
+  Status CompactToLevel1(bool respect_cost_model) override;
+  const DbStatistics& statistics() const override;
+  DbStatistics& statistics() override;
+  bool GetProperty(const std::string& property, uint64_t* value) override;
+  bool GetProperty(const std::string& property, std::string* value) override;
+  WritePressure GetWritePressure() override;
+  uint32_t num_shards() const override {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  WritePressure GetWritePressure(const Slice& key) override;
+  WritePressure GetShardWritePressure(uint32_t shard) override;
+  obs::MetricsRegistry* metrics_registry() override { return &metrics_; }
+
+  /// Direct shard access for tests/benches.
+  DBImpl* shard(uint32_t index) { return shards_[index].get(); }
+
+ private:
+  uint32_t Route(const Slice& key) const {
+    return ShardOfKey(key, static_cast<uint32_t>(shards_.size()));
+  }
+
+  /// Reads or creates the <dbname>/SHARDS marker; fails on a mismatch.
+  Status CheckOrPinShardCount();
+  Status SetUpSharedArbiter();
+  void RegisterAggregatedMetrics();
+
+  /// Translates a facade snapshot handle into per-shard ReadOptions for
+  /// shard `shard`. Unknown handles return NotFound.
+  Status TranslateSnapshot(uint64_t handle, uint32_t shard,
+                           uint64_t* shard_snapshot) const;
+
+  /// Re-derives agg_stats_ from the live shards (Reset + AddFrom each).
+  void RefreshAggregateStats() const;
+
+  Options options_;
+  std::string dbname_;
+  Env* env_ = nullptr;
+
+  /// The process-wide block cache every shard reads through (nullptr when
+  /// block_cache_bytes == 0). Destroyed after the shards.
+  std::unique_ptr<BlockCache> shared_cache_;
+  std::vector<std::unique_ptr<DBImpl>> shards_;
+
+  // Shared memory arbitration (memory_budget_bytes > 0): one budget over
+  // the combined memtable quota, the shared cache and the combined τ_t.
+  std::unique_ptr<mem::MemoryBudget> mem_budget_;
+  std::unique_ptr<mem::MemoryArbiter> arbiter_;
+
+  // Snapshot handles: facade handle -> one sequence per shard.
+  mutable std::mutex snap_mu_;
+  uint64_t next_snapshot_handle_ = 1;
+  std::map<uint64_t, std::vector<uint64_t>> snapshots_;
+
+  // Cross-shard aggregate statistics, refreshed on demand by statistics().
+  // The returned reference stays valid but its values only update on the
+  // next statistics() call — snapshot-style, good enough for the benches
+  // and examples that read it.
+  mutable std::mutex stats_mu_;
+  mutable DbStatistics agg_stats_;
+
+  /// Facade registry: the server's counters, the shared arbiter's
+  /// pmblade.mem.* metrics, plus a snapshot provider that splices in every
+  /// shard's registry (summed aggregates + pmblade.shard.<i>.* breakdown).
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_CORE_SHARDED_DB_H_

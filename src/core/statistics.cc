@@ -23,6 +23,33 @@ void DbStatistics::Reset() {
   scan_latency_.Clear();
 }
 
+void DbStatistics::AddFrom(const DbStatistics& other) {
+  for (int i = 0; i < kNumReadSources; ++i) {
+    reads_by_source_[i].fetch_add(other.reads_by_source_[i].load(),
+                                  std::memory_order_relaxed);
+  }
+  writes_.fetch_add(other.writes_.load(), std::memory_order_relaxed);
+  scans_.fetch_add(other.scans_.load(), std::memory_order_relaxed);
+  scan_entries_.fetch_add(other.scan_entries_.load(),
+                          std::memory_order_relaxed);
+  user_bytes_written_.fetch_add(other.user_bytes_written_.load(),
+                                std::memory_order_relaxed);
+  flushes_.fetch_add(other.flushes_.load(), std::memory_order_relaxed);
+  internal_compactions_.fetch_add(other.internal_compactions_.load(),
+                                  std::memory_order_relaxed);
+  internal_compaction_bytes_in_.fetch_add(
+      other.internal_compaction_bytes_in_.load(), std::memory_order_relaxed);
+  internal_compaction_bytes_out_.fetch_add(
+      other.internal_compaction_bytes_out_.load(), std::memory_order_relaxed);
+  major_compactions_.fetch_add(other.major_compactions_.load(),
+                               std::memory_order_relaxed);
+  major_compaction_bytes_.fetch_add(other.major_compaction_bytes_.load(),
+                                    std::memory_order_relaxed);
+  get_latency_.MergeIn(other.get_latency_.Merged());
+  put_latency_.MergeIn(other.put_latency_.Merged());
+  scan_latency_.MergeIn(other.scan_latency_.Merged());
+}
+
 void DbStatistics::RegisterWith(obs::MetricsRegistry* registry) {
   auto counter = [registry](const std::string& name,
                             const std::atomic<uint64_t>* src) {

@@ -97,6 +97,12 @@ class DbStatistics {
   /// "pmblade.compaction.*" and "pmblade.latency.*".
   void RegisterWith(obs::MetricsRegistry* registry);
 
+  /// Adds `other`'s counters and latency samples into this object
+  /// (ShardedDB's cross-shard aggregation: Reset() then AddFrom each
+  /// shard). Reads `other` with relaxed atomics — the result is a
+  /// statistically consistent snapshot, not a linearizable one.
+  void AddFrom(const DbStatistics& other);
+
   void Reset();
   std::string ToString() const;
 

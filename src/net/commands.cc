@@ -63,7 +63,9 @@ CommandHandler::CommandHandler(DB* db, const CommandHandlerOptions& options,
                                ServerMetrics* metrics, Clock* clock)
     : db_(db), options_(options), metrics_(metrics), clock_(clock) {
   if (!options_.pressure_probe) {
-    options_.pressure_probe = [db] { return db->GetWritePressure(); };
+    options_.pressure_probe = [db](const Slice& key) {
+      return db->GetWritePressure(key);
+    };
   }
   if (options_.scan_default_count < 1) options_.scan_default_count = 1;
   if (options_.scan_max_count < options_.scan_default_count) {
@@ -91,8 +93,14 @@ void CommandHandler::ReplyStatus(const Status& status, std::string* out) {
   }
 }
 
-bool CommandHandler::AdmitWrite(std::string* out) {
-  const WritePressure pressure = options_.pressure_probe();
+bool CommandHandler::AdmitWrite(const std::vector<const std::string*>& keys,
+                                std::string* out) {
+  WritePressure pressure = WritePressure::kNone;
+  for (const std::string* key : keys) {
+    const WritePressure p = options_.pressure_probe(*key);
+    if (static_cast<int>(p) > static_cast<int>(pressure)) pressure = p;
+    if (pressure == WritePressure::kStall) break;
+  }
   const bool shed =
       pressure == WritePressure::kStall ||
       (options_.shed_on_slowdown && pressure == WritePressure::kSlowdown);
@@ -188,7 +196,7 @@ CommandHandler::Result CommandHandler::DoExecute(
         WrongArity(name, out);
         return result;
       }
-      if (!AdmitWrite(out)) return result;
+      if (!AdmitWrite({args[1]}, out)) return result;
       ReplyStatus(db_->Put(WriteOptions(), *args[1], *args[2]), out);
       return result;
     }
@@ -198,7 +206,9 @@ CommandHandler::Result CommandHandler::DoExecute(
         WrongArity(name, out);
         return result;
       }
-      if (!AdmitWrite(out)) return result;
+      std::vector<const std::string*> keys;
+      for (size_t i = 1; i + 1 < args.size(); i += 2) keys.push_back(args[i]);
+      if (!AdmitWrite(keys, out)) return result;
       WriteBatch batch;
       for (size_t i = 1; i + 1 < args.size(); i += 2) {
         batch.Put(*args[i], *args[i + 1]);
@@ -212,7 +222,7 @@ CommandHandler::Result CommandHandler::DoExecute(
         WrongArity(name, out);
         return result;
       }
-      if (!AdmitWrite(out)) return result;
+      if (!AdmitWrite({args.begin() + 1, args.end()}, out)) return result;
       // Redis reports how many keys actually existed; probe first, then
       // delete everything in one atomic batch through group commit.
       int64_t removed = 0;
@@ -405,25 +415,28 @@ void CommandHandler::Scan(const std::vector<const std::string*>& args,
   for (const std::string& key : keys) EncodeBulkString(key, out);
 }
 
-// INFO [server|engine|memory]
+// INFO [server|engine|memory|shards]
 //
 // Built straight from the metrics registry snapshot — the single source of
 // truth the JSON/Prometheus exporters read — never by re-parsing their
 // output. Redis-style sections: "# Server" (static facts + connection
 // state), "# Engine" (every pmblade.* counter/gauge; histograms as
 // count/p50/p99), "# Memory" (the memory arbiter's budget split and
-// pressure state, as one JSON document).
+// pressure state, as one JSON document), "# Shards" (per-shard pressure
+// breakdown; only on a sharded engine).
 void CommandHandler::Info(const std::vector<const std::string*>& args,
                           std::string* out) {
   bool want_server = true;
   bool want_engine = true;
   bool want_memory = true;
+  bool want_shards = db_->num_shards() > 1;
   if (args.size() == 2) {
     const std::string section = ToLower(*args[1]);
     want_server = section == "server";
     want_engine = section == "engine";
     want_memory = section == "memory";
-    if (!want_server && !want_engine && !want_memory) {
+    want_shards = want_shards && section == "shards";
+    if (!want_server && !want_engine && !want_memory && !want_shards) {
       EncodeBulkString("", out);
       return;
     }
@@ -449,8 +462,17 @@ void CommandHandler::Info(const std::vector<const std::string*>& args,
     body += "total_net_output_bytes:" +
             std::to_string(metrics_->bytes_out->Value()) + "\r\n";
     body += "write_pressure:" +
-            std::string(WritePressureName(options_.pressure_probe())) +
-            "\r\n";
+            std::string(WritePressureName(db_->GetWritePressure())) + "\r\n";
+  }
+  if (want_shards) {
+    if (!body.empty()) body += "\r\n";
+    body += "# Shards\r\n";
+    const uint32_t shards = db_->num_shards();
+    body += "shard_count:" + std::to_string(shards) + "\r\n";
+    for (uint32_t i = 0; i < shards; ++i) {
+      body += "shard" + std::to_string(i) + ":write_pressure=" +
+              WritePressureName(db_->GetShardWritePressure(i)) + "\r\n";
+    }
   }
   if (want_engine) {
     if (!body.empty()) body += "\r\n";

@@ -23,7 +23,10 @@
 // Admission control: write commands consult the engine's WritePressure
 // before dispatching. At kStall (and, when configured, kSlowdown) the
 // command is shed with "-BUSY ..." instead of tying a worker thread up
-// inside DB::Write — the client is expected to back off and retry.
+// inside DB::Write — the client is expected to back off and retry. The
+// probe is keyed: on a sharded engine each write is judged by the pressure
+// of the shard(s) it actually routes to (the worst one for MSET/DEL), so a
+// stalled shard never sheds traffic bound for idle shards.
 
 #ifndef PMBLADE_NET_COMMANDS_H_
 #define PMBLADE_NET_COMMANDS_H_
@@ -92,9 +95,11 @@ struct CommandHandlerOptions {
   /// SCAN page size when the client sends no COUNT, and its upper bound.
   int scan_default_count = 10;
   int scan_max_count = 1000;
-  /// Admission probe; defaults to db->GetWritePressure. Tests inject a
-  /// fixed-pressure probe to pin shed behavior without a real stall.
-  std::function<WritePressure()> pressure_probe;
+  /// Keyed admission probe; defaults to db->GetWritePressure(key) (the
+  /// routed shard's pressure on a sharded engine, the global pressure on a
+  /// single-shard one). Tests inject a fixed-pressure probe to pin shed
+  /// behavior without a real stall.
+  std::function<WritePressure(const Slice& key)> pressure_probe;
 };
 
 class CommandHandler {
@@ -123,7 +128,11 @@ class CommandHandler {
   void Info(const std::vector<const std::string*>& args, std::string* out);
   void Scan(const std::vector<const std::string*>& args, std::string* out);
   /// True when the command may proceed; false = shed (reply appended).
-  bool AdmitWrite(std::string* out);
+  /// Probes every key the write touches and sheds on the WORST pressure,
+  /// so a multi-shard MSET/DEL is admitted only when every target shard
+  /// can absorb it.
+  bool AdmitWrite(const std::vector<const std::string*>& keys,
+                  std::string* out);
   void WrongArity(const std::string& name, std::string* out);
   void ReplyStatus(const Status& status, std::string* out);
 

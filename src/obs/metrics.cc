@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+
 namespace pmblade {
 namespace obs {
 
@@ -97,6 +99,12 @@ void MetricsRegistry::RegisterHistogramCallback(
   entry.gauge_fn = nullptr;
 }
 
+void MetricsRegistry::RegisterSnapshotProvider(
+    std::function<void(std::vector<MetricSample>*)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.push_back(std::move(fn));
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot(uint64_t now_nanos) const {
   // Phase 1 (registry lock): copy names, kinds, instrument pointers and
   // callback copies. Phase 2 (no lock): evaluate. Callbacks may acquire
@@ -116,8 +124,10 @@ MetricsSnapshot MetricsRegistry::Snapshot(uint64_t now_nanos) const {
   MetricsSnapshot snap;
   snap.taken_at_nanos = now_nanos;
   std::vector<PendingSample> pending;
+  std::vector<std::function<void(std::vector<MetricSample>*)>> providers;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    providers = providers_;
     snap.samples.reserve(entries_.size());
     pending.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) {
@@ -156,6 +166,14 @@ MetricsSnapshot MetricsRegistry::Snapshot(uint64_t now_nanos) const {
         sample.value = static_cast<double>(sample.hist.count());
         break;
     }
+  }
+  if (!providers.empty()) {
+    for (const auto& provider : providers) provider(&snap.samples);
+    // Providers append out of order; restore the sorted-by-name contract.
+    std::sort(snap.samples.begin(), snap.samples.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                return a.name < b.name;
+              });
   }
   return snap;
 }

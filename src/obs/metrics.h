@@ -117,6 +117,15 @@ class MetricsRegistry {
   void RegisterHistogramCallback(const std::string& name,
                                  std::function<Histogram()> fn);
 
+  /// Bulk contributor evaluated at Snapshot() time, after the registry's
+  /// own entries: appends arbitrarily many samples in one call. Used by
+  /// ShardedDB to splice every shard's registry (prefixed per shard) plus
+  /// cross-shard aggregates into the facade registry's snapshots without
+  /// registering thousands of forwarding callbacks. Runs WITHOUT the
+  /// registry lock held, same contract as the per-metric callbacks.
+  void RegisterSnapshotProvider(
+      std::function<void(std::vector<MetricSample>*)> fn);
+
   /// Consistent, name-sorted copy of every metric. Callback evaluation
   /// happens after the registry lock is released, so callbacks may take
   /// unrelated mutexes (e.g. the DB mutex) whose holders call GetCounter().
@@ -139,6 +148,7 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;  // sorted by name
+  std::vector<std::function<void(std::vector<MetricSample>*)>> providers_;
 };
 
 }  // namespace obs

@@ -148,6 +148,12 @@ void ShardedHistogram::Add(uint64_t value) {
   shard.hist.Add(value);
 }
 
+void ShardedHistogram::MergeIn(const Histogram& other) {
+  Shard& shard = shards_[0];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.hist.Merge(other);
+}
+
 Histogram ShardedHistogram::Merged() const {
   Histogram merged;
   for (int i = 0; i < num_shards_; ++i) {

@@ -354,7 +354,7 @@ TEST_F(CommandTest, NonArrayCommandIsFatal) {
 }
 
 TEST_F(CommandTest, AdmissionShedsWritesUnderStall) {
-  handler_options_.pressure_probe = [] { return WritePressure::kStall; };
+  handler_options_.pressure_probe = [](const Slice&) { return WritePressure::kStall; };
   handler_.reset(new CommandHandler(db_.get(), handler_options_, &metrics_,
                                     SystemClock()));
   const uint64_t sheds_before = metrics_.sheds->Value();
@@ -370,7 +370,7 @@ TEST_F(CommandTest, AdmissionShedsWritesUnderStall) {
 }
 
 TEST_F(CommandTest, SlowdownShedsOnlyWhenConfigured) {
-  handler_options_.pressure_probe = [] {
+  handler_options_.pressure_probe = [](const Slice&) {
     return WritePressure::kSlowdown;
   };
   handler_.reset(new CommandHandler(db_.get(), handler_options_, &metrics_,
@@ -635,7 +635,7 @@ TEST_F(ServerTest, InfoAndExportersRoundTrip) {
 }
 
 TEST_F(ServerTest, AdmissionShedOverSocket) {
-  server_options_.handler.pressure_probe = [] {
+  server_options_.handler.pressure_probe = [](const Slice&) {
     return WritePressure::kStall;
   };
   StartServer();

@@ -51,6 +51,12 @@ using pmblade::net::RespParser;
 using pmblade::net::RespValue;
 namespace bench = pmblade::bench;
 
+// Shard count of the server under test, from --shards. net_bench never
+// opens the engine itself, so this is pure recorded metadata for the JSON
+// (0 = not specified); it lets BENCH comparisons tell a 1-shard server run
+// from a 4-shard one.
+int g_shards = 0;
+
 struct PointResult {
   std::string phase;
   int connections = 0;
@@ -223,10 +229,11 @@ void WriteJson(const std::string& path,
   for (size_t i = 0; i < results.size(); ++i) {
     const PointResult& r = results[i];
     fprintf(out,
-            "  {\"phase\": \"%s\", \"connections\": %d, \"pipeline\": %d, "
+            "  {\"phase\": \"%s\", \"shards\": %d, \"connections\": %d, "
+            "\"pipeline\": %d, "
             "\"ops\": %llu, \"ops_per_sec\": %.0f, \"p99_window_us\": %.2f, "
             "\"busy\": %llu, \"errors\": %llu}%s\n",
-            r.phase.c_str(), r.connections, r.pipeline,
+            r.phase.c_str(), g_shards, r.connections, r.pipeline,
             static_cast<unsigned long long>(r.ops), r.ops_per_sec,
             r.p99_window_us, static_cast<unsigned long long>(r.busy),
             static_cast<unsigned long long>(r.errors),
@@ -253,6 +260,8 @@ void Usage() {
           "  --shed_connections=N  shed phase connections (default 4)\n"
           "  --shed_pipeline=N     shed phase depth (default 16)\n"
           "  --shed_ops=N          shed phase commands (default --ops)\n"
+          "  --shards=N            shard count of the server under test,\n"
+          "                        recorded in the JSON (metadata only)\n"
           "  --out=PATH            JSON output (default "
           "BENCH_server_throughput.json)\n");
 }
@@ -264,7 +273,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> unknown = flags.Unknown(
       {"host", "port", "connections", "pipeline", "ops", "keys",
        "value_size", "set_pct", "shed", "shed_connections", "shed_pipeline",
-       "shed_ops", "out"});
+       "shed_ops", "shards", "out"});
   if (!unknown.empty() || !flags.positional().empty() ||
       !flags.Has("port")) {
     for (const auto& f : unknown) {
@@ -285,6 +294,7 @@ int main(int argc, char** argv) {
   const size_t value_size =
       static_cast<size_t>(flags.Int("value_size", 64));
   const int set_pct = static_cast<int>(flags.Int("set_pct", 50));
+  g_shards = static_cast<int>(flags.Int("shards", 0));
 
   bench::InstallInterruptHandler();
 

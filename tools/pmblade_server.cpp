@@ -2,9 +2,10 @@
 //
 // Usage:
 //   pmblade_server --db=PATH [--host=127.0.0.1] [--port=6399] [--workers=2]
-//                  [--memtable_bytes=N] [--layout=pm|ssd] [--sync_wal]
-//                  [--shed_on_slowdown] [--slowdown_watermark=0.875]
-//                  [--max_output_mb=4] [--port_file=PATH] [--quiet]
+//                  [--memtable_bytes=N] [--layout=pm|ssd] [--shards=N]
+//                  [--sync_wal] [--shed_on_slowdown]
+//                  [--slowdown_watermark=0.875] [--max_output_mb=4]
+//                  [--port_file=PATH] [--quiet]
 //
 // Binds (port 0 = ephemeral; the bound port is printed on the "ready" line
 // and written to --port_file for scripts), serves until SIGINT/SIGTERM or a
@@ -42,6 +43,10 @@ void Usage() {
           "  --workers=N            epoll worker threads (default 2)\n"
           "  --memtable_bytes=N     engine memtable size (default 4 MiB)\n"
           "  --layout=pm|ssd        level-0 layout (default pm)\n"
+          "  --shards=N             hash-partitioned engine shards, each\n"
+          "                         with its own WAL/memtable/compaction\n"
+          "                         (default 1; a DB dir is pinned to its\n"
+          "                         creation-time shard count)\n"
           "  --sync_wal             fsync the WAL on every write group\n"
           "  --shed_on_slowdown     shed writes at the slowdown watermark,\n"
           "                         not only at a full stall\n"
@@ -62,7 +67,7 @@ int main(int argc, char** argv) {
 
   bench::Flags flags(argc, argv);
   std::vector<std::string> unknown = flags.Unknown(
-      {"db", "host", "port", "workers", "memtable_bytes", "layout",
+      {"db", "host", "port", "workers", "memtable_bytes", "layout", "shards",
        "sync_wal", "shed_on_slowdown", "slowdown_watermark", "max_output_mb",
        "port_file", "quiet"});
   if (!unknown.empty() || !flags.positional().empty() ||
@@ -84,6 +89,7 @@ int main(int argc, char** argv) {
   options.l0_layout = flags.Str("layout", "pm") == "ssd"
                           ? pmblade::L0Layout::kSstable
                           : pmblade::L0Layout::kPmTable;
+  options.num_shards = static_cast<uint32_t>(flags.Int("shards", 1));
   pmblade::Logger* logger = flags.Bool("quiet", false)
                                 ? pmblade::NullLogger()
                                 : pmblade::StderrLogger();
@@ -121,9 +127,9 @@ int main(int argc, char** argv) {
       fclose(f);
     }
   }
-  printf("pmblade_server: ready on %s:%d (db=%s, %d workers)\n",
+  printf("pmblade_server: ready on %s:%d (db=%s, %d workers, %u shards)\n",
          sopts.host.c_str(), server.port(), dbname.c_str(),
-         sopts.num_workers);
+         sopts.num_workers, db->num_shards());
   fflush(stdout);
 
   g_server = &server;
