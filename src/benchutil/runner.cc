@@ -67,6 +67,13 @@ Status BenchEnv::OpenEngine(EngineConfig config, KvEngine** engine) {
       opts.memory_budget_bytes = options_.memory_budget_bytes;
       opts.arbiter_interval_ms = options_.arbiter_interval_ms;
       opts.background_compaction = options_.background_compaction;
+      opts.compaction_workers = options_.compaction_workers;
+      opts.max_subcompactions = options_.max_subcompactions;
+      // Keep the compactor's merge pool at least as wide as the slice
+      // fan-out, or the extra slices would just queue behind each other.
+      if (options_.max_subcompactions > opts.major.worker_threads) {
+        opts.major.worker_threads = options_.max_subcompactions;
+      }
       opts.num_shards = options_.num_shards;
 
       switch (config) {

@@ -71,6 +71,11 @@ struct BenchEnvOptions {
   /// PM-Blade configs; used by `benchmark_kv --compaction_stall` for A/B
   /// comparison against the backgrounded default.
   bool background_compaction = true;
+  /// Compaction scheduler pool size and per-victim key-range subcompaction
+  /// fan-out for the PM-Blade configs (1/1 = the historical single-worker,
+  /// one-slice pipeline). Swept by `benchmark_kv --compaction_parallel`.
+  int compaction_workers = 1;
+  int max_subcompactions = 1;
   /// Shard count for the PM-Blade configs (1 = the classic single engine;
   /// N > 1 opens a ShardedDB). Per-shard knobs (memtable_bytes,
   /// pm_pool_capacity, the cost budgets) apply to EACH shard. Ignored by

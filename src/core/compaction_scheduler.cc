@@ -1,5 +1,6 @@
 #include "core/compaction_scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/sync_point.h"
@@ -10,6 +11,7 @@ CompactionScheduler::CompactionScheduler(const Options& options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock : SystemClock()),
       logger_(options.logger != nullptr ? options.logger : NullLogger()) {
+  options_.workers = std::max(options_.workers, 1);
   if (options_.metrics != nullptr) {
     queued_counter_ =
         options_.metrics->GetCounter("pmblade.compaction.sched.queued");
@@ -29,8 +31,17 @@ CompactionScheduler::CompactionScheduler(const Options& options)
         [this] { return static_cast<double>(QueueDepth()); });
     options_.metrics->RegisterGaugeCallback(
         "pmblade.compaction.running", [this] { return running() ? 1.0 : 0.0; });
+    options_.metrics->RegisterGaugeCallback(
+        "pmblade.compaction.workers",
+        [this] { return static_cast<double>(workers()); });
+    options_.metrics->RegisterGaugeCallback(
+        "pmblade.compaction.active",
+        [this] { return static_cast<double>(active()); });
   }
-  worker_ = std::thread([this] { WorkerLoop(); });
+  workers_.reserve(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
 CompactionScheduler::~CompactionScheduler() { Shutdown(); }
@@ -51,7 +62,7 @@ void CompactionScheduler::ScheduleCheck() {
     }
     check_queued_ = true;
     queue_.push_back(Job{JobKind::kCheck, check_, nullptr});
-    depth = queue_.size() + (running_ ? 1 : 0);
+    depth = queue_.size() + running_jobs_;
     work_cv_.notify_one();
   }
   if (queued_counter_ != nullptr) queued_counter_->Inc();
@@ -67,8 +78,8 @@ Status CompactionScheduler::RunExclusive(std::function<Status()> job) {
       return Status::Aborted("compaction scheduler is shut down");
     }
     queue_.push_back(Job{JobKind::kManual, std::move(job), waiter});
-    depth = queue_.size() + (running_ ? 1 : 0);
-    work_cv_.notify_one();
+    depth = queue_.size() + running_jobs_;
+    work_cv_.notify_all();
   }
   if (queued_counter_ != nullptr) queued_counter_->Inc();
   EmitQueued(depth, JobKind::kManual);
@@ -80,7 +91,7 @@ Status CompactionScheduler::RunExclusive(std::function<Status()> job) {
 
 void CompactionScheduler::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+  done_cv_.wait(lock, [this] { return queue_.empty() && running_jobs_ == 0; });
 }
 
 void CompactionScheduler::Shutdown() {
@@ -91,17 +102,24 @@ void CompactionScheduler::Shutdown() {
   }
   // Idempotent for sequential callers (DBImpl::~DBImpl then the scheduler
   // destructor); joinable() is false on the second call.
-  if (worker_.joinable()) worker_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 size_t CompactionScheduler::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size() + (running_ ? 1 : 0);
+  return queue_.size() + running_jobs_;
 }
 
 bool CompactionScheduler::running() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return running_;
+  return running_jobs_ > 0;
+}
+
+int CompactionScheduler::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_jobs_;
 }
 
 uint64_t CompactionScheduler::checks_completed() const {
@@ -116,13 +134,23 @@ uint64_t CompactionScheduler::retries() const {
   return retry_counter_ != nullptr ? retry_counter_->Value() : 0;
 }
 
+bool CompactionScheduler::CanPopLocked() const {
+  if (queue_.empty() || exclusive_active_) return false;
+  // A manual job is a pool-wide barrier: it starts only once every running
+  // job has drained. While it waits at the front, no worker skips past it —
+  // queue order is dispatch order.
+  if (queue_.front().kind == JobKind::kManual) return running_jobs_ == 0;
+  return true;
+}
+
 void CompactionScheduler::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    work_cv_.wait(lock, [this] { return shutdown_ || CanPopLocked(); });
     if (shutdown_) {
       // Queued checks are dropped (redoable); queued manual jobs must not
-      // strand their waiters.
+      // strand their waiters. Every worker runs this drain — it is
+      // idempotent (later workers find the queue already empty).
       for (Job& job : queue_) {
         if (job.kind == JobKind::kManual) {
           job.waiter->status =
@@ -138,7 +166,8 @@ void CompactionScheduler::WorkerLoop() {
     Job job = std::move(queue_.front());
     queue_.pop_front();
     if (job.kind == JobKind::kCheck) check_queued_ = false;
-    running_ = true;
+    if (job.kind == JobKind::kManual) exclusive_active_ = true;
+    ++running_jobs_;
     const int failure_streak = consecutive_failures_;
     lock.unlock();
 
@@ -156,8 +185,9 @@ void CompactionScheduler::WorkerLoop() {
     }
 
     lock.lock();
-    running_ = false;
+    --running_jobs_;
     if (job.kind == JobKind::kManual) {
+      exclusive_active_ = false;
       job.waiter->status = s;
       job.waiter->done = true;
     } else if (s.ok()) {
@@ -166,7 +196,10 @@ void CompactionScheduler::WorkerLoop() {
       // Retryable by design: log it, count it, and re-enqueue — bounded so
       // a persistently failing env does not hot-loop. After the cap the
       // check is parked until the next flush schedules a fresh one (which
-      // gets exactly one attempt while the failure streak persists).
+      // gets exactly one attempt while the failure streak persists). The
+      // streak belongs to the check CHAIN, not this worker — any concurrent
+      // check that succeeds resets it, so a poisoned partition's failures
+      // never park work that is still making progress elsewhere.
       ++consecutive_failures_;
       PMBLADE_WARN(logger_,
                    "background compaction check failed (attempt %d/%d): %s",
@@ -179,6 +212,9 @@ void CompactionScheduler::WorkerLoop() {
         if (retry_counter_ != nullptr) retry_counter_->Inc();
       }
     }
+    // Dispatch eligibility changed (a barrier may have lifted, or a retry
+    // was queued): wake siblings as well as waiters.
+    work_cv_.notify_all();
     done_cv_.notify_all();
   }
 }

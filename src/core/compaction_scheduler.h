@@ -1,4 +1,4 @@
-// CompactionScheduler: the dedicated background worker that runs Algorithm 1
+// CompactionScheduler: the background worker POOL that runs Algorithm 1
 // (internal compaction + the S1/S2/S3 major compaction) OFF the flush thread.
 //
 // Before this existed, the background flush thread ran every compaction
@@ -8,21 +8,28 @@
 //
 //   * BackgroundFlush enqueues a "check" (one Algorithm-1 evaluation) and
 //     returns; stalled writers are woken as soon as the flush commits.
-//   * The single worker thread pops the check, snapshots its inputs under a
-//     short DB-mutex critical section, runs the merge and all simulated-SSD
-//     I/O with the mutex released, and re-acquires it only for the install +
+//   * A worker thread pops the check, snapshots its inputs under a short
+//     DB-mutex critical section, runs the merge and all simulated-SSD I/O
+//     with the mutex released, and re-acquires it only for the install +
 //     manifest commit.
+//   * With `workers` > 1, several checks execute CONCURRENTLY. Partition
+//     exclusivity is the caller's contract, not the scheduler's: DBImpl's
+//     check claims the dirty partitions no other in-flight check holds (see
+//     the claim protocol in db_impl.h), so two workers never compact the
+//     same partition even though both are inside a check at once.
 //   * Manual maintenance (CompactLevel0 / CompactToLevel1) is funneled
-//     through the same thread via RunExclusive, so at most ONE compaction is
-//     ever in flight engine-wide — install sites never race each other, and
-//     a partition's sorted/L1 runs are only ever mutated from this thread.
+//     through RunExclusive, which is a pool-wide BARRIER: the manual job
+//     starts only when no other job is running, and no job starts while it
+//     runs — manual compactions observe (and leave) quiesced partitions, so
+//     they need no claims.
 //
 // Error discipline: a failed check is RETRYABLE — it is logged, counted and
 // re-enqueued up to `retry_limit` consecutive times, then parked until the
-// next flush schedules a fresh check. Compaction failures never poison the
-// DB's sticky background error (compactions are always redoable from the
-// state they failed over); that error is reserved for flush/WAL/manifest
-// failures.
+// next flush schedules a fresh check. A parked retry chain never idles the
+// pool: other workers keep accepting new checks and manual jobs (the streak
+// only gates SELF-rescheduling). Compaction failures never poison the DB's
+// sticky background error (compactions are always redoable from the state
+// they failed over); that error is reserved for flush/WAL/manifest failures.
 
 #ifndef PMBLADE_CORE_COMPACTION_SCHEDULER_H_
 #define PMBLADE_CORE_COMPACTION_SCHEDULER_H_
@@ -33,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "obs/event.h"
 #include "obs/metrics.h"
@@ -48,6 +56,8 @@ class CompactionScheduler {
     /// Consecutive failed checks are self-rescheduled up to this many times;
     /// afterwards the scheduler waits for the next external ScheduleCheck.
     int retry_limit = 2;
+    /// Worker-pool width. 1 = the historical single-worker scheduler.
+    int workers = 1;
     obs::EventBus* event_bus = nullptr;
     obs::MetricsRegistry* metrics = nullptr;  // may be nullptr (tests)
     Clock* clock = nullptr;                   // defaults to SystemClock()
@@ -60,18 +70,24 @@ class CompactionScheduler {
   CompactionScheduler(const CompactionScheduler&) = delete;
   CompactionScheduler& operator=(const CompactionScheduler&) = delete;
 
-  /// The Algorithm-1 evaluation invoked on the worker thread. Must be set
-  /// before the first ScheduleCheck.
+  /// The Algorithm-1 evaluation invoked on a worker thread. Must be set
+  /// before the first ScheduleCheck. With `workers` > 1 it MUST be safe to
+  /// run concurrently with itself (DBImpl's check is: concurrent checks
+  /// claim disjoint partition sets).
   void set_check(std::function<Status()> check);
 
   /// Enqueues one Algorithm-1 check. Deduplicated: while a check is already
   /// queued (but not yet running) this is a no-op — the queued check will
-  /// see the caller's state anyway. Never blocks.
+  /// see the caller's state anyway. A check that is merely RUNNING does not
+  /// dedup (it snapshotted its inputs already), so concurrent workers can
+  /// pick up fresh work. Never blocks.
   void ScheduleCheck();
 
-  /// Runs `job` on the worker thread after any queued work and returns its
-  /// status. Used by manual compaction entry points so they serialize with
-  /// background checks. Returns Aborted after Shutdown.
+  /// Runs `job` on a worker thread with pool-wide exclusivity — it starts
+  /// only after every in-flight job finishes, and no queued job starts
+  /// until it returns — and reports its status. Used by manual compaction
+  /// entry points so they serialize with all background checks. Returns
+  /// Aborted after Shutdown.
   Status RunExclusive(std::function<Status()> job);
 
   /// Blocks until nothing is queued or running (including self-scheduled
@@ -79,14 +95,19 @@ class CompactionScheduler {
   /// state deterministically.
   void WaitIdle();
 
-  /// Stops the worker: the in-flight job finishes, queued checks are
-  /// dropped (compaction work is always redoable), queued manual jobs
-  /// complete with Aborted. Idempotent; called by the destructor.
+  /// Stops the pool: in-flight jobs finish, queued checks are dropped
+  /// (compaction work is always redoable), queued manual jobs complete with
+  /// Aborted. Joins every worker. Idempotent; called by the destructor.
   void Shutdown();
 
   // ---- introspection (tests / gauges) ----
+  /// Queued + running jobs.
   size_t QueueDepth() const;
+  /// True while at least one job is running.
   bool running() const;
+  /// Number of jobs currently executing (<= workers()).
+  int active() const;
+  int workers() const { return options_.workers; }
   uint64_t checks_completed() const;
   uint64_t checks_failed() const;
   uint64_t retries() const;
@@ -104,6 +125,10 @@ class CompactionScheduler {
   };
 
   void WorkerLoop();
+  /// mu_ held. True when the front job may start on this worker: checks run
+  /// whenever no manual job is active; a manual job additionally needs the
+  /// pool drained (running_jobs_ == 0).
+  bool CanPopLocked() const;
   void EmitQueued(size_t depth, JobKind kind);
   void EmitStart(JobKind kind);
   void EmitEnd(JobKind kind, const Status& status, uint64_t start_nanos,
@@ -119,8 +144,12 @@ class CompactionScheduler {
   std::deque<Job> queue_;
   std::function<Status()> check_;     // set once before first use
   bool check_queued_ = false;         // dedup flag for kCheck entries
-  bool running_ = false;
+  int running_jobs_ = 0;              // jobs currently executing
+  bool exclusive_active_ = false;     // a manual job is running: pool barrier
   bool shutdown_ = false;
+  /// Failure streak of the check CHAIN (not of one worker): any successful
+  /// check resets it, any failed one bumps it. Guarded by mu_, so the
+  /// retry/park decision is race-free under N workers.
   int consecutive_failures_ = 0;
 
   // Counters (registered with the metrics registry when provided; also read
@@ -131,7 +160,7 @@ class CompactionScheduler {
   obs::Counter* retry_counter_ = nullptr;
   obs::Counter* dedup_counter_ = nullptr;
 
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace pmblade

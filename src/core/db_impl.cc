@@ -56,6 +56,50 @@ class BoundedIterator final : public Iterator {
   std::string end_;
 };
 
+/// Clips an owned sorted internal-key iterator to the user-key range
+/// [begin, end) — empty bound = unbounded. Subcompaction slices wrap their
+/// merged input in one of these: boundaries compare USER keys, so every
+/// version of a user key lands in exactly one slice and the per-slice dedup
+/// and tombstone logic in ProcessSlice stays correct.
+class RangeClippedIterator final : public Iterator {
+ public:
+  RangeClippedIterator(Iterator* base, std::string begin_user_key,
+                       std::string end_user_key)
+      : base_(base),
+        begin_(std::move(begin_user_key)),
+        end_(std::move(end_user_key)) {}
+
+  bool Valid() const override {
+    if (!base_->Valid()) return false;
+    if (end_.empty()) return true;
+    return ExtractUserKey(base_->key()).compare(Slice(end_)) < 0;
+  }
+  void SeekToFirst() override {
+    if (begin_.empty()) {
+      base_->SeekToFirst();
+    } else {
+      // Position at the first entry whose user key >= begin_: seek with the
+      // largest tag so no version of begin_ itself is skipped.
+      std::string target;
+      AppendInternalKey(&target, Slice(begin_), kMaxSequenceNumber,
+                        kValueTypeForSeek);
+      base_->Seek(Slice(target));
+    }
+  }
+  void SeekToLast() override {}  // forward-only, like the merge that reads it
+  void Seek(const Slice&) override {}
+  void Next() override { base_->Next(); }
+  void Prev() override {}
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> base_;
+  std::string begin_;
+  std::string end_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -385,6 +429,7 @@ Status DBImpl::Init() {
   // immediately after Open.
   CompactionScheduler::Options copts;
   copts.retry_limit = options_.compaction_retry_limit;
+  copts.workers = options_.compaction_workers;
   copts.event_bus = &events_;
   copts.metrics = &metrics_;
   copts.clock = clock_;
@@ -394,6 +439,10 @@ Status DBImpl::Init() {
     return BackgroundCompactionCheck();
   });
   file_gc_fail_counter_ = metrics_.GetCounter("pmblade.gc.remove_failures");
+  subcompaction_counter_ =
+      metrics_.GetCounter("pmblade.compaction.subcompactions");
+  major_wall_nanos_counter_ =
+      metrics_.GetCounter("pmblade.compaction.major.wall_nanos");
 
   // Live q_cli: when env_ is a SimEnv sharing our model, its file wrappers
   // already classify client I/O into the inflight gauges; otherwise DBImpl
@@ -1098,34 +1147,65 @@ Status DBImpl::FlushMemTable() {
 
 void DBImpl::ScheduleCompactionCheck(const std::vector<Partition*>& touched) {
   for (Partition* partition : touched) {
-    if (std::find(compaction_dirty_.begin(), compaction_dirty_.end(),
-                  partition) == compaction_dirty_.end()) {
-      compaction_dirty_.push_back(partition);
-    }
+    MarkCompactionDirtyLocked(partition);
   }
   compaction_scheduler_->ScheduleCheck();
 }
 
+void DBImpl::MarkCompactionDirtyLocked(Partition* partition) {
+  if (std::find(compaction_dirty_.begin(), compaction_dirty_.end(),
+                partition) == compaction_dirty_.end()) {
+    compaction_dirty_.push_back(partition);
+  }
+}
+
 Status DBImpl::BackgroundCompactionCheck() {
   std::unique_lock<std::mutex> lock(mu_);
-  std::vector<Partition*> touched = std::move(compaction_dirty_);
-  compaction_dirty_.clear();
-  Status s = RunCompactionsLocked(lock, touched);
+  // Claim phase: take the dirty partitions no concurrent check holds. A
+  // partition another worker is compacting STAYS dirty — the holder's check
+  // (or this one, below) hands it to a fresh check once claims release, so
+  // dirtiness is never lost and two workers never share a partition.
+  std::vector<Partition*> mine;
+  {
+    std::vector<Partition*> still_held;
+    for (Partition* partition : compaction_dirty_) {
+      if (compacting_.insert(partition).second) {
+        mine.push_back(partition);
+      } else {
+        still_held.push_back(partition);
+      }
+    }
+    compaction_dirty_ = std::move(still_held);
+  }
+#ifdef PMBLADE_SYNC_POINTS
+  {
+    std::vector<uint64_t> claimed_ids;
+    for (Partition* partition : mine) claimed_ids.push_back(partition->id());
+    PMBLADE_SYNC_POINT_ARG("DBImpl::CompactionCheck:Claimed", &claimed_ids);
+  }
+#endif
+  Status s = RunCompactionsLocked(lock, mine);
+  for (Partition* partition : mine) compacting_.erase(partition);
   if (!s.ok()) {
     // Re-arm the dirty set so the scheduler's retry (or the next
     // flush-triggered check) re-evaluates the same partitions.
-    for (Partition* partition : touched) {
-      if (std::find(compaction_dirty_.begin(), compaction_dirty_.end(),
-                    partition) == compaction_dirty_.end()) {
-        compaction_dirty_.push_back(partition);
-      }
-    }
+    for (Partition* partition : mine) MarkCompactionDirtyLocked(partition);
+  }
+  // Flushes may have re-dirtied partitions this check was holding (a fresh
+  // check skipped them as claimed). Only a check that owned claims
+  // re-schedules — a check that claimed nothing must not, or two no-op
+  // checks would ping-pong the queue while the holder works.
+  if (!mine.empty() && !compaction_dirty_.empty() && s.ok()) {
+    compaction_scheduler_->ScheduleCheck();
   }
   return s;
 }
 
 Status DBImpl::RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
                                     const std::vector<Partition*>& touched) {
+  // First failure seen; siblings keep compacting (isolation: one poisoned
+  // partition must not block progress elsewhere in the same check).
+  Status first_error;
   if (options_.enable_cost_model) {
     if (options_.enable_internal_compaction) {
       for (Partition* partition : touched) {
@@ -1156,8 +1236,11 @@ Status DBImpl::RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
                   .With("eq2", decision.eq2_triggered ? 1 : 0));
         }
         if (decision.triggered()) {
-          PMBLADE_RETURN_IF_ERROR(
-              RunInternalCompactionOnPartition(lock, partition));
+          Status is = RunInternalCompactionOnPartition(lock, partition);
+          if (!is.ok()) {
+            if (!bg_error_.ok()) return is;  // manifest loss: stop the check
+            if (first_error.ok()) first_error = is;
+          }
         }
       }
     }
@@ -1185,22 +1268,39 @@ Status DBImpl::RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
       }
       std::vector<size_t> retained = cost_model_->SelectRetained(all, tau_t);
       std::set<size_t> keep(retained.begin(), retained.end());
+      // Victims this check may take: not retained, non-empty, and either
+      // already ours (claimed in the check's claim phase) or unclaimed.
+      // Claiming the extras before mu_ drops keeps concurrent checks off
+      // them for the whole merge + install.
+      std::set<Partition*> ours(touched.begin(), touched.end());
       std::vector<Partition*> victims;
+      std::vector<Partition*> extra_claims;
       for (size_t i = 0; i < partitions_.size(); ++i) {
-        if (keep.count(i) == 0 && partitions_[i]->L0Bytes() > 0) {
-          victims.push_back(partitions_[i].get());
+        Partition* partition = partitions_[i].get();
+        if (keep.count(i) != 0 || partition->L0Bytes() == 0) continue;
+        if (ours.count(partition) == 0) {
+          if (!compacting_.insert(partition).second) continue;  // held
+          extra_claims.push_back(partition);
         }
+        victims.push_back(partition);
       }
       keep_set_counter_->Inc();
       if (events_.active()) {
         EmitKeepSetEvent(all, keep, tau_t, total_l0);
       }
-      if (!victims.empty()) {
-        PMBLADE_RETURN_IF_ERROR(
-            RunMajorCompactionOnPartitions(lock, victims));
+      if (!victims.empty() && first_error.ok()) {
+        Status ms = RunMajorCompactionOnPartitions(lock, victims);
+        if (!ms.ok() && first_error.ok()) first_error = ms;
+      }
+      for (Partition* partition : extra_claims) {
+        compacting_.erase(partition);
+        // An extra victim was not in this check's dirty claim, so a failure
+        // would not be re-armed by the caller — mark it dirty here so the
+        // retry re-selects it.
+        if (!first_error.ok()) MarkCompactionDirtyLocked(partition);
       }
     }
-    return Status::OK();
+    return first_error;
   }
 
   // Conventional policy (PMBlade-PM): when any partition accumulates
@@ -1218,15 +1318,27 @@ Status DBImpl::RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
     due = true;
   }
   if (due) {
+    std::set<Partition*> ours(touched.begin(), touched.end());
     std::vector<Partition*> victims;
+    std::vector<Partition*> extra_claims;
     for (const auto& partition : partitions_) {
-      if (partition->L0Bytes() > 0) victims.push_back(partition.get());
+      Partition* p = partition.get();
+      if (p->L0Bytes() == 0) continue;
+      if (ours.count(p) == 0) {
+        if (!compacting_.insert(p).second) continue;  // held by a sibling
+        extra_claims.push_back(p);
+      }
+      victims.push_back(p);
     }
     if (!victims.empty()) {
-      PMBLADE_RETURN_IF_ERROR(RunMajorCompactionOnPartitions(lock, victims));
+      first_error = RunMajorCompactionOnPartitions(lock, victims);
+    }
+    for (Partition* p : extra_claims) {
+      compacting_.erase(p);
+      if (!first_error.ok()) MarkCompactionDirtyLocked(p);
     }
   }
-  return Status::OK();
+  return first_error;
 }
 
 void DBImpl::EmitKeepSetEvent(const std::vector<PartitionCounters>& all,
@@ -1345,38 +1457,79 @@ Status DBImpl::RunMajorCompactionOnPartitions(
   std::vector<VictimSnapshot> snaps;
   snaps.reserve(victims.size());
   std::vector<CompactionSubtaskInput> subtasks;
-  subtasks.reserve(victims.size());
-  for (Partition* partition : victims) {
+  /// subtasks[i] merges one key-range slice of victim subtask_victim[i];
+  /// slices of a victim occupy consecutive subtask indices in ascending key
+  /// order, which is what lets the install below stitch them back into one
+  /// sorted level-1 run by simple concatenation.
+  std::vector<size_t> subtask_victim;
+  const size_t max_slices =
+      static_cast<size_t>(std::max(options_.max_subcompactions, 1));
+  for (size_t v = 0; v < victims.size(); ++v) {
+    Partition* partition = victims[v];
     VictimSnapshot snap;
     snap.unsorted = partition->unsorted();
     snap.sorted = partition->sorted_run();
     snap.l1 = partition->l1_run();
 
-    CompactionSubtaskInput sub;
     uint64_t l0_bytes = partition->L0Bytes();
     uint64_t l1_bytes = partition->L1Bytes();
-    sub.ssd_input_fraction =
+    double ssd_fraction =
         (l0_bytes + l1_bytes) > 0
             ? static_cast<double>(l1_bytes) / (l0_bytes + l1_bytes)
             : 0.0;
-    if (options_.l0_layout == L0Layout::kSstable) sub.ssd_input_fraction = 1.0;
+    if (options_.l0_layout == L0Layout::kSstable) ssd_fraction = 1.0;
+
+    // Subcompaction split rule: slice the victim at the table boundaries of
+    // its largest sorted component (the level-1 run when present, else the
+    // sorted run) — every table's smallest user key is a candidate bound,
+    // and up to max_subcompactions-1 evenly spaced candidates are kept.
+    // Bounds compare user keys, so all versions of a key share a slice.
+    std::vector<std::string> bounds;
+    const std::vector<L0TableRef>& base_run =
+        !snap.l1.empty() ? snap.l1 : snap.sorted;
+    if (max_slices > 1 && base_run.size() > 1) {
+      const size_t k = base_run.size();
+      const size_t want = std::min(max_slices - 1, k - 1);
+      std::set<size_t> cuts;  // positions in [1, k-1]: cut before table pos
+      for (size_t j = 1; j <= want; ++j) {
+        size_t pos = j * k / (want + 1);
+        cuts.insert(std::max<size_t>(1, std::min(pos, k - 1)));
+      }
+      for (size_t pos : cuts) {
+        bounds.push_back(ExtractUserKey(base_run[pos]->smallest()).ToString());
+      }
+    }
+
     // Capture the table sets by value so iterators outlive version edits.
     std::vector<L0TableRef> unsorted = snap.unsorted;
     std::vector<L0TableRef> sorted = snap.sorted;
     std::vector<L0TableRef> l1 = snap.l1;
     const InternalKeyComparator* icmp = &icmp_;
-    sub.make_input = [unsorted, sorted, l1, icmp]() -> Iterator* {
-      std::vector<Iterator*> children;
-      for (const auto& table : unsorted) {
-        children.push_back(table->NewIterator());
-      }
-      children.push_back(NewRunIterator(icmp, sorted));
-      children.push_back(NewRunIterator(icmp, l1));
-      Iterator* merged = NewMergingIterator(icmp, std::move(children));
-      merged->SeekToFirst();
-      return merged;
-    };
-    subtasks.push_back(std::move(sub));
+    const size_t num_slices = bounds.size() + 1;
+    for (size_t slice = 0; slice < num_slices; ++slice) {
+      std::string lo = slice == 0 ? std::string() : bounds[slice - 1];
+      std::string hi = slice + 1 == num_slices ? std::string() : bounds[slice];
+      CompactionSubtaskInput sub;
+      sub.ssd_input_fraction = ssd_fraction;
+      sub.make_input = [unsorted, sorted, l1, icmp, lo, hi]() -> Iterator* {
+        std::vector<Iterator*> children;
+        for (const auto& table : unsorted) {
+          children.push_back(table->NewIterator());
+        }
+        children.push_back(NewRunIterator(icmp, sorted));
+        children.push_back(NewRunIterator(icmp, l1));
+        Iterator* merged = NewMergingIterator(icmp, std::move(children));
+        if (lo.empty() && hi.empty()) {
+          merged->SeekToFirst();
+          return merged;
+        }
+        Iterator* clipped = new RangeClippedIterator(merged, lo, hi);
+        clipped->SeekToFirst();
+        return clipped;
+      };
+      subtasks.push_back(std::move(sub));
+      subtask_victim.push_back(v);
+    }
     snaps.push_back(std::move(snap));
   }
 
@@ -1388,9 +1541,27 @@ Status DBImpl::RunMajorCompactionOnPartitions(
 
   // Merge + all simulated-SSD I/O without mu_.
   lock.unlock();
+#ifdef PMBLADE_SYNC_POINTS
+  {
+    // Fired OUTSIDE mu_ so crash/overlap tests may block here without
+    // stalling readers, writers or sibling compaction workers.
+    std::vector<uint64_t> victim_ids;
+    victim_ids.reserve(victims.size());
+    for (Partition* partition : victims) victim_ids.push_back(partition->id());
+    PMBLADE_SYNC_POINT_ARG("DBImpl::MajorCompaction:BeforeRun", &victim_ids);
+  }
+#endif
   std::vector<CompactionOutputMeta> outputs;
   MajorCompactionStats mstats;
   Status s = compactor.Run(subtasks, &outputs, &mstats);
+  if (s.ok()) {
+    if (subcompaction_counter_ != nullptr) {
+      subcompaction_counter_->Inc(subtasks.size());
+    }
+    if (major_wall_nanos_counter_ != nullptr) {
+      major_wall_nanos_counter_->Inc(mstats.wall_nanos);
+    }
+  }
   PMBLADE_SYNC_POINT("DBImpl::MajorCompaction:AfterRun");
 
   // Open ALL outputs before touching any victim: either every table is
@@ -1403,7 +1574,10 @@ Status DBImpl::RunMajorCompactionOnPartitions(
   ropts.filter_policy = filter_policy_.get();
   ropts.block_cache = block_cache_;
 
-  std::vector<std::vector<L0TableRef>> new_l1(victims.size());
+  // One slot per subtask: empty slices produce no output and leave their
+  // slot null. Stitching below walks slots in subtask order, which is
+  // ascending key order within each victim.
+  std::vector<L0TableRef> slice_tables(subtasks.size());
   size_t opened = 0;
   while (s.ok() && opened < outputs.size()) {
     const CompactionOutputMeta& meta = outputs[opened];
@@ -1413,7 +1587,7 @@ Status DBImpl::RunMajorCompactionOnPartitions(
     s = SsdL0Table::Open(env_, meta.path, meta.file_number, opts, &table);
     if (!s.ok()) break;  // `opened` must not count this file: it still
                          // needs the RemoveFile below, not a Destroy
-    new_l1[meta.subtask_index].push_back(std::move(table));
+    slice_tables[meta.subtask_index] = std::move(table);
     ++opened;
   }
   if (!s.ok()) {
@@ -1421,8 +1595,8 @@ Status DBImpl::RunMajorCompactionOnPartitions(
     // failed run leaves no orphans (opened tables drop theirs via Destroy
     // at last ref, unopened ones are removed directly), and report a
     // retryable failure.
-    for (auto& run : new_l1) {
-      for (auto& table : run) table->Destroy();
+    for (auto& table : slice_tables) {
+      if (table != nullptr) table->Destroy();
     }
     for (size_t i = opened; i < outputs.size(); ++i) {
       raw_env_->RemoveFile(outputs[i].path);
@@ -1430,6 +1604,17 @@ Status DBImpl::RunMajorCompactionOnPartitions(
     lock.lock();
     return s;
   }
+
+  // Stitch: concatenate each victim's slice outputs (already disjoint and
+  // ascending) back into one level-1 run, then install everything under a
+  // single mu_ hold + manifest commit below.
+  std::vector<std::vector<L0TableRef>> new_l1(victims.size());
+  for (size_t i = 0; i < slice_tables.size(); ++i) {
+    if (slice_tables[i] != nullptr) {
+      new_l1[subtask_victim[i]].push_back(std::move(slice_tables[i]));
+    }
+  }
+  PMBLADE_SYNC_POINT("DBImpl::MajorCompaction:OutputsOpened");
   lock.lock();
 
   // Install ALL victims atomically under one mu_ hold + one manifest
@@ -1460,8 +1645,9 @@ Status DBImpl::RunMajorCompactionOnPartitions(
   for (auto& table : doomed) table->Destroy();
 
   PMBLADE_INFO(options_.logger,
-               "major compaction: %zu partitions, %llu records in, %llu out",
-               victims.size(),
+               "major compaction: %zu partitions in %zu slices, %llu records "
+               "in, %llu out",
+               victims.size(), subtasks.size(),
                static_cast<unsigned long long>(mstats.input_records),
                static_cast<unsigned long long>(mstats.output_records));
   return Status::OK();
@@ -1776,6 +1962,22 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
   }
   if (property == "pmblade.compaction-queue-depth") {
     *value = compaction_scheduler_->QueueDepth();
+    return true;
+  }
+  if (property == "pmblade.compaction-workers") {
+    *value = static_cast<uint64_t>(compaction_scheduler_->workers());
+    return true;
+  }
+  if (property == "pmblade.compaction-active") {
+    *value = static_cast<uint64_t>(compaction_scheduler_->active());
+    return true;
+  }
+  if (property == "pmblade.compaction-subcompactions") {
+    *value = subcompaction_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.compaction-major-wall-nanos") {
+    *value = major_wall_nanos_counter_->Value();
     return true;
   }
   if (property == "pmblade.file-gc-failures") {

@@ -14,15 +14,23 @@
 //     building tables inline. Flush completion installs the level-0 tables
 //     under a short critical section, wakes stalled writers, and hands the
 //     Eq. 1/2/3 compaction triggers to the compaction scheduler.
-//   * Algorithm 1 (internal + major compaction) runs on a DEDICATED
-//     CompactionScheduler thread, never on the flush thread: the check
-//     snapshots partition table refs and counters under a short mu_ hold,
-//     runs the merge and all simulated-SSD I/O with the mutex released, and
-//     re-acquires mu_ only for the install + PersistManifest step. Manual
-//     compactions (CompactLevel0/CompactToLevel1) funnel through the same
-//     thread, so at most one compaction is in flight engine-wide and only
-//     that thread ever removes tables from a partition (the flush thread
-//     only prepends) — see the ref discipline notes in partition.h.
+//   * Algorithm 1 (internal + major compaction) runs on the DEDICATED
+//     CompactionScheduler pool (Options::compaction_workers threads; 1 by
+//     default), never on the flush thread: a check snapshots partition
+//     table refs and counters under a short mu_ hold, runs the merge and
+//     all simulated-SSD I/O with the mutex released, and re-acquires mu_
+//     only for the install + PersistManifest step. With N workers, several
+//     checks execute concurrently under the per-partition CLAIM protocol:
+//     a check claims (in compacting_, under mu_) every partition it will
+//     compact — its dirty set plus any extra major-compaction victims — and
+//     skips partitions another check holds, so no two workers ever mutate
+//     the same partition's runs. Claims are released (and skipped work is
+//     re-scheduled) when the check finishes. Manual compactions
+//     (CompactLevel0/CompactToLevel1) funnel through RunExclusive, a
+//     pool-wide barrier, so they observe quiesced partitions without
+//     claiming. Only a claim-holding check (or an exclusive manual job)
+//     removes tables from a partition; the flush thread only prepends — see
+//     the ref discipline notes in partition.h.
 //   * Readers grab {mem, imm, partition table refs, snapshot} under a brief
 //     mutex hold and probe everything lock-free afterwards, so neither a
 //     flush nor a compaction in flight ever blocks a Get past that grab.
@@ -158,12 +166,21 @@ class DBImpl final : public DB {
   /// flush path never inherits a compaction error (bg_error_ is reserved
   /// for flush/WAL/manifest failures).
   void ScheduleCompactionCheck(const std::vector<Partition*>& touched);
-  /// Scheduler-thread entry: drains compaction_dirty_ and runs Algorithm 1.
-  /// A failure re-arms the dirty set so the scheduler's retry (or the next
-  /// flush-triggered check) re-evaluates the same partitions.
+  /// mu_ held. Adds `partition` to compaction_dirty_ (deduplicated).
+  void MarkCompactionDirtyLocked(Partition* partition);
+  /// Scheduler-pool entry: CLAIMS the dirty partitions no concurrent check
+  /// holds (leaving the rest dirty for the holder to re-trigger) and runs
+  /// Algorithm 1 on them. A failure re-arms the dirty set so the
+  /// scheduler's retry (or the next flush-triggered check) re-evaluates the
+  /// same partitions; leftover dirty work found at completion is handed to
+  /// a fresh check.
   Status BackgroundCompactionCheck();
-  /// Algorithm 1 for `touched`. Enters and leaves with `lock` held, but
-  /// releases it for every merge and simulated-SSD I/O.
+  /// Algorithm 1 for the CLAIMED set `touched`. Enters and leaves with
+  /// `lock` held, but releases it for every merge and simulated-SSD I/O.
+  /// Claims extra major-compaction victims itself (releasing them before
+  /// returning); continues past a failing partition's internal compaction
+  /// and reports the first error at the end, so one poisoned partition
+  /// never blocks its siblings' progress within the same check.
   Status RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
                               const std::vector<Partition*>& touched);
   Status RunInternalCompactionOnPartition(std::unique_lock<std::mutex>& lock,
@@ -243,6 +260,11 @@ class DBImpl final : public DB {
   /// Partitions touched by flushes since the last Algorithm-1 check ran;
   /// guarded by mu_.
   std::vector<Partition*> compaction_dirty_;
+  /// The claim set: partitions some in-flight check is compacting. Guarded
+  /// by mu_. A check inserts every partition it will touch before releasing
+  /// mu_ for the merge and erases them when done; concurrent checks skip
+  /// members, which is what keeps N workers off each other's partitions.
+  std::set<Partition*> compacting_;
   /// Files whose deletion failed once (flushed WALs); retried after the
   /// next successful manifest commit. Guarded by mu_.
   std::vector<std::string> pending_file_gc_;
@@ -293,6 +315,10 @@ class DBImpl final : public DB {
   obs::Counter* stall_nanos_counter_ = nullptr;
   obs::Counter* bg_flush_counter_ = nullptr;
   obs::Counter* file_gc_fail_counter_ = nullptr;  // failed RemoveFile calls
+  // Parallel-compaction instruments: key-range slices merged by major
+  // compactions and their cumulative wall time (the bench sweep's metric).
+  obs::Counter* subcompaction_counter_ = nullptr;
+  obs::Counter* major_wall_nanos_counter_ = nullptr;
   // Read-path instruments (bloom probes accumulated from Get's
   // ReadProbeStats; cache gauges registered over block_cache_).
   obs::Counter* bloom_check_counter_ = nullptr;

@@ -128,6 +128,21 @@ struct Options {
   /// background error) before the scheduler parks until the next flush
   /// triggers a fresh check.
   int compaction_retry_limit = 2;
+  /// Size of the compaction scheduler's worker pool. 1 (the default) keeps
+  /// the historical single-worker pipeline. With N > 1, independent
+  /// Algorithm-1 checks run concurrently: each check CLAIMS the dirty
+  /// partitions no other worker holds, so two workers never compact the
+  /// same partition, while install + manifest commits stay serialized under
+  /// the DB mutex. Manual compactions still run exclusively (no concurrent
+  /// background job).
+  int compaction_workers = 1;
+  /// Upper bound on key-range subcompactions per major-compaction victim:
+  /// a victim whose level-1 run (or sorted run) spans multiple tables is
+  /// split at table boundaries into up to this many disjoint key-range
+  /// slices, merged as independent subtasks and stitched back — in slice
+  /// order — into one level-1 run under the same atomic manifest commit.
+  /// 1 (the default) keeps the historical one-slice-per-victim shape.
+  int max_subcompactions = 1;
 
   // ---- SSTables / read path ----
   size_t block_size = 4096;

@@ -49,12 +49,13 @@ class Partition {
   //     the deferred L0Table::Destroy (storage freed at last ref drop)
   //     keeps those copies valid across any concurrent install.
   //   * The flush thread only PREPENDS to unsorted() (newest first).
-  //   * Only the single compaction-scheduler thread removes from unsorted()
-  //     or mutates sorted_run()/l1_run(). A compaction therefore snapshots
-  //     the vectors, merges with the mutex released, and installs by
-  //     removing exactly the snapshotted refs (RemoveTables) — tables
-  //     flushed during the merge stay, still newest-first, above the
-  //     compaction's output.
+  //   * Only the compaction worker that CLAIMED this partition (see the
+  //     claim protocol in db_impl.h — at most one claimant per partition,
+  //     enforced under the DB mutex) removes from unsorted() or mutates
+  //     sorted_run()/l1_run(). A compaction therefore snapshots the
+  //     vectors, merges with the mutex released, and installs by removing
+  //     exactly the snapshotted refs (RemoveTables) — tables flushed during
+  //     the merge stay, still newest-first, above the compaction's output.
   std::vector<L0TableRef>& unsorted() { return unsorted_; }
   std::vector<L0TableRef>& sorted_run() { return sorted_run_; }
   std::vector<L0TableRef>& l1_run() { return l1_run_; }

@@ -46,6 +46,10 @@ struct CrashHarnessOptions {
   /// with a PM level-0 layout.
   bool pm_crash_sim = false;
   int max_ops_per_cycle = 120;
+  /// Parallel compaction pipeline under test: pool width and key-range
+  /// slices per victim (1/1 = the historical single-worker pipeline).
+  int compaction_workers = 1;
+  int max_subcompactions = 1;
   /// Start from a fresh DB every this many cycles, so state (and dump cost)
   /// stays bounded and empty-DB recovery is exercised too.
   int fresh_db_period = 25;
@@ -137,7 +141,15 @@ class CrashHarness {
         {"PmPool::Allocate:BeforeCommit", true, false},
         {"DBImpl::InternalCompaction:Outputs", false, true},
         {"DBImpl::InternalCompaction:AfterManifest", false, true},
+        // Subcompaction pipeline cuts: BeforeRun dies with victim claims
+        // held but no output started, AfterRun with every slice output
+        // sealed but none opened, OutputsOpened with the outputs opened and
+        // stitched but the install/manifest commit not yet run. A crash at
+        // any of them must recover with zero orphan .sst files and the
+        // pre-compaction state intact.
+        {"DBImpl::MajorCompaction:BeforeRun", false, true},
         {"DBImpl::MajorCompaction:AfterRun", false, true},
+        {"DBImpl::MajorCompaction:OutputsOpened", false, true},
         {"DBImpl::MajorCompaction:AfterManifest", false, true},
         // Cuts around the background scheduler's job boundaries: BeforeJob
         // dies with work handed off but not started, AfterJob right after a
@@ -161,6 +173,13 @@ class CrashHarness {
     options.partition_boundaries = {Key(kKeyspace / 3),
                                     Key(2 * kKeyspace / 3)};
     options.l0_table_trigger = 4;
+    options.compaction_workers = opts_.compaction_workers;
+    options.max_subcompactions = opts_.max_subcompactions;
+    if (opts_.max_subcompactions > 1) {
+      // Multi-table sorted/level-1 runs so the split rule has boundaries to
+      // cut at — otherwise every victim degenerates to one slice.
+      options.internal_table_target_bytes = 8 << 10;
+    }
     return options;
   }
 

@@ -5,8 +5,8 @@
 // write path, flush, manifest commit and compaction, reopen, and verify the
 // recovered state against a reference model: every acknowledged-durable key
 // must survive and the visible state must sit on a write-batch boundary (no
-// torn groups). Defaults: fixed seed, 520 crash/reopen cycles across the
-// three configurations. Override with PMBLADE_CRASH_SEED /
+// torn groups). Defaults: fixed seed, 700 crash/reopen cycles across the
+// five configurations. Override with PMBLADE_CRASH_SEED /
 // PMBLADE_CRASH_CYCLES (the latter scales each test's cycle count).
 //
 // The final test deliberately reintroduces a classic recovery bug —
@@ -38,7 +38,8 @@ int CyclesFromEnv(int default_cycles) {
 }
 
 void RunHarness(const std::string& name, L0Layout layout, bool pm_crash_sim,
-                int default_cycles) {
+                int default_cycles, int compaction_workers = 1,
+                int max_subcompactions = 1) {
 #ifndef PMBLADE_SYNC_POINTS
   GTEST_SKIP() << "built without PMBLADE_SYNC_POINTS";
 #endif
@@ -48,6 +49,8 @@ void RunHarness(const std::string& name, L0Layout layout, bool pm_crash_sim,
   opts.cycles = CyclesFromEnv(default_cycles);
   opts.l0_layout = layout;
   opts.pm_crash_sim = pm_crash_sim;
+  opts.compaction_workers = compaction_workers;
+  opts.max_subcompactions = max_subcompactions;
   fprintf(stderr, "[crash harness] %s: seed=%llu cycles=%d\n", name.c_str(),
           static_cast<unsigned long long>(opts.seed), opts.cycles);
 
@@ -68,7 +71,7 @@ void RunHarness(const std::string& name, L0Layout layout, bool pm_crash_sim,
           result.between_op_crashes, result.ops_issued);
 }
 
-// 300 + 120 + 100 = 520 crash/reopen cycles by default.
+// 300 + 120 + 100 + 120 + 60 = 700 crash/reopen cycles by default.
 
 TEST(CrashRecoveryTest, PmLayoutRandomizedCycles) {
   RunHarness("pm", L0Layout::kPmTable, false, 300);
@@ -80,6 +83,21 @@ TEST(CrashRecoveryTest, SsdLayoutRandomizedCycles) {
 
 TEST(CrashRecoveryTest, PmPersistGranularityCycles) {
   RunHarness("pm_granularity", L0Layout::kPmTable, true, 100);
+}
+
+// The parallel-pipeline sweeps: 4 scheduler workers and 4-way subcompactions
+// add the BeforeRun / OutputsOpened cut sites between subcompaction
+// output-open, stitch, and manifest install, with sibling workers racing the
+// crash. CheckNoOrphanSstFiles runs after every reopen inside the harness.
+
+TEST(CrashRecoveryTest, ParallelCompactionRandomizedCycles) {
+  RunHarness("parallel_pm", L0Layout::kPmTable, false, 120,
+             /*compaction_workers=*/4, /*max_subcompactions=*/4);
+}
+
+TEST(CrashRecoveryTest, ParallelCompactionSsdRandomizedCycles) {
+  RunHarness("parallel_ssd", L0Layout::kSstable, false, 60,
+             /*compaction_workers=*/4, /*max_subcompactions=*/4);
 }
 
 // ---------------------------------------------------------------------------
