@@ -75,6 +75,7 @@ Status BenchEnv::OpenEngine(EngineConfig config, KvEngine** engine) {
         opts.major.worker_threads = options_.max_subcompactions;
       }
       opts.num_shards = options_.num_shards;
+      opts.atomic_cross_shard_batches = options_.atomic_cross_shard_batches;
 
       switch (config) {
         case EngineConfig::kPmBlade:

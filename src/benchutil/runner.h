@@ -81,6 +81,9 @@ struct BenchEnvOptions {
   /// pm_pool_capacity, the cost budgets) apply to EACH shard. Ignored by
   /// the baseline engines.
   uint32_t num_shards = 1;
+  /// Cross-shard WriteBatch atomicity (two-phase commit through the shard
+  /// WALs). Benches flip it off to measure the legacy non-atomic fan-out.
+  bool atomic_cross_shard_batches = true;
   std::vector<std::string> partition_boundaries;
 };
 

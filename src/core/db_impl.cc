@@ -5,6 +5,7 @@
 #include "compaction/merging_iterator.h"
 #include "core/sharded_db.h"
 #include "core/version.h"
+#include "memtable/txn_record.h"
 #include "obs/exporter.h"
 #include "pmtable/array_table.h"
 #include "pmtable/snappy_table.h"
@@ -274,6 +275,10 @@ Status DBImpl::Init() {
   stall_counter_ = metrics_.GetCounter("pmblade.write.stalls");
   stall_nanos_counter_ = metrics_.GetCounter("pmblade.write.stall_nanos");
   bg_flush_counter_ = metrics_.GetCounter("pmblade.flush.bg_flushes");
+  // Two-phase-commit instruments (stay at zero on the single-shard path).
+  txn_prepared_counter_ = metrics_.GetCounter("pmblade.txn.prepared");
+  txn_committed_counter_ = metrics_.GetCounter("pmblade.txn.committed");
+  txn_rolled_back_counter_ = metrics_.GetCounter("pmblade.txn.rolled_back");
   metrics_.RegisterGaugeCallback("pmblade.write.writes_per_sync", [this] {
     uint64_t syncs = wal_sync_counter_->Value();
     if (syncs == 0) return 0.0;
@@ -460,6 +465,7 @@ Status DBImpl::Init() {
   if (s.ok()) {
     l1_factory_->set_next_file_number(state.next_file_number);
     last_sequence_ = state.last_sequence;
+    flushed_sequence_ = state.flushed_sequence;
     PMBLADE_RETURN_IF_ERROR(RecoverPartitions(state));
     if (state.wal_number != 0) {
       PMBLADE_RETURN_IF_ERROR(ReplayWals(state.wal_number));
@@ -660,6 +666,15 @@ Status DBImpl::ReplayWals(uint64_t floor) {
   } reporter;
   reporter.logger = options_.logger;
 
+  // Sequences at or below this were flushed to level-0 before the last
+  // manifest commit: a replayed commit marker whose payload falls under it
+  // must NOT re-apply (carried fence records can outlive their payload's
+  // flush), or the memtable would hold duplicate internal keys. This must
+  // be the true flush watermark — the manifest's last_sequence runs ahead
+  // of it whenever the memtable holds acknowledged writes, and using that
+  // as the floor drops committed payloads on a second recovery.
+  const SequenceNumber flushed_floor = flushed_sequence_;
+
   for (uint64_t number : numbers) {
     std::unique_ptr<SequentialFile> file;
     PMBLADE_RETURN_IF_ERROR(
@@ -669,6 +684,62 @@ Status DBImpl::ReplayWals(uint64_t floor) {
     std::string scratch;
     while (reader.ReadRecord(&record, &scratch)) {
       if (record.size() < 12) continue;
+      if (IsTxnRecord(record)) {
+        TxnRecord txn;
+        Status ts = DecodeTxnRecord(record, &txn);
+        if (!ts.ok()) {
+          PMBLADE_WARN(options_.logger, "wal replay dropped txn record: %s",
+                       ts.ToString().c_str());
+          continue;
+        }
+        if (txn.txn_id > max_seen_txn_id_) max_seen_txn_id_ = txn.txn_id;
+        switch (txn.type) {
+          case TxnRecordType::kPrepare: {
+            // Carried copies of an already-committed fence must not demote
+            // it back to pending.
+            TxnEntry& e = txns_[txn.txn_id];
+            if (!e.committed) {
+              e.participants = txn.participants;
+              e.payload.assign(txn.payload.data(), txn.payload.size());
+              e.marker_ticket = 0;  // already durable: it came off disk
+            }
+            break;
+          }
+          case TxnRecordType::kCommit: {
+            auto it = txns_.find(txn.txn_id);
+            if (it == txns_.end()) {
+              // Marker-only evidence: the fence was forgotten before the
+              // prepare's log died, but the marker outlived it. Keep the
+              // verdict for sibling resolution.
+              replay_committed_.insert(txn.txn_id);
+              break;
+            }
+            if (!it->second.committed && txn.base_seq > flushed_floor) {
+              WriteBatch batch;
+              batch.SetContentsFrom(Slice(it->second.payload));
+              batch.SetSequence(txn.base_seq);
+              Status s = batch.InsertInto(mem_);
+              if (!s.ok()) return s;
+              SequenceNumber end_seq = txn.base_seq + batch.Count() - 1;
+              if (end_seq > last_sequence_) last_sequence_ = end_seq;
+            }
+            it->second.committed = true;
+            it->second.base_seq = txn.base_seq;
+            it->second.marker_ticket = 0;
+            break;
+          }
+          case TxnRecordType::kRollback: {
+            auto it = txns_.find(txn.txn_id);
+            if (it != txns_.end()) {
+              if (it->second.committed) break;  // commit evidence wins
+              txns_.erase(it);
+            }
+            replay_rolled_back_.insert(txn.txn_id);
+            break;
+          }
+        }
+        continue;
+      }
       WriteBatch batch;
       batch.SetContentsFrom(record);
       Status s = batch.InsertInto(mem_);
@@ -697,12 +768,43 @@ Status DBImpl::NewWal() {
     // whole write history — any unsynced tail left behind here would be
     // covered by that promise but dropped by a power cut.
     PMBLADE_RETURN_IF_ERROR(wal_file_->Sync());
+    wal_synced_ticket_.store(wal_append_ticket_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
     PMBLADE_SYNC_POINT("DBImpl::NewWal:OldWalSynced");
     wal_file_->Close();
   }
   wal_number_ = new_number;
   wal_file_ = std::move(file);
   wal_.reset(new wal::Writer(wal_file_.get()));
+  return CarryTxnRecordsLocked();
+}
+
+Status DBImpl::CarryTxnRecordsLocked() {
+  // Re-home every retained txn record into the fresh WAL: pending prepares
+  // (their payload is nowhere else until committed+flushed) and committed
+  // fences (siblings' recovery may still need the commit evidence). The
+  // copies in the rotated-out logs die when their flush commits, so the new
+  // WAL must hold these durably first — hence the fsync when anything was
+  // carried.
+  if (txns_.empty()) return Status::OK();
+  std::string record;
+  for (auto& entry : txns_) {
+    EncodePrepareRecord(entry.first, entry.second.participants,
+                        Slice(entry.second.payload), &record);
+    PMBLADE_RETURN_IF_ERROR(wal_->AddRecord(record));
+    wal_append_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.second.committed) {
+      EncodeCommitRecord(entry.first, entry.second.base_seq, &record);
+      PMBLADE_RETURN_IF_ERROR(wal_->AddRecord(record));
+      wal_append_ticket_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry.second.marker_ticket =
+        wal_append_ticket_.load(std::memory_order_relaxed);
+  }
+  PMBLADE_RETURN_IF_ERROR(wal_file_->Sync());
+  wal_synced_ticket_.store(wal_append_ticket_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  PMBLADE_SYNC_POINT("DBImpl::NewWal:TxnRecordsCarried");
   return Status::OK();
 }
 
@@ -710,6 +812,7 @@ Status DBImpl::PersistManifest() {
   ManifestState state;
   state.next_file_number = l1_factory_->peek_next_file_number();
   state.last_sequence = last_sequence_;
+  state.flushed_sequence = flushed_sequence_;
   // Replay floor: the oldest log still holding un-flushed data.
   state.wal_number = live_wals_.empty() ? wal_number_ : live_wals_.front();
   for (const auto& partition : partitions_) {
@@ -754,7 +857,15 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   const uint64_t start = clock_->NowNanos();
   WriterState w(updates, options.sync || options_.sync_wal);
+  Status status = WriteInternal(options, w);
+  if (updates != nullptr) {
+    stats_.RecordWrite(updates->ApproximateSize(),
+                       clock_->NowNanos() - start);
+  }
+  return status;
+}
 
+Status DBImpl::WriteInternal(const WriteOptions& options, WriterState& w) {
   std::unique_lock<std::mutex> lock(mu_);
   writers_.push_back(&w);
   while (!w.done && &w != writers_.front()) {
@@ -762,20 +873,23 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   }
   if (w.done) {
     // A leader committed this write as part of its group.
-    if (updates != nullptr) {
-      stats_.RecordWrite(updates->ApproximateSize(),
-                         clock_->NowNanos() - start);
-    }
     return w.status;
   }
 
   // This thread is the group leader: it owns the WAL and the memtable until
   // it pops itself off the queue, which is what makes the unlocked section
   // below single-writer.
-  Status status = MakeRoomForWrite(lock, /*force=*/updates == nullptr);
-  SequenceNumber last_sequence = last_sequence_;
+  Status status;
   WriterState* last_writer = &w;
-  if (status.ok() && updates != nullptr) {
+  if (w.kind != WriteKind::kBatch) {
+    // A txn op leads a txn group: every txn op queued directly behind it
+    // shares one WAL append run and one fsync. BuildBatchGroup still never
+    // coalesces a kBatch group into or past a txn op.
+    status = TxnGroupWriteLocked(lock, w, &last_writer);
+  } else {
+  status = MakeRoomForWrite(lock, /*force=*/w.batch == nullptr);
+  SequenceNumber last_sequence = last_sequence_;
+  if (status.ok() && w.batch != nullptr) {
     bool group_sync = false;
     size_t group_members = 0;
     WriteBatch* group = BuildBatchGroup(&last_writer, &group_sync,
@@ -797,6 +911,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         ScopedExternalIo wal_io(track_client_io_ ? model_ : nullptr,
                                 IoClass::kClient);
         status = wal_->AddRecord(group->rep());
+        const uint64_t append_ticket =
+            wal_append_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
         PMBLADE_SYNC_POINT("DBImpl::Write:AfterWalAppend");
         if (status.ok() && group_sync) {
           const uint64_t sync_start = clock_->NowNanos();
@@ -805,6 +921,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
             sync_error = true;
           } else {
             wal_sync_counter_->Inc();
+            wal_synced_ticket_.store(append_ticket,
+                                     std::memory_order_relaxed);
             PMBLADE_SYNC_POINT("DBImpl::Write:AfterWalSync");
             if (events_.active()) {
               events_.Emit(
@@ -841,6 +959,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     }
     if (group == &group_batch_) group_batch_.Clear();
   }
+  }
 
   // Wake everyone the group covered (they return with the group status) and
   // promote the next queued writer to leader.
@@ -848,7 +967,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     WriterState* ready = writers_.front();
     writers_.pop_front();
     if (ready != &w) {
-      ready->status = status;
+      if (!ready->own_status) ready->status = status;
       ready->done = true;
       ready->cv.notify_one();
     }
@@ -856,11 +975,310 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   }
   if (!writers_.empty()) writers_.front()->cv.notify_one();
 
-  if (updates != nullptr) {
-    stats_.RecordWrite(updates->ApproximateSize(),
-                       clock_->NowNanos() - start);
-  }
   return status;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard two-phase commit (see the header block and sharded_db.cc)
+// ---------------------------------------------------------------------------
+
+Status DBImpl::PrepareTxn(const WriteOptions& options, uint64_t txn_id,
+                          const std::vector<uint32_t>& participants,
+                          WriteBatch* batch) {
+  if (batch == nullptr || batch->Count() == 0) {
+    return Status::InvalidArgument("empty txn sub-batch");
+  }
+  // Prepares are ALWAYS fsynced, regardless of the user's sync flag: the
+  // all-prepares-durable state is what lets recovery COMMIT an in-doubt
+  // transaction, so an unsynced prepare would turn "resolution commits"
+  // into data loss on the other shards.
+  WriterState w(WriteKind::kTxnPrepare, txn_id, batch, /*sync=*/true);
+  w.participants = &participants;
+  return WriteInternal(options, w);
+}
+
+Status DBImpl::CommitTxn(const WriteOptions& options, uint64_t txn_id) {
+  WriterState w(WriteKind::kTxnCommit, txn_id, nullptr,
+                options.sync || options_.sync_wal);
+  return WriteInternal(options, w);
+}
+
+Status DBImpl::RollbackTxn(const WriteOptions& options, uint64_t txn_id) {
+  WriterState w(WriteKind::kTxnRollback, txn_id, nullptr,
+                options.sync || options_.sync_wal);
+  return WriteInternal(options, w);
+}
+
+Status DBImpl::TxnGroupWriteLocked(std::unique_lock<std::mutex>& lock,
+                                   WriterState& leader,
+                                   WriterState** last_writer) {
+  // Coalesce the leader with every txn op queued directly behind it — the
+  // txn mirror of BuildBatchGroup. Concurrent transactions' records share
+  // one WAL append run and at most ONE fsync; without this, N concurrent
+  // cross-shard writers pay N sequential prepare fsyncs per shard and 2PC
+  // loses the latency the parallel fan-out bought.
+  std::vector<WriterState*> group;
+  group.push_back(&leader);
+  for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+    if ((*it)->kind == WriteKind::kBatch) break;
+    group.push_back(*it);
+  }
+  *last_writer = group.back();
+
+  bool has_commit = false;
+  for (WriterState* m : group) {
+    if (m->kind == WriteKind::kTxnCommit) has_commit = true;
+  }
+  if (has_commit) {
+    // Commits insert buffered payloads into the memtable; make room the
+    // same way a regular group does (may rotate the WAL, which carries the
+    // pending prepares along).
+    PMBLADE_RETURN_IF_ERROR(MakeRoomForWrite(lock, /*force=*/false));
+    // MakeRoomForWrite may have dropped the lock; scoop up txn ops that
+    // queued behind the group in the meantime.
+    group.clear();
+    group.push_back(&leader);
+    for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+      if ((*it)->kind == WriteKind::kBatch) break;
+      group.push_back(*it);
+    }
+    *last_writer = group.back();
+  } else if (!bg_error_.ok()) {
+    return bg_error_;
+  }
+
+  // Stage every member's WAL record under the lock. Members whose op
+  // resolves without IO (unknown-txn commit, idempotent re-commit) get
+  // their individual status here and are excluded from the append run.
+  struct Staged {
+    WriterState* w;
+    std::string record;
+    WriteBatch payload;           // commit only
+    SequenceNumber base_seq = 0;  // commit only
+    uint64_t ticket = 0;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(group.size());
+  SequenceNumber next_seq = last_sequence_;  // running cursor for commits
+  bool group_sync = false;
+  bool staged_commit = false;
+  MemTable* mem = mem_;
+  for (WriterState* m : group) {
+    switch (m->kind) {
+      case WriteKind::kTxnPrepare: {
+        staged.emplace_back();
+        Staged& s = staged.back();
+        s.w = m;
+        EncodePrepareRecord(m->txn_id, *m->participants, m->batch->rep(),
+                            &s.record);
+        group_sync = group_sync || m->sync;
+        break;
+      }
+      case WriteKind::kTxnCommit: {
+        auto it = txns_.find(m->txn_id);
+        if (it == txns_.end()) {
+          m->own_status = true;
+          m->status = Status::InvalidArgument("commit of unknown txn");
+          break;
+        }
+        if (it->second.committed) {  // idempotent
+          m->own_status = true;
+          m->status = Status::OK();
+          break;
+        }
+        staged.emplace_back();
+        Staged& s = staged.back();
+        s.w = m;
+        s.payload.SetContentsFrom(Slice(it->second.payload));
+        s.base_seq = next_seq + 1;
+        s.payload.SetSequence(s.base_seq);
+        next_seq += s.payload.Count();
+        EncodeCommitRecord(m->txn_id, s.base_seq, &s.record);
+        group_sync = group_sync || m->sync;
+        staged_commit = true;
+        break;
+      }
+      case WriteKind::kTxnRollback: {
+        staged.emplace_back();
+        Staged& s = staged.back();
+        s.w = m;
+        EncodeRollbackRecord(m->txn_id, &s.record);
+        group_sync = group_sync || m->sync;
+        break;
+      }
+      case WriteKind::kBatch:
+        break;  // unreachable: collection stops at the first kBatch
+    }
+  }
+  const bool leader_validated_out = leader.own_status;
+
+  Status status;
+  if (!staged.empty()) {
+    bool sync_error = false;
+    lock.unlock();
+    {
+      ScopedExternalIo wal_io(track_client_io_ ? model_ : nullptr,
+                              IoClass::kClient);
+      for (Staged& s : staged) {
+        if (status.ok()) status = wal_->AddRecord(s.record);
+        s.ticket =
+            wal_append_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (status.ok() && s.w->kind == WriteKind::kTxnCommit) {
+          PMBLADE_SYNC_POINT("DBImpl::CommitTxn:AfterAppend");
+        }
+      }
+      if (status.ok() && group_sync) {
+        status = wal_file_->Sync();
+        if (!status.ok()) {
+          sync_error = true;
+        } else {
+          wal_sync_counter_->Inc();
+          wal_synced_ticket_.store(staged.back().ticket,
+                                   std::memory_order_relaxed);
+          for (Staged& s : staged) {
+            if (s.w->kind == WriteKind::kTxnPrepare) {
+              PMBLADE_SYNC_POINT("DBImpl::PrepareTxn:AfterSync");
+            }
+          }
+        }
+      }
+    }
+    if (status.ok()) {
+      for (Staged& s : staged) {
+        if (s.w->kind != WriteKind::kTxnCommit) continue;
+        NoteGroupWrites(s.payload, mem);
+        status = s.payload.InsertInto(mem);
+        if (!status.ok()) break;
+      }
+    }
+    if (status.ok() && events_.active()) {
+      for (Staged& s : staged) {
+        obs::EventType type = s.w->kind == WriteKind::kTxnPrepare
+                                  ? obs::EventType::kTxnPrepare
+                                  : s.w->kind == WriteKind::kTxnCommit
+                                        ? obs::EventType::kTxnCommit
+                                        : obs::EventType::kTxnRollback;
+        obs::Event event(type, clock_->NowNanos());
+        event.With("txn_id", static_cast<double>(s.w->txn_id));
+        if (s.w->kind == WriteKind::kTxnPrepare) {
+          event.With("participants",
+                     static_cast<double>(s.w->participants->size()))
+              .With("bytes", static_cast<double>(s.w->batch->rep().size()));
+        }
+        events_.Emit(event);
+      }
+    }
+    lock.lock();
+    if (sync_error) {
+      // Same poison rule as the batch path: the WAL tail's durability is
+      // unknown, so no later write may be acknowledged on this log.
+      bg_error_ = status;
+    }
+  }
+
+  if (status.ok()) {
+    if (staged_commit) {
+      // Publish AFTER the memtable inserts, exactly like the batch path: a
+      // reader snapshotting last_sequence_ never observes a torn commit.
+      PMBLADE_SYNC_POINT("DBImpl::CommitTxn:BeforePublish");
+      last_sequence_ = next_seq;
+    }
+    for (Staged& s : staged) {
+      switch (s.w->kind) {
+        case WriteKind::kTxnPrepare: {
+          TxnEntry& entry = txns_[s.w->txn_id];
+          entry.participants = *s.w->participants;
+          entry.payload = s.w->batch->rep();
+          entry.committed = false;
+          entry.marker_ticket = s.ticket;
+          if (s.w->txn_id > max_seen_txn_id_) max_seen_txn_id_ = s.w->txn_id;
+          txn_prepared_counter_->Inc();
+          break;
+        }
+        case WriteKind::kTxnCommit: {
+          auto it = txns_.find(s.w->txn_id);  // re-find: mu_ was released
+          if (it != txns_.end()) {
+            it->second.committed = true;
+            it->second.base_seq = s.base_seq;
+            it->second.marker_ticket = s.ticket;
+          }
+          txn_committed_counter_->Inc();
+          break;
+        }
+        case WriteKind::kTxnRollback:
+          txns_.erase(s.w->txn_id);
+          txn_rolled_back_counter_->Inc();
+          break;
+        case WriteKind::kBatch:
+          break;
+      }
+    }
+  }
+
+  // Stamp the group outcome on every member that went through the IO path
+  // so the caller's wake loop leaves validation outcomes untouched; the
+  // leader's own result is the return value.
+  for (Staged& s : staged) {
+    s.w->own_status = true;
+    s.w->status = status;
+  }
+  return leader_validated_out ? leader.status : status;
+}
+
+std::vector<DBImpl::InDoubtTxn> DBImpl::GetInDoubtTxns() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<InDoubtTxn> result;
+  for (const auto& entry : txns_) {
+    if (entry.second.committed) continue;
+    InDoubtTxn txn;
+    txn.txn_id = entry.first;
+    txn.participants = entry.second.participants;
+    result.push_back(std::move(txn));
+  }
+  return result;
+}
+
+DBImpl::TxnPeerState DBImpl::QueryTxn(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it != txns_.end()) {
+    return it->second.committed ? TxnPeerState::kCommitted
+                                : TxnPeerState::kPrepared;
+  }
+  if (replay_committed_.count(txn_id) != 0) return TxnPeerState::kCommitted;
+  if (replay_rolled_back_.count(txn_id) != 0) {
+    return TxnPeerState::kRolledBack;
+  }
+  return TxnPeerState::kUnknown;
+}
+
+bool DBImpl::TxnMarkerDurable(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return true;  // already forgotten
+  return it->second.marker_ticket <=
+         wal_synced_ticket_.load(std::memory_order_relaxed);
+}
+
+void DBImpl::ForgetTxn(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  txns_.erase(txn_id);
+  replay_committed_.erase(txn_id);
+  replay_rolled_back_.erase(txn_id);
+}
+
+uint64_t DBImpl::MaxSeenTxnId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_seen_txn_id_;
+}
+
+std::vector<uint64_t> DBImpl::GetRetainedTxnIds() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> result;
+  for (const auto& entry : txns_) result.push_back(entry.first);
+  for (uint64_t txn_id : replay_committed_) result.push_back(txn_id);
+  for (uint64_t txn_id : replay_rolled_back_) result.push_back(txn_id);
+  return result;
 }
 
 WriteBatch* DBImpl::BuildBatchGroup(WriterState** last_writer, bool* sync,
@@ -882,8 +1300,12 @@ WriteBatch* DBImpl::BuildBatchGroup(WriterState** last_writer, bool* sync,
 
   for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
     WriterState* candidate = *it;
-    // A force-flush marker must lead its own turn; stop coalescing there.
-    if (candidate->batch == nullptr) break;
+    // A force-flush marker or txn op must lead its own turn; stop
+    // coalescing there.
+    if (candidate->batch == nullptr ||
+        candidate->kind != WriteKind::kBatch) {
+      break;
+    }
     if (size + candidate->batch->ApproximateSize() > max_size) break;
     if (result == first->batch) {
       // Switch to the scratch batch; the leader's own batch is untouched.
@@ -975,6 +1397,9 @@ Status DBImpl::SwitchMemTableLocked() {
   PMBLADE_SYNC_POINT("DBImpl::SwitchMemTable:AfterNewWal");
   imm_wals_ = std::move(feeding);
   imm_ = mem_;
+  // Writes are quiesced here (leader context under mu_), so last_sequence_
+  // is exactly the frozen memtable's ceiling.
+  imm_ceiling_ = last_sequence_;
   mem_ = new MemTable(icmp_);
   mem_->Ref();
   flush_pool_->Submit([this] { BackgroundFlush(); });
@@ -1037,6 +1462,7 @@ void DBImpl::BackgroundFlush() {
     }
     imm_->Unref();
     imm_ = nullptr;
+    if (imm_ceiling_ > flushed_sequence_) flushed_sequence_ = imm_ceiling_;
     stats_.AddFlush();
     bg_flush_counter_->Inc();
 
@@ -1946,6 +2372,38 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
   }
   if (property == "pmblade.bg-flushes") {
     *value = bg_flush_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.txn-prepared") {
+    *value = txn_prepared_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.txn-committed") {
+    *value = txn_committed_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.txn-rolled-back") {
+    *value = txn_rolled_back_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.txn-pending") {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t pending = 0;
+    for (const auto& entry : txns_) {
+      if (!entry.second.committed) ++pending;
+    }
+    *value = pending;
+    return true;
+  }
+  if (property == "pmblade.txn-retained") {
+    std::lock_guard<std::mutex> lock(mu_);
+    *value = txns_.size() + replay_committed_.size() +
+             replay_rolled_back_.size();
+    return true;
+  }
+  if (property == "pmblade.open-snapshots") {
+    std::lock_guard<std::mutex> lock(mu_);
+    *value = live_snapshots_.size();
     return true;
   }
   if (property == "pmblade.compactions-completed") {

@@ -96,6 +96,51 @@ class DBImpl final : public DB {
   bool GetProperty(const std::string& property, uint64_t* value) override;
   bool GetProperty(const std::string& property, std::string* value) override;
 
+  // ---- cross-shard two-phase commit (driven by ShardedDB) ----
+  // A cross-shard batch is split into per-shard sub-batches; each
+  // participating shard gets a kPrepare WAL record (always fsynced) holding
+  // its sub-batch, then a tiny kCommit marker that assigns sequences and
+  // inserts the buffered payload into the memtable. Prepares consume no
+  // sequence numbers and are invisible to readers until committed. Recovery
+  // buffers replayed prepares; the facade resolves in-doubt transactions
+  // across shards at open (see ShardedDB::ResolveInDoubtTxns).
+
+  /// What this shard knows about a transaction, for sibling resolution.
+  enum class TxnPeerState { kUnknown, kPrepared, kCommitted, kRolledBack };
+  struct InDoubtTxn {
+    uint64_t txn_id = 0;
+    std::vector<uint32_t> participants;
+  };
+
+  /// Phase 1: append + fsync a kPrepare record carrying `batch` and buffer
+  /// it. Goes through the writer queue as its own commit group.
+  Status PrepareTxn(const WriteOptions& options, uint64_t txn_id,
+                    const std::vector<uint32_t>& participants,
+                    WriteBatch* batch);
+  /// Phase 2: append a kCommit marker (fsynced only when options.sync),
+  /// assign sequences, insert the buffered sub-batch into the memtable and
+  /// publish. The entry is retained as a committed fence until ForgetTxn.
+  Status CommitTxn(const WriteOptions& options, uint64_t txn_id);
+  /// Appends a kRollback marker (fsynced only when options.sync) and drops
+  /// the buffered sub-batch. Harmless if the txn was never prepared here.
+  Status RollbackTxn(const WriteOptions& options, uint64_t txn_id);
+  /// Transactions recovered as prepared-but-unresolved (no commit/rollback
+  /// marker replayed).
+  std::vector<InDoubtTxn> GetInDoubtTxns();
+  TxnPeerState QueryTxn(uint64_t txn_id);
+  /// True once the txn's commit marker is covered by a WAL fsync (or the
+  /// txn is unknown, i.e. already forgotten).
+  bool TxnMarkerDurable(uint64_t txn_id);
+  /// Drops the committed fence / recovery evidence for `txn_id`. Only safe
+  /// once every participant's commit marker is durable.
+  void ForgetTxn(uint64_t txn_id);
+  /// Highest txn id seen during WAL replay (0 if none): the facade seeds
+  /// its txn-id allocator above the max across shards.
+  uint64_t MaxSeenTxnId();
+  /// Every txn id with retained state here (pending prepares, committed
+  /// fences, replay evidence) — what the facade sweeps after resolution.
+  std::vector<uint64_t> GetRetainedTxnIds();
+
   // Used by DB::Open.
   Status Init();
 
@@ -123,16 +168,48 @@ class DBImpl final : public DB {
 
   struct RecordedRead;
 
-  /// One queued write (stack-allocated in Write). batch == nullptr is a
-  /// force-flush marker: the leader only rotates the memtable.
+  /// What a queued writer asks the leader to do. Txn ops form their own
+  /// single-member commit groups (BuildBatchGroup never coalesces across
+  /// them), keeping the WAL record <-> writer mapping one-to-one.
+  enum class WriteKind : uint8_t { kBatch, kTxnPrepare, kTxnCommit,
+                                   kTxnRollback };
+
+  /// One queued write (stack-allocated in Write). batch == nullptr with
+  /// kind == kBatch is a force-flush marker: the leader only rotates the
+  /// memtable.
   struct WriterState {
     explicit WriterState(WriteBatch* b, bool s) : batch(b), sync(s) {}
+    WriterState(WriteKind k, uint64_t id, WriteBatch* b, bool s)
+        : batch(b), sync(s), kind(k), txn_id(id) {}
     WriteBatch* batch;
     bool sync;
+    WriteKind kind = WriteKind::kBatch;
+    uint64_t txn_id = 0;
+    const std::vector<uint32_t>* participants = nullptr;  // kTxnPrepare only
     bool done = false;
+    /// Set when the leader already decided this writer's individual status
+    /// (txn-group members, validation outcomes); the wake loop must not
+    /// overwrite it with the group status.
+    bool own_status = false;
     Status status;
     std::condition_variable cv;
   };
+
+  /// Shared queue-join + leader dispatch behind Write and the txn ops.
+  Status WriteInternal(const WriteOptions& options, WriterState& w);
+  /// Leader-only: executes the leader's txn op plus every txn op queued
+  /// directly behind it as ONE commit group — a single WAL append run and
+  /// at most one shared fsync (the txn mirror of BuildBatchGroup). Enters
+  /// and leaves with `lock` held; the WAL append / fsync / memtable inserts
+  /// run unlocked, like the batch path. Advances `*last_writer` to the last
+  /// coalesced member so the caller's wake loop covers the whole group.
+  Status TxnGroupWriteLocked(std::unique_lock<std::mutex>& lock,
+                             WriterState& leader, WriterState** last_writer);
+  /// Re-appends buffered prepares (and commit markers for fences) into the
+  /// freshly rotated WAL, then fsyncs it if anything was carried: the old
+  /// copies die with their WAL at the next flush commit, so the new WAL
+  /// must hold the records durably BEFORE that deletion can happen.
+  Status CarryTxnRecordsLocked();
 
   // ---- startup ----
   Status RecoverPartitions(const ManifestState& state);
@@ -240,12 +317,51 @@ class DBImpl final : public DB {
   /// The subset of live_wals_ feeding imm_; deleted when its flush commits.
   std::vector<uint64_t> imm_wals_;
   SequenceNumber last_sequence_ = 0;
+  /// Every sequence <= this is durable in level-0 tables (memtables flush
+  /// in sequence order, so the flushed imm_'s ceiling is a true watermark).
+  /// Persisted in the manifest and used as WAL replay's re-apply floor for
+  /// carried txn commit fences. last_sequence_ is NOT a substitute: the
+  /// manifest records it ahead of any flush of the covered data (Init,
+  /// sibling-partition flushes), and using it as the floor silently drops
+  /// committed-but-unflushed txn payloads on a second recovery.
+  SequenceNumber flushed_sequence_ = 0;
+  /// last_sequence_ captured when mem_ was frozen into imm_; becomes
+  /// flushed_sequence_ when that flush commits.
+  SequenceNumber imm_ceiling_ = 0;
 
   // Writer queue (group commit). The front writer is the leader; only it
   // touches the WAL and memtable, which is what makes the unlocked commit
   // section safe.
   std::deque<WriterState*> writers_;
   WriteBatch group_batch_;  // leader scratch for coalesced groups
+
+  // ---- two-phase-commit state (guarded by mu_ unless noted) ----
+  /// A prepared (and possibly committed) transaction this shard
+  /// participates in. Pending entries (committed == false) hold the
+  /// sub-batch until a commit/rollback decides its fate; committed entries
+  /// stay as FENCES until the facade's ForgetTxn, so WAL rotation keeps
+  /// carrying commit evidence a sibling's recovery might still need.
+  struct TxnEntry {
+    std::vector<uint32_t> participants;
+    std::string payload;        // sub-batch rep, base sequence still 0
+    bool committed = false;
+    SequenceNumber base_seq = 0;
+    uint64_t marker_ticket = 0;  // WAL append ticket of the newest record
+  };
+  std::map<uint64_t, TxnEntry> txns_;
+  /// Replay evidence for transactions whose marker survived but whose
+  /// buffered payload did not need retention (marker-only commits /
+  /// rollbacks seen in the logs). Consulted by QueryTxn during the
+  /// facade's resolution pass, cleared by ForgetTxn.
+  std::set<uint64_t> replay_committed_;
+  std::set<uint64_t> replay_rolled_back_;
+  uint64_t max_seen_txn_id_ = 0;
+  /// WAL durability tickets: every AddRecord bumps the append ticket; every
+  /// successful fsync publishes the append ticket it covered (appends and
+  /// syncs are leader-serialized, so "covered" is just the value at sync
+  /// time). A txn marker is durable iff its ticket <= the synced ticket.
+  std::atomic<uint64_t> wal_append_ticket_{0};
+  std::atomic<uint64_t> wal_synced_ticket_{0};
 
   // Background flush.
   std::unique_ptr<ThreadPool> flush_pool_;  // one thread
@@ -315,6 +431,11 @@ class DBImpl final : public DB {
   obs::Counter* stall_nanos_counter_ = nullptr;
   obs::Counter* bg_flush_counter_ = nullptr;
   obs::Counter* file_gc_fail_counter_ = nullptr;  // failed RemoveFile calls
+  // Two-phase-commit instruments (cross-shard batches only; the fast path
+  // never touches them).
+  obs::Counter* txn_prepared_counter_ = nullptr;
+  obs::Counter* txn_committed_counter_ = nullptr;
+  obs::Counter* txn_rolled_back_counter_ = nullptr;
   // Parallel-compaction instruments: key-range slices merged by major
   // compactions and their cumulative wall time (the bench sweep's metric).
   obs::Counter* subcompaction_counter_ = nullptr;

@@ -9,7 +9,9 @@ namespace pmblade {
 
 namespace {
 constexpr uint32_t kManifestMagic = 0x504d424du;  // "PMBM"
-constexpr uint32_t kFormatVersion = 1;
+// Version 2 added flushed_sequence; version-1 manifests are still readable
+// (their flushed_sequence defaults to last_sequence, the pre-2 behavior).
+constexpr uint32_t kFormatVersion = 2;
 
 void PutIdVector(std::string* dst, const std::vector<uint64_t>& ids) {
   PutVarint32(dst, static_cast<uint32_t>(ids.size()));
@@ -38,6 +40,7 @@ Status WriteManifest(Env* env, const std::string& dbname,
   PutVarint64(&body, state.next_file_number);
   PutVarint64(&body, state.last_sequence);
   PutVarint64(&body, state.wal_number);
+  PutVarint64(&body, state.flushed_sequence);
   PutVarint32(&body, static_cast<uint32_t>(state.partitions.size()));
   for (const auto& p : state.partitions) {
     PutVarint64(&body, p.id);
@@ -77,7 +80,7 @@ Status ReadManifest(Env* env, const std::string& dbname,
     return Status::Corruption("manifest bad magic");
   }
   uint32_t version = DecodeFixed32(in.data() + 4);
-  if (version != kFormatVersion) {
+  if (version != 1 && version != kFormatVersion) {
     return Status::NotSupported("manifest format version unsupported");
   }
   in.remove_prefix(8);
@@ -86,8 +89,19 @@ Status ReadManifest(Env* env, const std::string& dbname,
   uint32_t num_partitions = 0;
   if (!GetVarint64(&in, &state->next_file_number) ||
       !GetVarint64(&in, &state->last_sequence) ||
-      !GetVarint64(&in, &state->wal_number) ||
-      !GetVarint32(&in, &num_partitions)) {
+      !GetVarint64(&in, &state->wal_number)) {
+    return Status::Corruption("manifest truncated header");
+  }
+  if (version >= 2) {
+    if (!GetVarint64(&in, &state->flushed_sequence)) {
+      return Status::Corruption("manifest truncated header");
+    }
+  } else {
+    // Pre-2 manifests carried no flush watermark; last_sequence is the
+    // conservative stand-in they were written against.
+    state->flushed_sequence = state->last_sequence;
+  }
+  if (!GetVarint32(&in, &num_partitions)) {
     return Status::Corruption("manifest truncated header");
   }
   state->partitions.resize(num_partitions);

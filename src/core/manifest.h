@@ -40,6 +40,12 @@ struct ManifestState {
   uint64_t next_file_number = 1;
   uint64_t last_sequence = 0;
   uint64_t wal_number = 0;
+  /// Ceiling of the sequences durably flushed to level-0. Strictly below
+  /// last_sequence whenever the memtable holds acknowledged writes; WAL
+  /// replay uses it (not last_sequence, which is persisted before any flush
+  /// of the covered data) to decide whether a carried txn commit fence must
+  /// re-apply its payload.
+  uint64_t flushed_sequence = 0;
   std::vector<ManifestPartition> partitions;
 };
 

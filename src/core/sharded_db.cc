@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include <condition_variable>
+#include <set>
+
 #include "compaction/merging_iterator.h"
 #include "obs/exporter.h"
 #include "util/comparator.h"
+#include "util/sync_point.h"
 
 namespace pmblade {
 
@@ -88,6 +92,12 @@ ShardedDB::~ShardedDB() {
   // Join the arbiter thread before any member it touches (the shards'
   // quotas, the shared cache, the facade registry) is destroyed.
   if (arbiter_ != nullptr) arbiter_->Stop();
+  // Last chance to retire committed fences whose markers are already
+  // durable; the rest replay at the next open and are forgotten by its
+  // resolution pass.
+  if (!shards_.empty()) DrainForgettableTxns();
+  // Fan-out tasks capture shards; join them first.
+  fanout_pool_.reset();
   // Shards read through shared_cache_; drop them while it is still alive
   // (declaration order already guarantees this — made explicit here).
   shards_.clear();
@@ -138,6 +148,23 @@ Status ShardedDB::Init() {
   if (options_.memory_budget_bytes > 0) {
     PMBLADE_RETURN_IF_ERROR(SetUpSharedArbiter());
   }
+
+  // Cross-shard write fan-out + 2PC bookkeeping. A wave runs N-1 shard ops
+  // on the pool (the caller runs the last inline), and pool threads BLOCK
+  // inside the target shard's group commit — so a pool sized for one wave
+  // serializes concurrent writers' waves behind each other. Provision for
+  // several in-flight waves; beyond that, excess waves ride the shards'
+  // own group commit batching anyway.
+  fanout_pool_.reset(new ThreadPool(static_cast<int>(
+      std::min<uint32_t>(4 * (options_.num_shards - 1), 32))));
+  txn_in_doubt_counter_ = metrics_.GetCounter("pmblade.txn.in_doubt");
+  txn_resolved_commit_counter_ =
+      metrics_.GetCounter("pmblade.txn.resolved_commit");
+  txn_resolved_rollback_counter_ =
+      metrics_.GetCounter("pmblade.txn.resolved_rollback");
+  // Resolve transactions a crash left prepared-but-undecided, and seed the
+  // txn-id allocator past everything the shards replayed.
+  PMBLADE_RETURN_IF_ERROR(ResolveInDoubtTxns());
   return Status::OK();
 }
 
@@ -318,17 +345,241 @@ Status ShardedDB::Write(const WriteOptions& options, WriteBatch* batch) {
   std::vector<WriteBatch> subs(n);
   ShardSplitter splitter(&subs, n);
   PMBLADE_RETURN_IF_ERROR(batch->Iterate(&splitter));
-  // Each sub-batch is atomic within its shard; cross-shard atomicity is
-  // NOT provided (documented in sharded_db.h). Apply every sub-batch even
-  // after a failure — partial progress plus the first error beats an
-  // arbitrary prefix.
-  Status result;
+  std::vector<uint32_t> participants;
   for (uint32_t i = 0; i < n; ++i) {
-    if (subs[i].Count() == 0) continue;
-    Status s = shards_[i]->Write(options, &subs[i]);
-    if (result.ok() && !s.ok()) result = s;
+    if (subs[i].Count() > 0) participants.push_back(i);
+  }
+  if (participants.empty()) return Status::OK();
+  if (participants.size() == 1) {
+    // Marker-free fast path: one shard's normal group commit is already
+    // atomic + durable on its own, identical to num_shards=1.
+    const uint32_t only = participants.front();
+    return shards_[only]->Write(options, &subs[only]);
+  }
+  if (!options_.atomic_cross_shard_batches) {
+    return WriteLegacy(options, subs, participants);
+  }
+  return WriteAtomic(options, subs, participants);
+}
+
+void ShardedDB::RunOnShards(const std::vector<uint32_t>& ids,
+                            const std::function<void(uint32_t)>& fn) {
+  if (ids.empty()) return;
+  if (ids.size() == 1 || fanout_pool_ == nullptr) {
+    for (uint32_t id : ids) fn(id);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = ids.size() - 1;
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    const uint32_t id = ids[i];
+    fanout_pool_->Submit([&mu, &cv, &remaining, &fn, id] {
+      fn(id);
+      // Decrement + notify under the lock: the waiter owns the stack these
+      // live on and must not unblock before the notify completes.
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  fn(ids.back());
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+Status ShardedDB::WriteLegacy(const WriteOptions& options,
+                              std::vector<WriteBatch>& subs,
+                              const std::vector<uint32_t>& participants) {
+  // Independent per-shard commits: no atomicity across shards (a crash
+  // between shard syncs can surface a torn batch), but every sub-batch is
+  // applied even after a failure, and the whole fan-out pays one parallel
+  // WAL wave instead of N sequential ones.
+  std::vector<Status> statuses(shards_.size());
+  RunOnShards(participants, [&](uint32_t shard) {
+    statuses[shard] = shards_[shard]->Write(options, &subs[shard]);
+  });
+  Status result;
+  for (uint32_t shard : participants) {
+    if (result.ok() && !statuses[shard].ok()) result = statuses[shard];
   }
   return result;
+}
+
+Status ShardedDB::WriteAtomic(const WriteOptions& options,
+                              std::vector<WriteBatch>& subs,
+                              const std::vector<uint32_t>& participants) {
+  const uint64_t txn_id =
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Status> statuses(shards_.size());
+
+  // Phase 1: every participant appends + fsyncs a prepare record holding
+  // its sub-batch — in parallel, so the wave costs max(shard fsync).
+  RunOnShards(participants, [&](uint32_t shard) {
+    statuses[shard] =
+        shards_[shard]->PrepareTxn(options, txn_id, participants,
+                                   &subs[shard]);
+  });
+  Status prepare_status;
+  for (uint32_t shard : participants) {
+    if (prepare_status.ok() && !statuses[shard].ok()) {
+      prepare_status = statuses[shard];
+    }
+  }
+  PMBLADE_SYNC_POINT("ShardedDB::Write:AfterPrepare");
+  if (!prepare_status.ok()) {
+    // Abort: rollback markers everywhere (harmless on shards whose prepare
+    // never landed). Durability is lazy — recovery defaults a missing
+    // prepare to rollback anyway — but note the indeterminate window: if
+    // every prepare actually reached disk despite the error, a crash
+    // before the rollback markers sync can resolve this txn COMMITTED.
+    RunOnShards(participants, [&](uint32_t shard) {
+      shards_[shard]->RollbackTxn(WriteOptions(), txn_id);
+    });
+    return prepare_status;
+  }
+
+  // Phase 2: tiny commit markers, sequence assignment + publish — also in
+  // parallel. No rollback from here on: with every prepare durable the txn
+  // is decided, and a shard that failed its marker will be resolved
+  // COMMITTED from its still-buffered prepare at the next open.
+  //
+  // The markers are deliberately NOT fsynced even for sync writes: the
+  // durable prepares on every participant already decide the txn (a crash
+  // that loses every marker still resolves to commit), so a second fsync
+  // wave here would double the sync cost of a cross-shard batch for no
+  // durability gain. Markers become durable on the next natural sync —
+  // group-commit fsync, WAL rotation — which only delays fence retirement.
+  WriteOptions commit_options = options;
+  commit_options.sync = false;
+  RunOnShards(participants, [&](uint32_t shard) {
+    statuses[shard] = shards_[shard]->CommitTxn(commit_options, txn_id);
+  });
+  Status result;
+  for (uint32_t shard : participants) {
+    if (result.ok() && !statuses[shard].ok()) result = statuses[shard];
+  }
+
+  // Retire the fence once every participant's marker is durable; until
+  // then WAL rotation keeps carrying the commit evidence siblings might
+  // need at recovery.
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    PendingForget pending;
+    pending.txn_id = txn_id;
+    pending.participants = participants;
+    pending_forget_.push_back(std::move(pending));
+  }
+  DrainForgettableTxns();
+  return result;
+}
+
+void ShardedDB::DrainForgettableTxns() {
+  std::vector<PendingForget> pending;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    pending.swap(pending_forget_);
+  }
+  std::vector<PendingForget> keep;
+  for (auto& p : pending) {
+    bool durable = true;
+    for (uint32_t shard : p.participants) {
+      if (!shards_[shard]->TxnMarkerDurable(p.txn_id)) {
+        durable = false;
+        break;
+      }
+    }
+    if (durable) {
+      for (uint32_t shard : p.participants) {
+        shards_[shard]->ForgetTxn(p.txn_id);
+      }
+    } else {
+      keep.push_back(std::move(p));
+    }
+  }
+  if (!keep.empty()) {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    pending_forget_.insert(pending_forget_.begin(),
+                           std::make_move_iterator(keep.begin()),
+                           std::make_move_iterator(keep.end()));
+  }
+}
+
+Status ShardedDB::ResolveInDoubtTxns() {
+  // Union of every shard's in-doubt set (the participant list rides in the
+  // prepare record, so any surviving prepare names the whole group).
+  std::map<uint64_t, std::vector<uint32_t>> in_doubt;
+  uint64_t max_txn = 0;
+  for (auto& shard : shards_) {
+    max_txn = std::max(max_txn, shard->MaxSeenTxnId());
+    for (auto& txn : shard->GetInDoubtTxns()) {
+      auto& parts = in_doubt[txn.txn_id];
+      if (parts.empty()) parts = txn.participants;
+    }
+  }
+  next_txn_id_.store(max_txn + 1, std::memory_order_relaxed);
+
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  Status result;
+  for (auto& [txn_id, participants] : in_doubt) {
+    txn_in_doubt_counter_->Inc();
+    // Decision rules, in order: commit evidence anywhere => COMMIT;
+    // a rollback marker => ROLL BACK; any participant with no trace (its
+    // always-fsynced prepare is missing, so the commit wave cannot have
+    // started) => ROLL BACK; all participants prepared => COMMIT (the
+    // batch was fully durable, exactly the state phase 2 acts from).
+    bool any_committed = false;
+    bool any_rolled_back = false;
+    bool any_unknown = false;
+    for (uint32_t shard : participants) {
+      if (shard >= shards_.size()) {
+        any_unknown = true;
+        continue;
+      }
+      switch (shards_[shard]->QueryTxn(txn_id)) {
+        case DBImpl::TxnPeerState::kCommitted:
+          any_committed = true;
+          break;
+        case DBImpl::TxnPeerState::kRolledBack:
+          any_rolled_back = true;
+          break;
+        case DBImpl::TxnPeerState::kUnknown:
+          any_unknown = true;
+          break;
+        case DBImpl::TxnPeerState::kPrepared:
+          break;
+      }
+    }
+    const bool commit = any_committed || (!any_rolled_back && !any_unknown);
+    for (uint32_t shard : participants) {
+      if (shard >= shards_.size()) continue;
+      if (shards_[shard]->QueryTxn(txn_id) !=
+          DBImpl::TxnPeerState::kPrepared) {
+        continue;
+      }
+      // Resolution markers are always fsynced: the verdict must not flip
+      // across a second crash.
+      Status s = commit ? shards_[shard]->CommitTxn(sync_opts, txn_id)
+                        : shards_[shard]->RollbackTxn(sync_opts, txn_id);
+      if (result.ok() && !s.ok()) result = s;
+    }
+    (commit ? txn_resolved_commit_counter_ : txn_resolved_rollback_counter_)
+        ->Inc();
+  }
+  PMBLADE_RETURN_IF_ERROR(result);
+
+  // Every verdict is durable now; retained fences and replay evidence are
+  // redundant, so drop them — the shards start with empty txn state.
+  std::set<uint64_t> retained;
+  for (auto& shard : shards_) {
+    for (uint64_t txn_id : shard->GetRetainedTxnIds()) {
+      retained.insert(txn_id);
+    }
+  }
+  for (uint64_t txn_id : retained) {
+    for (auto& shard : shards_) shard->ForgetTxn(txn_id);
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -416,6 +667,9 @@ Status ShardedDB::FlushMemTable() {
     Status s = shard->FlushMemTable();
     if (result.ok() && !s.ok()) result = s;
   }
+  // Rotation just fsynced every shard's WAL, so any fence still waiting on
+  // marker durability is ready to retire.
+  DrainForgettableTxns();
   return result;
 }
 
@@ -505,6 +759,25 @@ bool ShardedDB::GetProperty(const std::string& property, uint64_t* value) {
   }
   if (property == "pmblade.mem-rebalances") {
     *value = arbiter_ != nullptr ? arbiter_->rebalances() : 0;
+    return true;
+  }
+  // Facade-level (NOT a per-shard sum: each facade handle pins one
+  // snapshot per shard, so summing would overcount by N).
+  if (property == "pmblade.open-snapshots") {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    *value = snapshots_.size();
+    return true;
+  }
+  if (property == "pmblade.txn-in-doubt") {
+    *value = txn_in_doubt_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.txn-resolved-commit") {
+    *value = txn_resolved_commit_counter_->Value();
+    return true;
+  }
+  if (property == "pmblade.txn-resolved-rollback") {
+    *value = txn_resolved_rollback_counter_->Value();
     return true;
   }
   // Everything else sums across shards (counters and sizes both add up;

@@ -11,10 +11,29 @@
 // Semantics vs the single-shard engine:
 //   * Point ops (Get/Put/Delete) are identical — one shard serves each key.
 //   * WriteBatch (MSET/mixed batches): the batch is split into per-shard
-//     sub-batches; each sub-batch commits atomically WITHIN its shard, but
-//     there is no cross-shard atomicity — a reader may observe shard A's
-//     half of a batch before shard B's. Crash recovery replays every
-//     shard's WAL, so a batch can also surface partially after a crash.
+//     sub-batches. A batch that lands on ONE shard commits through that
+//     shard's normal group-commit path (the marker-free fast path: no 2PC
+//     records, identical to num_shards=1). A batch spanning several shards
+//     commits through a two-phase protocol woven into the per-shard WALs:
+//       phase 1  every participant appends + fsyncs a kPrepare record
+//                (global txn id + its sub-batch) — all shards in PARALLEL,
+//                so the batch pays max(shard fsync), not the sum;
+//       phase 2  every participant appends a tiny kCommit marker, assigns
+//                sequences and publishes (fsynced only for sync writes).
+//     Crash recovery buffers replayed prepares instead of applying them;
+//     the facade then resolves every in-doubt txn across the shard WALs
+//     (commit evidence anywhere, or all prepares durable => COMMIT;
+//     a rollback marker or any missing prepare => ROLL BACK), so reopen is
+//     always all-or-nothing — a cross-shard batch can never surface
+//     half-applied after a crash. Because prepares are always fsynced, an
+//     acknowledged cross-shard batch survives a power cut even without
+//     WriteOptions::sync (upgraded durability); the flip side is that an
+//     in-flight batch the client never saw acknowledged may be resolved
+//     COMMITTED at reopen (the standard 2PC indeterminate window).
+//     Note the guarantee is crash atomicity, not isolation: a concurrent
+//     reader (or snapshot) can still observe shard A's half briefly before
+//     shard B publishes. Options::atomic_cross_shard_batches=false restores
+//     the legacy independent commits (still fanned out in parallel).
 //   * Iterators/SCAN: an N-way merge of per-shard user-key iterators.
 //     Hash routing makes shard keyspaces disjoint, so a bytewise merge of
 //     the per-shard sorted views IS the global sorted view. Without an
@@ -41,6 +60,8 @@
 #ifndef PMBLADE_CORE_SHARDED_DB_H_
 #define PMBLADE_CORE_SHARDED_DB_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,6 +73,7 @@
 #include "mem/memory_budget.h"
 #include "obs/metrics.h"
 #include "sstable/block_cache.h"
+#include "util/thread_pool.h"
 
 namespace pmblade {
 
@@ -111,6 +133,34 @@ class ShardedDB final : public DB {
   Status SetUpSharedArbiter();
   void RegisterAggregatedMetrics();
 
+  // ---- cross-shard writes ----
+  /// Runs fn(shard) concurrently for every shard index in `ids` (the last
+  /// one inline on the caller); returns once ALL have finished. Uses a
+  /// local countdown latch — the pool's Wait() is a global barrier and
+  /// would serialize unrelated callers.
+  void RunOnShards(const std::vector<uint32_t>& ids,
+                   const std::function<void(uint32_t)>& fn);
+  /// Two-phase commit of a multi-shard batch: parallel prepare wave
+  /// (always fsynced), then parallel commit markers. On a prepare failure
+  /// every participant gets a rollback marker and the first error returns.
+  Status WriteAtomic(const WriteOptions& options,
+                     std::vector<WriteBatch>& subs,
+                     const std::vector<uint32_t>& participants);
+  /// Legacy independent per-shard commits (atomic_cross_shard_batches =
+  /// false), fanned out in parallel.
+  Status WriteLegacy(const WriteOptions& options,
+                     std::vector<WriteBatch>& subs,
+                     const std::vector<uint32_t>& participants);
+  /// Recovery resolution pass (Init, after every shard opened): collects
+  /// in-doubt txns across shards, decides commit/rollback from the
+  /// evidence, applies the verdict with synced markers, then forgets all
+  /// retained txn state so the shards start clean.
+  Status ResolveInDoubtTxns();
+  /// Forgets committed fences whose commit marker is durable on EVERY
+  /// participant (until then, WAL rotation keeps carrying the evidence a
+  /// sibling's recovery might need). Called opportunistically.
+  void DrainForgettableTxns();
+
   /// Translates a facade snapshot handle into per-shard ReadOptions for
   /// shard `shard`. Unknown handles return NotFound.
   Status TranslateSnapshot(uint64_t handle, uint32_t shard,
@@ -133,10 +183,30 @@ class ShardedDB final : public DB {
   std::unique_ptr<mem::MemoryBudget> mem_budget_;
   std::unique_ptr<mem::MemoryArbiter> arbiter_;
 
-  // Snapshot handles: facade handle -> one sequence per shard.
+  // Snapshot handles: facade handle -> one sequence per shard. Bounded by
+  // the callers: the RESP layer releases a connection's pinned snapshot on
+  // teardown (see CommandHandler::Session), so abandoned SCAN cursors /
+  // dropped connections cannot grow this map forever.
   mutable std::mutex snap_mu_;
   uint64_t next_snapshot_handle_ = 1;
   std::map<uint64_t, std::vector<uint64_t>> snapshots_;
+
+  // ---- cross-shard 2PC state ----
+  /// Fan-out workers for multi-shard writes (nullptr until Init).
+  std::unique_ptr<ThreadPool> fanout_pool_;
+  /// Global txn ids, seeded past the max id any shard replayed.
+  std::atomic<uint64_t> next_txn_id_{1};
+  /// Committed txns whose fences are still retained shard-side; drained by
+  /// DrainForgettableTxns once every participant's marker is durable.
+  struct PendingForget {
+    uint64_t txn_id = 0;
+    std::vector<uint32_t> participants;
+  };
+  std::mutex txn_mu_;
+  std::vector<PendingForget> pending_forget_;
+  obs::Counter* txn_in_doubt_counter_ = nullptr;   // found at open
+  obs::Counter* txn_resolved_commit_counter_ = nullptr;
+  obs::Counter* txn_resolved_rollback_counter_ = nullptr;
 
   // Cross-shard aggregate statistics, refreshed on demand by statistics().
   // The returned reference stays valid but its values only update on the

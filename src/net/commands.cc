@@ -78,18 +78,21 @@ void CommandHandler::AddInfoLine(const std::string& key,
   info_lines_.emplace_back(key, value);
 }
 
-void CommandHandler::WrongArity(const std::string& name, std::string* out) {
+void CommandHandler::ReplyError(const std::string& msg, std::string* out) {
   metrics_->error_replies->Inc();
-  EncodeError("ERR wrong number of arguments for '" + name + "' command",
-              out);
+  EncodeError(msg, out);
+}
+
+void CommandHandler::WrongArity(const std::string& name, std::string* out) {
+  ReplyError("ERR wrong number of arguments for '" + name + "' command",
+             out);
 }
 
 void CommandHandler::ReplyStatus(const Status& status, std::string* out) {
   if (status.ok()) {
     EncodeSimpleString("OK", out);
   } else {
-    metrics_->error_replies->Inc();
-    EncodeError("ERR " + status.ToString(), out);
+    ReplyError("ERR " + status.ToString(), out);
   }
 }
 
@@ -106,19 +109,19 @@ bool CommandHandler::AdmitWrite(const std::vector<const std::string*>& keys,
       (options_.shed_on_slowdown && pressure == WritePressure::kSlowdown);
   if (!shed) return true;
   metrics_->sheds->Inc();
-  metrics_->error_replies->Inc();
-  EncodeError(std::string("BUSY engine write pressure: ") +
-                  WritePressureName(pressure) + "; retry later",
-              out);
+  ReplyError(std::string("BUSY engine write pressure: ") +
+                 WritePressureName(pressure) + "; retry later",
+             out);
   return false;
 }
 
 CommandHandler::Result CommandHandler::Execute(const RespValue& command,
+                                               Session* session,
                                                std::string* out) {
   Result result;
   if (command.type != RespValue::Type::kArray) {
     metrics_->parse_errors->Inc();
-    EncodeError("ERR Protocol error: expected command array", out);
+    ReplyError("ERR Protocol error: expected command array", out);
     result.close_connection = true;
     return result;
   }
@@ -131,9 +134,9 @@ CommandHandler::Result CommandHandler::Execute(const RespValue& command,
     if (element.type != RespValue::Type::kBulkString &&
         element.type != RespValue::Type::kSimpleString) {
       metrics_->parse_errors->Inc();
-      EncodeError("ERR Protocol error: command arguments must be bulk "
-                  "strings",
-                  out);
+      ReplyError("ERR Protocol error: command arguments must be bulk "
+                 "strings",
+                 out);
       result.close_connection = true;
       return result;
     }
@@ -141,13 +144,14 @@ CommandHandler::Result CommandHandler::Execute(const RespValue& command,
   }
 
   const uint64_t start = clock_->NowNanos();
-  result = DoExecute(args, out);
+  result = DoExecute(args, session, out);
   metrics_->command_nanos->Observe(clock_->NowNanos() - start);
   return result;
 }
 
 CommandHandler::Result CommandHandler::DoExecute(
-    const std::vector<const std::string*>& args, std::string* out) {
+    const std::vector<const std::string*>& args, Session* session,
+    std::string* out) {
   Result result;
   const std::string name = ToLower(*args[0]);
   const CommandId id = LookupCommand(name);
@@ -185,8 +189,7 @@ CommandHandler::Result CommandHandler::DoExecute(
       } else if (s.IsNotFound()) {
         EncodeNullBulkString(out);
       } else {
-        metrics_->error_replies->Inc();
-        EncodeError("ERR " + s.ToString(), out);
+        ReplyError("ERR " + s.ToString(), out);
       }
       return result;
     }
@@ -236,8 +239,7 @@ CommandHandler::Result CommandHandler::DoExecute(
       if (s.ok()) {
         EncodeInteger(removed, out);
       } else {
-        metrics_->error_replies->Inc();
-        EncodeError("ERR " + s.ToString(), out);
+        ReplyError("ERR " + s.ToString(), out);
       }
       return result;
     }
@@ -275,7 +277,7 @@ CommandHandler::Result CommandHandler::DoExecute(
     }
 
     case CommandId::kScan:
-      Scan(args, out);
+      Scan(args, session, out);
       return result;
 
     case CommandId::kDbSize: {
@@ -287,8 +289,7 @@ CommandHandler::Result CommandHandler::DoExecute(
       int64_t count = 0;
       for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
       if (!it->status().ok()) {
-        metrics_->error_replies->Inc();
-        EncodeError("ERR " + it->status().ToString(), out);
+        ReplyError("ERR " + it->status().ToString(), out);
       } else {
         EncodeInteger(count, out);
       }
@@ -330,23 +331,29 @@ CommandHandler::Result CommandHandler::DoExecute(
       break;
   }
 
-  metrics_->error_replies->Inc();
-  EncodeError("ERR unknown command '" + *args[0] + "'", out);
+  ReplyError("ERR unknown command '" + *args[0] + "'", out);
   return result;
 }
 
 // SCAN cursor [MATCH glob] [COUNT n]
 //
-// Each page is an independent snapshot read: open an iterator, seek to the
-// cursor, walk up to COUNT live keys. The returned cursor is the last key
-// visited plus a NUL byte — the exclusive-successor key — so the next page
-// resumes exactly where this one stopped regardless of concurrent writers,
-// flushes or compactions in between (keys are totally ordered; a key can
-// never move). Cursor "0" starts a walk, and "0" comes back when done.
-// Like Redis, COUNT bounds keys *scanned*, so a MATCH page may return
-// fewer (even zero) keys while the cursor still advances.
+// Open an iterator, seek to the cursor, walk up to COUNT live keys. The
+// returned cursor is the last key visited plus a NUL byte — the
+// exclusive-successor key — so the next page resumes exactly where this
+// one stopped regardless of concurrent writers, flushes or compactions in
+// between (keys are totally ordered; a key can never move). Cursor "0"
+// starts a walk, and "0" comes back when done. Like Redis, COUNT bounds
+// keys *scanned*, so a MATCH page may return fewer (even zero) keys while
+// the cursor still advances.
+//
+// With a session, cursor "0" pins one engine snapshot and every page of
+// the walk reads that same point-in-time view; the pin is dropped when
+// the walk completes, when a new walk starts, or when the cursor does not
+// match the one we handed out (that page — and the rest of that foreign
+// walk — reads latest, like the sessionless path). Without a session each
+// page is an independent latest-snapshot read.
 void CommandHandler::Scan(const std::vector<const std::string*>& args,
-                          std::string* out) {
+                          Session* session, std::string* out) {
   if (args.size() < 2) {
     WrongArity("scan", out);
     return;
@@ -356,8 +363,7 @@ void CommandHandler::Scan(const std::vector<const std::string*>& args,
   int64_t count = options_.scan_default_count;
   for (size_t i = 2; i < args.size(); i += 2) {
     if (i + 1 >= args.size()) {
-      metrics_->error_replies->Inc();
-      EncodeError("ERR syntax error", out);
+      ReplyError("ERR syntax error", out);
       return;
     }
     const std::string option = ToLower(*args[i]);
@@ -367,20 +373,36 @@ void CommandHandler::Scan(const std::vector<const std::string*>& args,
     } else if (option == "count") {
       count = strtoll(args[i + 1]->c_str(), nullptr, 10);
       if (count < 1) {
-        metrics_->error_replies->Inc();
-        EncodeError("ERR syntax error", out);
+        ReplyError("ERR syntax error", out);
         return;
       }
       count = std::min<int64_t>(count, options_.scan_max_count);
     } else {
-      metrics_->error_replies->Inc();
-      EncodeError("ERR syntax error", out);
+      ReplyError("ERR syntax error", out);
       return;
     }
   }
 
   const std::string& cursor = *args[1];
-  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  ReadOptions read_options;
+  if (session != nullptr) {
+    if (cursor == "0") {
+      // New walk: re-pin, releasing any walk this connection abandoned.
+      session->Release();
+      session->db_ = db_;
+      session->snapshot_ = db_->GetSnapshot();
+      session->has_snapshot_ = true;
+      read_options.snapshot = session->snapshot_;
+    } else if (session->has_snapshot_ && cursor == session->expected_cursor_) {
+      read_options.snapshot = session->snapshot_;
+    } else {
+      // A cursor we never handed out (client resumed across reconnects, or
+      // interleaved walks): don't serve it stale state from an unrelated
+      // walk.
+      session->Release();
+    }
+  }
+  std::unique_ptr<Iterator> it(db_->NewIterator(read_options));
   if (cursor == "0") {
     it->SeekToFirst();
   } else {
@@ -403,11 +425,19 @@ void CommandHandler::Scan(const std::vector<const std::string*>& args,
     }
   }
   if (!it->status().ok()) {
-    metrics_->error_replies->Inc();
-    EncodeError("ERR " + it->status().ToString(), out);
+    if (session != nullptr) session->Release();
+    ReplyError("ERR " + it->status().ToString(), out);
     return;
   }
   if (!it->Valid()) next_cursor = "0";  // walk finished inside this page
+
+  if (session != nullptr && session->has_snapshot_) {
+    if (next_cursor == "0") {
+      session->Release();
+    } else {
+      session->expected_cursor_ = next_cursor;
+    }
+  }
 
   EncodeArrayHeader(2, out);
   EncodeBulkString(next_cursor, out);

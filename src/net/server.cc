@@ -87,6 +87,7 @@ class Server::Worker {
   struct Connection {
     int fd = -1;
     RespParser parser;
+    CommandHandler::Session session;  // SCAN walk state (pinned snapshot)
     std::string out;
     size_t out_sent = 0;
     bool want_close = false;     // close once the reply buffer drains
@@ -228,6 +229,10 @@ class Server::Worker {
   void Close(Connection& conn) {
     const int fd = conn.fd;
     if (fd < 0) return;
+    // Release the SCAN walk's pinned snapshot promptly — the map entry
+    // lingers until ReapClosed(), and an abandoned cursor must not keep a
+    // snapshot (and the old versions it pins) alive with it.
+    conn.session.Release();
     server_->metrics_.output_backlog->Add(
         -static_cast<int64_t>(conn.pending_out()));
     conn.fd = -1;
@@ -301,6 +306,10 @@ class Server::Worker {
       if (r == RespParser::Result::kNeedMore) break;
       if (r == RespParser::Result::kError) {
         server_->metrics_.parse_errors->Inc();
+        // This -ERR counts as an error reply too: error_replies is the
+        // census of every "-" line sent, parse_errors the subset that is
+        // fatal to its connection.
+        server_->metrics_.error_replies->Inc();
         const size_t before = conn.out.size();
         EncodeError("ERR Protocol error: " + conn.parser.error(),
                     &conn.out);
@@ -311,7 +320,7 @@ class Server::Worker {
       }
       const size_t before = conn.out.size();
       CommandHandler::Result res =
-          server_->handler_->Execute(value, &conn.out);
+          server_->handler_->Execute(value, &conn.session, &conn.out);
       server_->metrics_.output_backlog->Add(
           static_cast<int64_t>(conn.out.size() - before));
       if (res.shutdown_server) server_->RequestShutdown();

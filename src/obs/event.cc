@@ -40,6 +40,12 @@ const char* EventTypeName(EventType type) {
       return "compaction_end";
     case EventType::kMemRebalance:
       return "mem_rebalance";
+    case EventType::kTxnPrepare:
+      return "txn_prepare";
+    case EventType::kTxnCommit:
+      return "txn_commit";
+    case EventType::kTxnRollback:
+      return "txn_rollback";
   }
   return "unknown";
 }

@@ -49,6 +49,12 @@ enum class EventType : uint8_t {
   /// decision (from/to/bytes), the observed pressures that drove it, and
   /// the post-move targets.
   kMemRebalance,
+  /// Cross-shard two-phase commit: one event per WAL txn record appended
+  /// by this shard (fields: txn_id, and for prepares the participant
+  /// count / payload bytes).
+  kTxnPrepare,
+  kTxnCommit,
+  kTxnRollback,
 };
 
 const char* EventTypeName(EventType type);

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "tests/crash_harness.h"
+#include "tests/sharded_crash_harness.h"
 
 namespace pmblade {
 namespace test {
@@ -98,6 +99,84 @@ TEST(CrashRecoveryTest, ParallelCompactionRandomizedCycles) {
 TEST(CrashRecoveryTest, ParallelCompactionSsdRandomizedCycles) {
   RunHarness("parallel_ssd", L0Layout::kSstable, false, 60,
              /*compaction_workers=*/4, /*max_subcompactions=*/4);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine: cross-shard WriteBatch atomicity under power cuts landed
+// between the 2PC phases (tests/sharded_crash_harness.h). 500 + 200
+// sharded cycles by default; every remembered batch must recover
+// all-or-nothing, and acked cross-shard batches must recover whole.
+// ---------------------------------------------------------------------------
+
+ShardedCrashHarnessResult RunShardedHarness(const std::string& name,
+                                            uint32_t num_shards, bool atomic,
+                                            int default_cycles) {
+  ShardedCrashHarnessOptions opts;
+  opts.dbname = ::testing::TempDir() + "pmblade_crash_" + name;
+  opts.seed = SeedFromEnv();
+  opts.cycles = CyclesFromEnv(default_cycles);
+  opts.num_shards = num_shards;
+  opts.atomic_cross_shard_batches = atomic;
+  opts.verbose = getenv("PMBLADE_CRASH_VERBOSE") != nullptr;
+  fprintf(stderr, "[sharded crash harness] %s: seed=%llu cycles=%d\n",
+          name.c_str(), static_cast<unsigned long long>(opts.seed),
+          opts.cycles);
+  ShardedCrashHarness harness(opts);
+  ShardedCrashHarnessResult result = harness.Run();
+  fprintf(stderr,
+          "[sharded crash harness] %s: %d cycles (%d syncpoint, %d "
+          "between-op), %lld batches (%lld cross-shard)\n",
+          name.c_str(), result.cycles_run, result.syncpoint_crashes,
+          result.between_op_crashes, result.batches_issued,
+          result.cross_shard_batches);
+  return result;
+}
+
+TEST(ShardedCrashRecoveryTest, CrossShardAtomicityRandomizedCycles) {
+#ifndef PMBLADE_SYNC_POINTS
+  GTEST_SKIP() << "built without PMBLADE_SYNC_POINTS";
+#endif
+  ShardedCrashHarnessResult result =
+      RunShardedHarness("sharded_2pc", /*num_shards=*/4, /*atomic=*/true,
+                        /*default_cycles=*/500);
+  EXPECT_TRUE(result.ok())
+      << "cycle " << result.failed_cycle << ": " << result.failure
+      << "\nreplay: PMBLADE_CRASH_SEED=" << SeedFromEnv();
+  EXPECT_GT(result.syncpoint_crashes, 0);
+  EXPECT_GT(result.between_op_crashes, 0);
+  EXPECT_GT(result.cross_shard_batches, 0);
+}
+
+TEST(ShardedCrashRecoveryTest, TwoShardAtomicityRandomizedCycles) {
+#ifndef PMBLADE_SYNC_POINTS
+  GTEST_SKIP() << "built without PMBLADE_SYNC_POINTS";
+#endif
+  // Two shards is the tightest topology: every cross-shard batch has
+  // exactly one sibling to leave in doubt.
+  ShardedCrashHarnessResult result =
+      RunShardedHarness("sharded_2pc_2", /*num_shards=*/2, /*atomic=*/true,
+                        /*default_cycles=*/200);
+  EXPECT_TRUE(result.ok())
+      << "cycle " << result.failed_cycle << ": " << result.failure
+      << "\nreplay: PMBLADE_CRASH_SEED=" << SeedFromEnv();
+  EXPECT_GT(result.cross_shard_batches, 0);
+}
+
+// Meta-test: with 2PC disabled (the legacy independent commits) the same
+// harness must CATCH the atomicity violation — a power cut between two
+// shards' WAL appends leaves a torn batch, or drops an acked cross-shard
+// batch whose durability the legacy path never upgraded. If the legacy run
+// survives every cycle, the checker has no teeth.
+TEST(ShardedCrashRecoveryTest, HarnessCatchesLegacyNonAtomicBatches) {
+#ifndef PMBLADE_SYNC_POINTS
+  GTEST_SKIP() << "built without PMBLADE_SYNC_POINTS";
+#endif
+  ShardedCrashHarnessResult result =
+      RunShardedHarness("sharded_legacy", /*num_shards=*/4,
+                        /*atomic=*/false, /*default_cycles=*/250);
+  EXPECT_FALSE(result.ok())
+      << "legacy non-atomic cross-shard writes survived every power cut — "
+         "the sharded checker has no teeth";
 }
 
 // ---------------------------------------------------------------------------

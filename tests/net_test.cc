@@ -206,8 +206,11 @@ class CommandTest : public ::testing::Test {
   }
 
   /// Runs one command through parse + dispatch, returns the parsed reply.
+  /// `session` is forwarded to the handler (nullptr = stateless, as the
+  /// plain overload always was).
   RespValue Call(const std::vector<std::string>& args,
-                 CommandHandler::Result* result = nullptr) {
+                 CommandHandler::Result* result = nullptr,
+                 CommandHandler::Session* session = nullptr) {
     std::string wire;
     EncodeBulkStringArray(args, &wire);
     RespParser parser;
@@ -216,7 +219,7 @@ class CommandTest : public ::testing::Test {
     EXPECT_EQ(parser.Next(&command), RespParser::Result::kValue);
 
     std::string out;
-    CommandHandler::Result r = handler_->Execute(command, &out);
+    CommandHandler::Result r = handler_->Execute(command, session, &out);
     if (result != nullptr) *result = r;
     RespParser reply_parser;
     reply_parser.Feed(out.data(), out.size());
@@ -224,6 +227,12 @@ class CommandTest : public ::testing::Test {
     EXPECT_EQ(reply_parser.Next(&reply), RespParser::Result::kValue)
         << "no reply for " << args[0];
     return reply;
+  }
+
+  uint64_t OpenSnapshots() {
+    uint64_t value = 0;
+    EXPECT_TRUE(db_->GetProperty("pmblade.open-snapshots", &value));
+    return value;
   }
 
   std::string dbname_;
@@ -381,6 +390,94 @@ TEST_F(CommandTest, SlowdownShedsOnlyWhenConfigured) {
   handler_.reset(new CommandHandler(db_.get(), handler_options_, &metrics_,
                                     SystemClock()));
   EXPECT_EQ(Call({"SET", "a", "2"}).type, RespValue::Type::kError);
+}
+
+TEST_F(CommandTest, ErrorRepliesCountedExactlyOnce) {
+  const uint64_t errors_base = metrics_.error_replies->Value();
+  const uint64_t parse_base = metrics_.parse_errors->Value();
+
+  Call({"SET", "a"});                 // wrong arity
+  Call({"NOSUCH", "x"});              // unknown command
+  Call({"SCAN", "0", "BOGUS", "x"});  // unknown SCAN option
+  Call({"SCAN", "0", "COUNT", "0"});  // bad COUNT
+  Call({"SCAN", "0", "MATCH"});       // dangling option value
+  EXPECT_EQ(metrics_.error_replies->Value(), errors_base + 5);
+
+  // Success and null replies add nothing.
+  Call({"SET", "a", "1"});
+  Call({"GET", "a"});
+  Call({"GET", "missing"});
+  Call({"PING"});
+  EXPECT_EQ(metrics_.error_replies->Value(), errors_base + 5);
+  EXPECT_EQ(metrics_.parse_errors->Value(), parse_base);
+
+  // A protocol error sends one -ERR: it counts once in error_replies (the
+  // census of error replies sent) AND once in parse_errors (the fatal
+  // subset) — previously it was missing from error_replies entirely.
+  RespValue bogus;
+  bogus.type = RespValue::Type::kInteger;
+  bogus.integer = 7;
+  std::string out;
+  handler_->Execute(bogus, &out);
+  EXPECT_EQ(metrics_.error_replies->Value(), errors_base + 6);
+  EXPECT_EQ(metrics_.parse_errors->Value(), parse_base + 1);
+
+  // Sheds: -BUSY is an error reply too, counted exactly once per shed.
+  handler_options_.pressure_probe = [](const Slice&) {
+    return WritePressure::kStall;
+  };
+  handler_.reset(new CommandHandler(db_.get(), handler_options_, &metrics_,
+                                    SystemClock()));
+  Call({"SET", "a", "1"});
+  EXPECT_EQ(metrics_.error_replies->Value(), errors_base + 7);
+}
+
+TEST_F(CommandTest, ScanSessionPinsOneSnapshotPerWalk) {
+  for (int i = 0; i < 20; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%02d", i);
+    Call({"SET", key, "v"});
+  }
+  ASSERT_EQ(OpenSnapshots(), 0u);
+
+  CommandHandler::Session session;
+  RespValue page = Call({"SCAN", "0", "COUNT", "5"}, nullptr, &session);
+  ASSERT_EQ(page.array.size(), 2u);
+  std::string cursor = page.array[0].str;
+  ASSERT_NE(cursor, "0");
+  EXPECT_EQ(OpenSnapshots(), 1u);  // the walk pinned exactly one
+
+  // A key written after the pin sorts past every unvisited key; a
+  // per-page latest read would surface it, the pinned walk must not.
+  Call({"SET", "zzzz-late", "v"});
+
+  std::vector<std::string> seen;
+  for (const RespValue& k : page.array[1].array) seen.push_back(k.str);
+  while (cursor != "0") {
+    page = Call({"SCAN", cursor, "COUNT", "5"}, nullptr, &session);
+    ASSERT_EQ(page.array.size(), 2u);
+    cursor = page.array[0].str;
+    for (const RespValue& k : page.array[1].array) seen.push_back(k.str);
+    EXPECT_LE(OpenSnapshots(), 1u);  // never more than the walk's one pin
+  }
+  EXPECT_EQ(seen.size(), 20u) << "walk saw a post-pin write";
+  EXPECT_EQ(OpenSnapshots(), 0u);  // released when the walk finished
+
+  // Restarting with "0" replaces the pin instead of stacking pins, and a
+  // cursor we never handed out drops it (no stale view for foreign walks).
+  Call({"SCAN", "0", "COUNT", "5"}, nullptr, &session);
+  EXPECT_EQ(OpenSnapshots(), 1u);
+  Call({"SCAN", "0", "COUNT", "5"}, nullptr, &session);
+  EXPECT_EQ(OpenSnapshots(), 1u);
+  Call({"SCAN", "never-handed-out", "COUNT", "5"}, nullptr, &session);
+  EXPECT_EQ(OpenSnapshots(), 0u);
+
+  // The teardown path: an abandoned walk is released by Session::Release
+  // (what the server calls when a connection closes).
+  Call({"SCAN", "0", "COUNT", "5"}, nullptr, &session);
+  EXPECT_EQ(OpenSnapshots(), 1u);
+  session.Release();
+  EXPECT_EQ(OpenSnapshots(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -704,6 +801,52 @@ TEST_F(ServerTest, GracefulDrainLosesNoAckedWrites) {
     ASSERT_TRUE(
         db_->Get(ReadOptions(), "tail:" + std::to_string(i), &value).ok());
   }
+}
+
+class ServerScanLeakTest : public ServerTest {
+ protected:
+  uint64_t OpenSnapshots() {
+    uint64_t value = 0;
+    EXPECT_TRUE(db_->GetProperty("pmblade.open-snapshots", &value));
+    return value;
+  }
+
+  /// Starts a SCAN walk, abandons it by disconnecting, and asserts the
+  /// pinned snapshot is released once the worker reaps the connection.
+  void RunDisconnectMidScan() {
+    StartServer();
+    for (int i = 0; i < 50; ++i) {
+      char key[16];
+      snprintf(key, sizeof(key), "k%02d", i);
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, "v").ok());
+    }
+    {
+      RespTestClient client;
+      ASSERT_TRUE(client.Connect(server_->port()));
+      RespValue page = client.Command({"SCAN", "0", "COUNT", "5"});
+      ASSERT_EQ(page.array.size(), 2u);
+      ASSERT_NE(page.array[0].str, "0");  // walk left in flight
+      EXPECT_EQ(OpenSnapshots(), 1u);
+    }  // client gone; cursor abandoned mid-walk
+    // The worker notices the hangup asynchronously; poll for the release.
+    for (int i = 0; i < 500 && OpenSnapshots() != 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(OpenSnapshots(), 0u)
+        << "abandoned SCAN cursor leaked its snapshot";
+  }
+};
+
+TEST_F(ServerScanLeakTest, DisconnectMidScanReleasesSnapshot) {
+  RunDisconnectMidScan();
+}
+
+TEST_F(ServerScanLeakTest, ShardedDisconnectMidScanReleasesSnapshot) {
+  // The sharded facade keeps a handle->per-shard-sequences map
+  // (ShardedDB::snapshots_); this is the regression test that abandoned
+  // cursors cannot grow it forever.
+  options_.num_shards = 4;
+  RunDisconnectMidScan();
 }
 
 TEST_F(ServerTest, StopIsIdempotentAndRestartableDb) {

@@ -26,6 +26,7 @@
 #include "benchutil/flags.h"
 #include "benchutil/interrupt.h"
 #include "tests/crash_harness.h"
+#include "tests/sharded_crash_harness.h"
 #include "util/clock.h"
 
 namespace {
@@ -39,6 +40,10 @@ void Usage() {
           "  --layout=pm|ssd   level-0 layout (default pm)\n"
           "  --pm-crash-sim    enable PM persist-granularity faults\n"
           "  --all-layouts     run pm, ssd and pm+crash-sim configurations\n"
+          "  --shards=N        drive an N-shard ShardedDB instead: random\n"
+          "                    cross-shard batches, power cuts between 2PC\n"
+          "                    prepare and commit, all-or-nothing reopen "
+          "check\n"
           "  --max-ops=N       max operations per cycle (default 120)\n"
           "  --dir=PATH        scratch directory (default /tmp)\n"
           "  --json=PATH       summary JSON (default "
@@ -86,21 +91,9 @@ int main(int argc, char** argv) {
   namespace bench = pmblade::bench;
 
   bench::Flags flags(argc, argv);
-  // "shards" is in the known list only so we can reject it with a real
-  // explanation instead of a generic unknown-flag error: the crash harness
-  // model-checks one engine's WAL/PM recovery and does not drive ShardedDB.
   std::vector<std::string> unknown = flags.Unknown(
       {"cycles", "seed", "layout", "pm-crash-sim", "all-layouts", "max-ops",
        "dir", "json", "verbose", "shards"});
-  if (flags.Has("shards")) {
-    fprintf(stderr,
-            "--shards is not supported: crash_stress model-checks a single "
-            "engine's recovery.\nEach shard of a ShardedDB is exactly that "
-            "engine (own WAL, own PM pool), so the\nsingle-shard runs cover "
-            "the sharded recovery path; sharded reopen is exercised\nby "
-            "tests/sharded_db_test.cc instead.\n");
-    return 2;
-  }
   if (!unknown.empty() || !flags.positional().empty()) {
     for (const auto& f : unknown) {
       fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -109,6 +102,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  long shards = static_cast<long>(flags.Int("shards", 0));
+  if (flags.Has("shards") && (shards < 2 || shards > 64)) {
+    fprintf(stderr, "--shards wants 2..64 (got %ld)\n", shards);
+    return 2;
+  }
   long cycles = static_cast<long>(flags.Int("cycles", 200));
   unsigned long long seed = static_cast<unsigned long long>(flags.Int(
       "seed",
@@ -133,9 +131,69 @@ int main(int argc, char** argv) {
 
   // The seed goes out first so a dead CI job still shows how to replay.
   printf("crash_stress: seed=%llu cycles=%ld (replay: crash_stress "
-         "--seed=%llu --cycles=%ld)\n",
-         seed, cycles, seed, cycles);
+         "--seed=%llu --cycles=%ld%s)\n",
+         seed, cycles, seed, cycles,
+         shards > 0 ? (" --shards=" + std::to_string(shards)).c_str() : "");
   fflush(stdout);
+
+  if (shards > 0) {
+    // Sharded mode: power-cut a ShardedDB between 2PC prepare and commit
+    // (and everywhere else) and demand every cross-shard batch reopens
+    // all-or-nothing. Layout flags don't apply — each shard is a full
+    // engine with the default PM layout.
+    pmblade::test::ShardedCrashHarnessOptions opts;
+    opts.dbname = dir + "/pmblade_crash_stress_sharded_" +
+                  std::to_string(static_cast<unsigned long long>(seed));
+    opts.seed = seed;
+    opts.cycles = static_cast<int>(cycles);
+    opts.num_shards = static_cast<uint32_t>(shards);
+    opts.max_ops_per_cycle = static_cast<int>(max_ops);
+    opts.verbose = verbose;
+    opts.stop_requested = [] { return bench::InterruptRequested(); };
+
+    printf("== sharded x%ld: %ld cycles ==\n", shards, cycles);
+    fflush(stdout);
+    pmblade::test::ShardedCrashHarness harness(opts);
+    pmblade::test::ShardedCrashHarnessResult result = harness.Run();
+    if (result.ok()) {
+      printf("   %s: %d cycles (%d syncpoint / %d between-op crashes), "
+             "%lld batches (%lld cross-shard)\n",
+             result.interrupted ? "INTERRUPTED (partial PASS)" : "PASS",
+             result.cycles_run, result.syncpoint_crashes,
+             result.between_op_crashes, result.batches_issued,
+             result.cross_shard_batches);
+    } else {
+      printf("   FAIL at cycle %d: %s\n   replay: crash_stress --seed=%llu "
+             "--cycles=%ld --shards=%ld\n",
+             result.failed_cycle, result.failure.c_str(), seed, cycles,
+             shards);
+    }
+    fflush(stdout);
+    if (!json_path.empty()) {
+      FILE* out = fopen(json_path.c_str(), "w");
+      if (out != nullptr) {
+        fprintf(out,
+                "{\n  \"seed\": %llu,\n  \"cycles_requested\": %ld,\n"
+                "  \"interrupted\": %s,\n  \"configs\": [\n"
+                "    {\"name\": \"sharded-x%ld\", \"ok\": %s, "
+                "\"cycles_run\": %d, \"syncpoint_crashes\": %d, "
+                "\"between_op_crashes\": %d, \"batches\": %lld, "
+                "\"cross_shard_batches\": %lld, \"failed_cycle\": %d}\n"
+                "  ]\n}\n",
+                seed, cycles,
+                bench::InterruptRequested() ? "true" : "false", shards,
+                result.ok() ? "true" : "false", result.cycles_run,
+                result.syncpoint_crashes, result.between_op_crashes,
+                result.batches_issued, result.cross_shard_batches,
+                result.failed_cycle);
+        fclose(out);
+        printf("wrote %s\n", json_path.c_str());
+      }
+    }
+    if (!result.ok()) return 1;
+    if (bench::InterruptRequested()) return 128 + bench::InterruptSignal();
+    return 0;
+  }
 
   struct Config {
     const char* name;
