@@ -76,6 +76,14 @@ struct BenchEnvOptions {
   /// one-slice pipeline). Swept by `benchmark_kv --compaction_parallel`.
   int compaction_workers = 1;
   int max_subcompactions = 1;
+  /// SSD compaction shape for the PM-Blade configs: "leveled" (default),
+  /// "tiered" or "lazy_leveling" (see Options::compaction_policy). Swept by
+  /// `benchmark_kv --benchmarks=policy_sweep`. Non-leveled values make the
+  /// conventional-policy config (PMBlade-PM, leveled-only) fail to open;
+  /// the baseline engines ignore it.
+  std::string compaction_policy = "leveled";
+  uint32_t compaction_size_ratio = 4;
+  uint32_t max_ssd_levels = 3;
   /// Shard count for the PM-Blade configs (1 = the classic single engine;
   /// N > 1 opens a ShardedDB). Per-shard knobs (memtable_bytes,
   /// pm_pool_capacity, the cost budgets) apply to EACH shard. Ignored by

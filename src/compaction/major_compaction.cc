@@ -227,6 +227,9 @@ struct MajorCompactor::SubtaskState {
   std::string last_user_key;
   bool has_last = false;
   SequenceNumber last_visible_seq = 0;
+  /// Resolved per-subtask tombstone verdict (see
+  /// CompactionSubtaskInput::drop_tombstones).
+  bool drop_tombstones = true;
 
   // S1 charging.
   double ssd_bytes_consumed = 0.0;
@@ -294,6 +297,9 @@ Status MajorCompactor::Run(
     SubtaskState& st = states[i];
     st.input.reset(subtasks[i].make_input());
     st.ssd_fraction = subtasks[i].ssd_input_fraction;
+    st.drop_tombstones = subtasks[i].drop_tombstones < 0
+                             ? options_.drop_tombstones
+                             : subtasks[i].drop_tombstones != 0;
     st.meta.subtask_index = i;
 
     st.meta.file_number = factory_->NextFileNumber();
@@ -501,7 +507,7 @@ Status MajorCompactor::RunThreadEngine(std::vector<SubtaskState>& states) {
         {
           ScopedTimer timer(clock_, &st.cpu_work_nanos);
           more = ProcessSlice(&st, *icmp, options_.records_per_slice,
-                              options_.drop_tombstones,
+                              st.drop_tombstones,
                               options_.oldest_snapshot);
         }
         if (!st.status.ok()) break;
@@ -577,7 +583,7 @@ Task CompactionCoroutine(WorkerContext* ctx) {
     while (more) {
       // S2: merge a slice of records.
       more = ProcessSlice(st, *ctx->icmp, ctx->options->records_per_slice,
-                          ctx->options->drop_tombstones,
+                          st->drop_tombstones,
                           ctx->options->oldest_snapshot);
       if (!st->status.ok()) break;
 

@@ -82,6 +82,11 @@ struct CompactionSubtaskInput {
   /// Fraction of this subtask's input bytes that reside on the SSD
   /// (level-1 inputs); drives S1 charging. 0 = pure-PM input.
   double ssd_input_fraction = 0.0;
+  /// Per-subtask tombstone policy: -1 inherits
+  /// MajorCompactionOptions::drop_tombstones, 0/1 force it. One Run may mix
+  /// jobs whose input ranges do (bottom of the run stack) and do not reach
+  /// the bottom of their partition, so the verdict is per subtask.
+  int drop_tombstones = -1;
 };
 
 struct CompactionOutputMeta {

@@ -1,0 +1,70 @@
+// The three concrete compaction policies. Most callers go through
+// NewCompactionPicker; tests include this to instantiate a shape directly.
+
+#ifndef PMBLADE_COMPACTION_POLICY_PICKERS_H_
+#define PMBLADE_COMPACTION_POLICY_PICKERS_H_
+
+#include "compaction/policy/compaction_picker.h"
+
+namespace pmblade {
+
+/// Today's behavior, bit-for-bit (the default): eviction merges a victim's
+/// level-0 with its whole run stack into one level-1 run; maintenance only
+/// fires to collapse a multi-run stack inherited from another policy.
+class LeveledPicker final : public CompactionPicker {
+ public:
+  using CompactionPicker::CompactionPicker;
+  const char* name() const override { return "leveled"; }
+  CompactionPolicyKind kind() const override {
+    return CompactionPolicyKind::kLeveled;
+  }
+  std::vector<CompactionJob> PickMaintenance(
+      const PickContext& ctx) const override;
+
+ protected:
+  CompactionJob MakeEvictionJob(size_t partition_index,
+                                const PartitionView& view) const override;
+};
+
+/// Size-ratio run stacking: eviction prepends a fresh level-1 run (no
+/// rewrite of existing SSD data); once `size_ratio` runs pile up on a
+/// level, the whole block merges one level down — whole-run merges only,
+/// no intra-level rewrites until the deepest level, where the block merges
+/// in place to bound space amplification.
+class TieredPicker final : public CompactionPicker {
+ public:
+  using CompactionPicker::CompactionPicker;
+  const char* name() const override { return "tiered"; }
+  CompactionPolicyKind kind() const override {
+    return CompactionPolicyKind::kTiered;
+  }
+  std::vector<CompactionJob> PickMaintenance(
+      const PickContext& ctx) const override;
+
+ protected:
+  CompactionJob MakeEvictionJob(size_t partition_index,
+                                const PartitionView& view) const override;
+};
+
+/// Tiered upper levels over a single-run (leveled) last level: writes enjoy
+/// tiering's low write amplification through the upper levels while point
+/// and range reads bound their worst case at one run for the bulk of the
+/// data.
+class LazyLevelingPicker final : public CompactionPicker {
+ public:
+  using CompactionPicker::CompactionPicker;
+  const char* name() const override { return "lazy_leveling"; }
+  CompactionPolicyKind kind() const override {
+    return CompactionPolicyKind::kLazyLeveling;
+  }
+  std::vector<CompactionJob> PickMaintenance(
+      const PickContext& ctx) const override;
+
+ protected:
+  CompactionJob MakeEvictionJob(size_t partition_index,
+                                const PartitionView& view) const override;
+};
+
+}  // namespace pmblade
+
+#endif  // PMBLADE_COMPACTION_POLICY_PICKERS_H_

@@ -1,0 +1,65 @@
+#include <algorithm>
+
+#include "compaction/policy/pickers.h"
+
+namespace pmblade {
+
+CompactionJob TieredPicker::MakeEvictionJob(size_t partition_index,
+                                            const PartitionView& view) const {
+  // Stack the evicted level-0 data as a fresh level-1 run at the front of
+  // the stack — no existing SSD run is rewritten, which is where tiering's
+  // write-amplification win comes from.
+  (void)view;
+  CompactionJob job;
+  job.partition_index = partition_index;
+  job.include_l0 = true;
+  job.run_begin = 0;
+  job.run_end = 0;
+  job.output_level = 1;
+  return job;
+}
+
+std::vector<CompactionJob> TieredPicker::PickMaintenance(
+    const PickContext& ctx) const {
+  std::vector<CompactionJob> jobs;
+  const uint32_t ratio = std::max<uint32_t>(options_.size_ratio, 2);
+  const uint32_t max_level = std::max<uint32_t>(options_.max_ssd_levels, 1);
+  for (size_t i = 0; i < ctx.partitions.size(); ++i) {
+    const PartitionView& view = ctx.partitions[i];
+    if (!view.claimable || view.runs.size() < ratio) continue;
+    // Scan the contiguous level blocks (levels are non-decreasing with
+    // depth) and take the DEEPEST block holding >= T runs, so a cascade
+    // settles bottom-up across the executor's pick rounds.
+    bool found = false;
+    size_t best_begin = 0, best_end = 0;
+    uint32_t best_level = 0;
+    size_t begin = 0;
+    while (begin < view.runs.size()) {
+      size_t end = begin;
+      while (end < view.runs.size() &&
+             view.runs[end].level == view.runs[begin].level) {
+        ++end;
+      }
+      if (end - begin >= ratio) {
+        found = true;
+        best_begin = begin;
+        best_end = end;
+        best_level = view.runs[begin].level;
+      }
+      begin = end;
+    }
+    if (!found) continue;
+    CompactionJob job;
+    job.partition_index = i;
+    job.include_l0 = false;
+    job.run_begin = best_begin;
+    job.run_end = best_end;
+    // A full block merges one level down; at the deepest level it merges in
+    // place instead (collapsing T runs to one bounds space amplification).
+    job.output_level = best_level < max_level ? best_level + 1 : best_level;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace pmblade

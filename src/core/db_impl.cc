@@ -251,6 +251,19 @@ Status DBImpl::Init() {
 
   cost_model_.reset(new CostModel(options_.cost));
 
+  // The compaction policy. Sanitize already rejected unknown names, but the
+  // factory revalidates so a direct DBImpl construction fails loudly too.
+  {
+    CompactionPolicyOptions popts_policy;
+    popts_policy.policy = options_.compaction_policy;
+    popts_policy.size_ratio = options_.compaction_size_ratio;
+    popts_policy.max_ssd_levels = options_.max_ssd_levels;
+    popts_policy.adaptive_tau_t = options_.adaptive_tau_t;
+    popts_policy.tau_t_max_factor = options_.tau_t_max_factor;
+    PMBLADE_RETURN_IF_ERROR(
+        NewCompactionPicker(popts_policy, cost_model_.get(), &picker_));
+  }
+
   // ---- observability wiring ----
   if (options_.trace_ring_capacity > 0) {
     trace_.reset(new obs::TraceRecorder(options_.trace_ring_capacity));
@@ -311,7 +324,7 @@ Status DBImpl::Init() {
   metrics_.RegisterGaugeCallback("pmblade.lsm.l1_bytes", [this] {
     std::lock_guard<std::mutex> lock(mu_);
     uint64_t total = 0;
-    for (const auto& p : partitions_) total += p->L1Bytes();
+    for (const auto& p : partitions_) total += p->SsdBytes();
     return static_cast<double>(total);
   });
   metrics_.RegisterGaugeCallback("pmblade.lsm.num_partitions", [this] {
@@ -330,6 +343,38 @@ Status DBImpl::Init() {
     for (const auto& p : partitions_) total += p->sorted_run().size();
     return static_cast<double>(total);
   });
+  // LSM shape under the active policy: the policy ordinal plus per-level
+  // run/file/byte gauges (level 0 = PM level-0; SSD runs start at 1).
+  metrics_.RegisterGaugeCallback("pmblade.policy", [this] {
+    return static_cast<double>(static_cast<int>(picker_->kind()));
+  });
+  for (uint32_t level = 0; level <= options_.max_ssd_levels; ++level) {
+    char gauge_name[64];
+    snprintf(gauge_name, sizeof(gauge_name), "pmblade.lsm.level%u.runs",
+             level);
+    metrics_.RegisterGaugeCallback(gauge_name, [this, level] {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t runs = 0, files = 0, bytes = 0;
+      LevelShapeLocked(level, &runs, &files, &bytes);
+      return static_cast<double>(runs);
+    });
+    snprintf(gauge_name, sizeof(gauge_name), "pmblade.lsm.level%u.files",
+             level);
+    metrics_.RegisterGaugeCallback(gauge_name, [this, level] {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t runs = 0, files = 0, bytes = 0;
+      LevelShapeLocked(level, &runs, &files, &bytes);
+      return static_cast<double>(files);
+    });
+    snprintf(gauge_name, sizeof(gauge_name), "pmblade.lsm.level%u.bytes",
+             level);
+    metrics_.RegisterGaugeCallback(gauge_name, [this, level] {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t runs = 0, files = 0, bytes = 0;
+      LevelShapeLocked(level, &runs, &files, &bytes);
+      return static_cast<double>(bytes);
+    });
+  }
   // Route major-compaction instrumentation through our bus/registry.
   options_.major.event_bus = &events_;
   options_.major.metrics = &metrics_;
@@ -604,10 +649,15 @@ Status DBImpl::RecoverPartitions(const ManifestState& state) {
       PMBLADE_RETURN_IF_ERROR(open_sst(number, &t));
       partition->sorted_run().push_back(std::move(t));
     }
-    for (uint64_t number : mp.l1_file_numbers) {
-      L0TableRef t;
-      PMBLADE_RETURN_IF_ERROR(open_sst(number, &t));
-      partition->l1_run().push_back(std::move(t));
+    for (const ManifestSsdRun& mrun : mp.ssd_runs) {
+      SsdRun run;
+      run.level = mrun.level;
+      for (uint64_t number : mrun.file_numbers) {
+        L0TableRef t;
+        PMBLADE_RETURN_IF_ERROR(open_sst(number, &t));
+        run.tables.push_back(std::move(t));
+      }
+      partition->ssd_runs().push_back(std::move(run));
     }
     partitions_.push_back(std::move(partition));
   }
@@ -829,8 +879,13 @@ Status DBImpl::PersistManifest() {
       (ssd_l0 ? mp.sorted_file_numbers : mp.sorted_pm_ids)
           .push_back(table->id());
     }
-    for (const auto& table : partition->l1_run()) {
-      mp.l1_file_numbers.push_back(table->id());
+    for (const SsdRun& run : partition->ssd_runs()) {
+      ManifestSsdRun mrun;
+      mrun.level = run.level;
+      for (const auto& table : run.tables) {
+        mrun.file_numbers.push_back(table->id());
+      }
+      mp.ssd_runs.push_back(std::move(mrun));
     }
     state.partitions.push_back(std::move(mp));
   }
@@ -1671,59 +1726,74 @@ Status DBImpl::RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
       }
     }
 
-    uint64_t total_l0 = 0;
-    for (const auto& partition : partitions_) {
-      total_l0 += partition->L0Bytes();
-    }
-    // PM-pressure backstop: also trigger when the pool itself runs short.
-    bool pool_pressure =
-        pool_->FreeBytes() < pool_->capacity() / 8 &&
-        options_.l0_layout != L0Layout::kSstable;
-    if (cost_model_->MajorCompactionDue(total_l0) || pool_pressure) {
-      std::vector<PartitionCounters> all;
-      uint64_t recent_reads = 0, recent_writes = 0;
-      for (const auto& partition : partitions_) {
-        all.push_back(partition->Counters());
-        recent_reads += all.back().reads;
-        recent_writes += all.back().writes;
+    // ---- SSD side: the picker decides what/when/where ----
+    // Round 0 is the EVICTION check (the Eq. 3 gate + keep-set, evaluated
+    // exactly once per check); later rounds drain the policy's shape
+    // MAINTENANCE jobs (tiered/lazy run-block merges — leveled never emits
+    // any). The round cap bounds a cascade: each round installs at most one
+    // job per partition, and a tiered merge cascade over L levels settles in
+    // <= L rounds, so 10 covers max_ssd_levels' whole range with slack.
+    std::set<Partition*> ours(touched.begin(), touched.end());
+    constexpr int kMaxPolicyRounds = 10;
+    for (int round = 0; round < kMaxPolicyRounds; ++round) {
+      PickContext ctx = BuildPickContextLocked(ours);
+      std::vector<CompactionJob> jobs;
+      if (round == 0) {
+        EvictionPick pick = picker_->PickEviction(ctx);
+        if (pick.evaluated) {
+          keep_set_counter_->Inc();
+          if (events_.active()) {
+            std::vector<PartitionCounters> all;
+            all.reserve(ctx.partitions.size());
+            for (const PartitionView& view : ctx.partitions) {
+              all.push_back(view.counters);
+            }
+            EmitKeepSetEvent(all, pick.keep, pick.tau_t, ctx.total_l0_bytes);
+          }
+        }
+        jobs = std::move(pick.jobs);
+        // A failed internal compaction still evaluates the gate (counter +
+        // event, as always) but must not start eviction work.
+        if (!first_error.ok()) jobs.clear();
       }
-      uint64_t tau_t = 0;  // 0 = the configured default
-      if (options_.adaptive_tau_t) {
-        tau_t = cost_model_->AdaptiveTauT(recent_reads, recent_writes,
-                                          options_.tau_t_max_factor);
+      if (jobs.empty()) {
+        if (!first_error.ok()) break;
+        jobs = picker_->PickMaintenance(ctx);
       }
-      std::vector<size_t> retained = cost_model_->SelectRetained(all, tau_t);
-      std::set<size_t> keep(retained.begin(), retained.end());
-      // Victims this check may take: not retained, non-empty, and either
-      // already ours (claimed in the check's claim phase) or unclaimed.
-      // Claiming the extras before mu_ drops keeps concurrent checks off
-      // them for the whole merge + install.
-      std::set<Partition*> ours(touched.begin(), touched.end());
-      std::vector<Partition*> victims;
+      if (jobs.empty()) break;
+
+      // Claim job partitions this check does not already hold, so
+      // concurrent checks stay off them for the whole merge + install.
+      std::vector<MajorJob> major_jobs;
       std::vector<Partition*> extra_claims;
-      for (size_t i = 0; i < partitions_.size(); ++i) {
-        Partition* partition = partitions_[i].get();
-        if (keep.count(i) != 0 || partition->L0Bytes() == 0) continue;
+      for (const CompactionJob& job : jobs) {
+        Partition* partition = partitions_[job.partition_index].get();
         if (ours.count(partition) == 0) {
           if (!compacting_.insert(partition).second) continue;  // held
           extra_claims.push_back(partition);
         }
-        victims.push_back(partition);
+        MajorJob mj;
+        mj.partition = partition;
+        mj.include_l0 = job.include_l0;
+        mj.run_begin = job.run_begin;
+        mj.run_end = job.run_end;
+        mj.output_level = job.output_level;
+        major_jobs.push_back(mj);
       }
-      keep_set_counter_->Inc();
-      if (events_.active()) {
-        EmitKeepSetEvent(all, keep, tau_t, total_l0);
-      }
-      if (!victims.empty() && first_error.ok()) {
-        Status ms = RunMajorCompactionOnPartitions(lock, victims);
-        if (!ms.ok() && first_error.ok()) first_error = ms;
+      Status ms;
+      if (!major_jobs.empty()) {
+        ms = RunMajorCompactionOnJobs(lock, major_jobs);
       }
       for (Partition* partition : extra_claims) {
         compacting_.erase(partition);
         // An extra victim was not in this check's dirty claim, so a failure
         // would not be re-armed by the caller — mark it dirty here so the
         // retry re-selects it.
-        if (!first_error.ok()) MarkCompactionDirtyLocked(partition);
+        if (!ms.ok()) MarkCompactionDirtyLocked(partition);
+      }
+      if (!ms.ok()) {
+        if (first_error.ok()) first_error = ms;
+        break;
       }
     }
     return first_error;
@@ -1757,7 +1827,10 @@ Status DBImpl::RunCompactionsLocked(std::unique_lock<std::mutex>& lock,
       victims.push_back(p);
     }
     if (!victims.empty()) {
-      first_error = RunMajorCompactionOnPartitions(lock, victims);
+      std::vector<MajorJob> jobs;
+      jobs.reserve(victims.size());
+      for (Partition* p : victims) jobs.push_back(FullCollapseJob(p));
+      first_error = RunMajorCompactionOnJobs(lock, jobs);
     }
     for (Partition* p : extra_claims) {
       compacting_.erase(p);
@@ -1816,9 +1889,9 @@ Status DBImpl::RunInternalCompactionOnPartition(
 
   InternalCompactionOptions copts;
   copts.target_table_bytes = options_.internal_table_target_bytes;
-  // l1_run is only mutated by this thread, so the verdict stays valid while
-  // the lock is released below.
-  copts.drop_tombstones = partition->l1_run().empty();
+  // ssd_runs is only mutated by this thread, so the verdict stays valid
+  // while the lock is released below.
+  copts.drop_tombstones = partition->ssd_runs().empty();
   copts.oldest_snapshot = OldestLiveSnapshot();
   copts.clock = clock_;
   copts.event_bus = &events_;
@@ -1869,56 +1942,116 @@ Status DBImpl::RunInternalCompactionOnPartition(
   return Status::OK();
 }
 
-Status DBImpl::RunMajorCompactionOnPartitions(
-    std::unique_lock<std::mutex>& lock,
-    const std::vector<Partition*>& victims) {
-  // Snapshot every victim's table sets under mu_ (both for the merge inputs
+DBImpl::MajorJob DBImpl::FullCollapseJob(Partition* partition) {
+  MajorJob job;
+  job.partition = partition;
+  job.include_l0 = true;
+  job.run_begin = 0;
+  job.run_end = partition->ssd_runs().size();
+  job.output_level = 1;
+  return job;
+}
+
+PickContext DBImpl::BuildPickContextLocked(const std::set<Partition*>& ours) {
+  PickContext ctx;
+  ctx.partitions.reserve(partitions_.size());
+  for (const auto& up : partitions_) {
+    Partition* partition = up.get();
+    PartitionView view;
+    view.counters = partition->Counters();
+    view.l0_bytes = partition->L0Bytes();
+    view.runs.reserve(partition->ssd_runs().size());
+    for (const SsdRun& run : partition->ssd_runs()) {
+      PartitionView::RunView rv;
+      rv.level = run.level;
+      rv.bytes = run.bytes();
+      view.runs.push_back(rv);
+    }
+    // Claimable for job purposes: held by THIS check already, or unclaimed.
+    view.claimable =
+        ours.count(partition) != 0 || compacting_.count(partition) == 0;
+    ctx.total_l0_bytes += view.l0_bytes;
+    ctx.recent_reads += view.counters.reads;
+    ctx.recent_writes += view.counters.writes;
+    ctx.partitions.push_back(std::move(view));
+  }
+  // PM-pressure backstop: the Eq. 3 gate also fires when the pool runs
+  // short (irrelevant for the SSD-resident kSstable layout).
+  ctx.pool_pressure = pool_->FreeBytes() < pool_->capacity() / 8 &&
+                      options_.l0_layout != L0Layout::kSstable;
+  return ctx;
+}
+
+Status DBImpl::RunMajorCompactionOnJobs(std::unique_lock<std::mutex>& lock,
+                                        const std::vector<MajorJob>& jobs) {
+  // Snapshot every job's table sets under mu_ (both for the merge inputs
   // and for the identity-based install below — tables flushed during the
-  // merge must survive it).
-  struct VictimSnapshot {
-    std::vector<L0TableRef> unsorted;
-    std::vector<L0TableRef> sorted;
-    std::vector<L0TableRef> l1;
+  // merge must survive it). Run indices stay valid while mu_ is released:
+  // the caller holds each job partition's claim, only the claim holder
+  // mutates ssd_runs(), and flushes never touch the stack.
+  struct JobSnapshot {
+    std::vector<L0TableRef> unsorted;                // include_l0 jobs only
+    std::vector<L0TableRef> sorted;                  // include_l0 jobs only
+    std::vector<std::vector<L0TableRef>> runs;       // [run_begin, run_end)
+    bool drop_tombstones = false;
   };
-  std::vector<VictimSnapshot> snaps;
-  snaps.reserve(victims.size());
+  std::vector<JobSnapshot> snaps;
+  snaps.reserve(jobs.size());
   std::vector<CompactionSubtaskInput> subtasks;
-  /// subtasks[i] merges one key-range slice of victim subtask_victim[i];
-  /// slices of a victim occupy consecutive subtask indices in ascending key
-  /// order, which is what lets the install below stitch them back into one
-  /// sorted level-1 run by simple concatenation.
-  std::vector<size_t> subtask_victim;
+  /// subtasks[i] merges one key-range slice of job subtask_job[i]; slices
+  /// of a job occupy consecutive subtask indices in ascending key order,
+  /// which is what lets the install below stitch them back into one sorted
+  /// output run by simple concatenation.
+  std::vector<size_t> subtask_job;
   const size_t max_slices =
       static_cast<size_t>(std::max(options_.max_subcompactions, 1));
-  for (size_t v = 0; v < victims.size(); ++v) {
-    Partition* partition = victims[v];
-    VictimSnapshot snap;
-    snap.unsorted = partition->unsorted();
-    snap.sorted = partition->sorted_run();
-    snap.l1 = partition->l1_run();
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const MajorJob& job = jobs[j];
+    Partition* partition = job.partition;
+    JobSnapshot snap;
+    if (job.include_l0) {
+      snap.unsorted = partition->unsorted();
+      snap.sorted = partition->sorted_run();
+    }
+    const std::vector<SsdRun>& stack = partition->ssd_runs();
+    const size_t run_end = std::min(job.run_end, stack.size());
+    for (size_t r = job.run_begin; r < run_end; ++r) {
+      snap.runs.push_back(stack[r].tables);
+    }
+    // Tombstones may drop only when the job's inputs reach the oldest run
+    // (its output becomes the new bottom of this partition's stack). A
+    // run-stacking eviction (run_end == run_begin == 0 over a non-empty
+    // stack) or an upper-level block merge keeps them: older runs below may
+    // still hold shadowed versions of the deleted keys.
+    snap.drop_tombstones = run_end >= stack.size();
 
-    uint64_t l0_bytes = partition->L0Bytes();
-    uint64_t l1_bytes = partition->L1Bytes();
+    uint64_t pm_bytes = 0;
+    if (job.include_l0) pm_bytes = partition->L0Bytes();
+    uint64_t ssd_bytes = 0;
+    for (const auto& run : snap.runs) {
+      for (const auto& table : run) ssd_bytes += table->size_bytes();
+    }
     double ssd_fraction =
-        (l0_bytes + l1_bytes) > 0
-            ? static_cast<double>(l1_bytes) / (l0_bytes + l1_bytes)
+        (pm_bytes + ssd_bytes) > 0
+            ? static_cast<double>(ssd_bytes) / (pm_bytes + ssd_bytes)
             : 0.0;
     if (options_.l0_layout == L0Layout::kSstable) ssd_fraction = 1.0;
 
-    // Subcompaction split rule: slice the victim at the table boundaries of
-    // its largest sorted component (the level-1 run when present, else the
-    // sorted run) — every table's smallest user key is a candidate bound,
-    // and up to max_subcompactions-1 evenly spaced candidates are kept.
-    // Bounds compare user keys, so all versions of a key share a slice.
+    // Subcompaction split rule: slice the job at the table boundaries of
+    // its largest sorted component (the oldest input run when one exists,
+    // else the sorted run) — every table's smallest user key is a candidate
+    // bound, and up to max_subcompactions-1 evenly spaced candidates are
+    // kept. Bounds compare user keys, so all versions of a key share a
+    // slice.
     std::vector<std::string> bounds;
     const std::vector<L0TableRef>& base_run =
-        !snap.l1.empty() ? snap.l1 : snap.sorted;
+        !snap.runs.empty() ? snap.runs.back() : snap.sorted;
     if (max_slices > 1 && base_run.size() > 1) {
       const size_t k = base_run.size();
       const size_t want = std::min(max_slices - 1, k - 1);
       std::set<size_t> cuts;  // positions in [1, k-1]: cut before table pos
-      for (size_t j = 1; j <= want; ++j) {
-        size_t pos = j * k / (want + 1);
+      for (size_t jj = 1; jj <= want; ++jj) {
+        size_t pos = jj * k / (want + 1);
         cuts.insert(std::max<size_t>(1, std::min(pos, k - 1)));
       }
       for (size_t pos : cuts) {
@@ -1929,7 +2062,8 @@ Status DBImpl::RunMajorCompactionOnPartitions(
     // Capture the table sets by value so iterators outlive version edits.
     std::vector<L0TableRef> unsorted = snap.unsorted;
     std::vector<L0TableRef> sorted = snap.sorted;
-    std::vector<L0TableRef> l1 = snap.l1;
+    std::vector<std::vector<L0TableRef>> runs = snap.runs;
+    const bool include_l0 = job.include_l0;
     const InternalKeyComparator* icmp = &icmp_;
     const size_t num_slices = bounds.size() + 1;
     for (size_t slice = 0; slice < num_slices; ++slice) {
@@ -1937,13 +2071,22 @@ Status DBImpl::RunMajorCompactionOnPartitions(
       std::string hi = slice + 1 == num_slices ? std::string() : bounds[slice];
       CompactionSubtaskInput sub;
       sub.ssd_input_fraction = ssd_fraction;
-      sub.make_input = [unsorted, sorted, l1, icmp, lo, hi]() -> Iterator* {
+      sub.drop_tombstones = snap.drop_tombstones ? 1 : 0;
+      sub.make_input = [unsorted, sorted, runs, include_l0, icmp, lo,
+                        hi]() -> Iterator* {
+        // Child order is irrelevant for correctness (the merge resolves
+        // duplicates by sequence number); newest-first mirrors the read
+        // path.
         std::vector<Iterator*> children;
-        for (const auto& table : unsorted) {
-          children.push_back(table->NewIterator());
+        if (include_l0) {
+          for (const auto& table : unsorted) {
+            children.push_back(table->NewIterator());
+          }
+          children.push_back(NewRunIterator(icmp, sorted));
         }
-        children.push_back(NewRunIterator(icmp, sorted));
-        children.push_back(NewRunIterator(icmp, l1));
+        for (const auto& run : runs) {
+          children.push_back(NewRunIterator(icmp, run));
+        }
         Iterator* merged = NewMergingIterator(icmp, std::move(children));
         if (lo.empty() && hi.empty()) {
           merged->SeekToFirst();
@@ -1954,14 +2097,16 @@ Status DBImpl::RunMajorCompactionOnPartitions(
         return clipped;
       };
       subtasks.push_back(std::move(sub));
-      subtask_victim.push_back(v);
+      subtask_job.push_back(j);
     }
     snaps.push_back(std::move(snap));
   }
 
   MajorCompactionOptions mopts = options_.major;
   mopts.oldest_snapshot = OldestLiveSnapshot();
-  mopts.drop_tombstones = true;  // level-1 is the bottom level
+  // Per-subtask verdicts above override this; one Run may mix bottom jobs
+  // (full collapses) with non-bottom ones (run stacking, block merges).
+  mopts.drop_tombstones = true;
   mopts.clock = clock_;
   MajorCompactor compactor(raw_env_, model_, l1_factory_.get(), mopts);
 
@@ -1972,8 +2117,8 @@ Status DBImpl::RunMajorCompactionOnPartitions(
     // Fired OUTSIDE mu_ so crash/overlap tests may block here without
     // stalling readers, writers or sibling compaction workers.
     std::vector<uint64_t> victim_ids;
-    victim_ids.reserve(victims.size());
-    for (Partition* partition : victims) victim_ids.push_back(partition->id());
+    victim_ids.reserve(jobs.size());
+    for (const MajorJob& job : jobs) victim_ids.push_back(job.partition->id());
     PMBLADE_SYNC_POINT_ARG("DBImpl::MajorCompaction:BeforeRun", &victim_ids);
   }
 #endif
@@ -2002,7 +2147,7 @@ Status DBImpl::RunMajorCompactionOnPartitions(
 
   // One slot per subtask: empty slices produce no output and leave their
   // slot null. Stitching below walks slots in subtask order, which is
-  // ascending key order within each victim.
+  // ascending key order within each job.
   std::vector<L0TableRef> slice_tables(subtasks.size());
   size_t opened = 0;
   while (s.ok() && opened < outputs.size()) {
@@ -2031,32 +2176,52 @@ Status DBImpl::RunMajorCompactionOnPartitions(
     return s;
   }
 
-  // Stitch: concatenate each victim's slice outputs (already disjoint and
-  // ascending) back into one level-1 run, then install everything under a
+  // Stitch: concatenate each job's slice outputs (already disjoint and
+  // ascending) back into one output run, then install everything under a
   // single mu_ hold + manifest commit below.
-  std::vector<std::vector<L0TableRef>> new_l1(victims.size());
+  std::vector<std::vector<L0TableRef>> new_runs(jobs.size());
   for (size_t i = 0; i < slice_tables.size(); ++i) {
     if (slice_tables[i] != nullptr) {
-      new_l1[subtask_victim[i]].push_back(std::move(slice_tables[i]));
+      new_runs[subtask_job[i]].push_back(std::move(slice_tables[i]));
     }
   }
   PMBLADE_SYNC_POINT("DBImpl::MajorCompaction:OutputsOpened");
   lock.lock();
 
-  // Install ALL victims atomically under one mu_ hold + one manifest
-  // commit. Remove exactly the snapshotted tables; anything flushed into a
-  // victim while the merge ran stays in unsorted(), above the new L1.
+  // Install ALL jobs atomically under one mu_ hold + one manifest commit.
+  // Remove exactly the snapshotted tables; anything flushed into a
+  // partition while the merge ran stays in unsorted(), above the new run.
+  // The input run block [run_begin, run_end) is replaced in place by the
+  // output run, preserving the stack's newest-first recency order and its
+  // non-decreasing level tags.
   std::vector<L0TableRef> doomed;
-  for (size_t v = 0; v < victims.size(); ++v) {
-    Partition* partition = victims[v];
-    const VictimSnapshot& snap = snaps[v];
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const MajorJob& job = jobs[j];
+    Partition* partition = job.partition;
+    const JobSnapshot& snap = snaps[j];
     for (auto& t : snap.unsorted) doomed.push_back(t);
     for (auto& t : snap.sorted) doomed.push_back(t);
-    for (auto& t : snap.l1) doomed.push_back(t);
-    Partition::RemoveTables(&partition->unsorted(), snap.unsorted);
-    Partition::RemoveTables(&partition->sorted_run(), snap.sorted);
-    partition->l1_run() = std::move(new_l1[v]);
-    partition->ResetCounters();
+    for (const auto& run : snap.runs) {
+      for (auto& t : run) doomed.push_back(t);
+    }
+    if (job.include_l0) {
+      Partition::RemoveTables(&partition->unsorted(), snap.unsorted);
+      Partition::RemoveTables(&partition->sorted_run(), snap.sorted);
+    }
+    std::vector<SsdRun>& stack = partition->ssd_runs();
+    const size_t erase_end = std::min(job.run_end, stack.size());
+    stack.erase(stack.begin() + static_cast<ptrdiff_t>(job.run_begin),
+                stack.begin() + static_cast<ptrdiff_t>(erase_end));
+    if (!new_runs[j].empty()) {
+      SsdRun out;
+      out.level = job.output_level;
+      out.tables = std::move(new_runs[j]);
+      stack.insert(stack.begin() + static_cast<ptrdiff_t>(job.run_begin),
+                   std::move(out));
+    }
+    // Counters feed the Eq. 1/2/3 decisions about PM level-0; a pure
+    // shape-maintenance merge does not consume L0, so it keeps them.
+    if (job.include_l0) partition->ResetCounters();
   }
   stats_.AddMajorCompaction(mstats.ssd_bytes_written);
 
@@ -2071,9 +2236,9 @@ Status DBImpl::RunMajorCompactionOnPartitions(
   for (auto& table : doomed) table->Destroy();
 
   PMBLADE_INFO(options_.logger,
-               "major compaction: %zu partitions in %zu slices, %llu records "
+               "major compaction (%s): %zu jobs in %zu slices, %llu records "
                "in, %llu out",
-               victims.size(), subtasks.size(),
+               picker_->name(), jobs.size(), subtasks.size(),
                static_cast<unsigned long long>(mstats.input_records),
                static_cast<unsigned long long>(mstats.output_records));
   return Status::OK();
@@ -2114,14 +2279,21 @@ Status DBImpl::CompactToLevel1(bool respect_cost_model) {
         EmitKeepSetEvent(all, keep, /*tau_t=*/0, total_l0);
       }
     }
-    std::vector<Partition*> victims;
+    std::vector<MajorJob> jobs;
     for (size_t i = 0; i < partitions_.size(); ++i) {
-      if (keep.count(i) == 0 && partitions_[i]->L0Bytes() > 0) {
-        victims.push_back(partitions_[i].get());
-      }
+      Partition* partition = partitions_[i].get();
+      if (keep.count(i) != 0) continue;
+      // Worth collapsing when level-0 holds data, or the SSD stack is not
+      // already one level-1 run (a tiered/lazy shape this manual "compact
+      // everything to level 1" API promises to flatten). For leveled-built
+      // data this reduces to the historical L0Bytes() > 0 filter.
+      const std::vector<SsdRun>& stack = partition->ssd_runs();
+      bool flat = stack.size() == 1 && stack[0].level == 1;
+      if (partition->L0Bytes() == 0 && (stack.empty() || flat)) continue;
+      jobs.push_back(FullCollapseJob(partition));
     }
-    if (victims.empty()) return Status::OK();
-    return RunMajorCompactionOnPartitions(lock, victims);
+    if (jobs.empty()) return Status::OK();
+    return RunMajorCompactionOnJobs(lock, jobs);
   });
 }
 
@@ -2158,7 +2330,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   SequenceNumber snapshot;
   std::vector<L0TableRef> unsorted;
   std::vector<L0TableRef> sorted;
-  std::vector<L0TableRef> l1;
+  std::vector<std::vector<L0TableRef>> ssd_runs;  // newest first
   {
     // Brief version grab: ref the memtables and copy the table refs, then
     // probe everything lock-free. A flush or group commit in flight never
@@ -2176,7 +2348,10 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
       partition->NoteRead();
       unsorted = partition->unsorted();
       sorted = partition->sorted_run();
-      l1 = partition->l1_run();
+      ssd_runs.reserve(partition->ssd_runs().size());
+      for (const SsdRun& run : partition->ssd_runs()) {
+        ssd_runs.push_back(run.tables);
+      }
     }
   }
 
@@ -2238,21 +2413,25 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
       result = probe_status;
     }
   }
-  if (!answered && !l1.empty()) {
-    // Level-1 always lives on the SSD.
+  if (!answered && !ssd_runs.empty()) {
+    // SSD runs always live on the SSD; probe newest-first — the first run
+    // holding any version of the key is authoritative.
     ScopedExternalIo io(track_client_io_ ? model_ : nullptr, IoClass::kClient);
-    bool found = false;
-    Status s = RunGet(l1, icmp_, lkey, &local_value, &found, &probe_status,
-                      &probe);
-    if (!s.ok()) {
-      mem->Unref();
-      if (imm != nullptr) imm->Unref();
-      return s;
-    }
-    if (found) {
-      answered = true;
-      source = ReadSource::kSsdLevel1;
-      result = probe_status;
+    for (const auto& run : ssd_runs) {
+      bool found = false;
+      Status s = RunGet(run, icmp_, lkey, &local_value, &found, &probe_status,
+                        &probe);
+      if (!s.ok()) {
+        mem->Unref();
+        if (imm != nullptr) imm->Unref();
+        return s;
+      }
+      if (found) {
+        answered = true;
+        source = ReadSource::kSsdLevel1;
+        result = probe_status;
+        break;
+      }
     }
   }
 
@@ -2295,7 +2474,10 @@ std::vector<Iterator*> DBImpl::CollectInternalIterators() {
     snap.end_key = partition->end_key();
     snap.unsorted = partition->unsorted();
     snap.sorted_run = partition->sorted_run();
-    snap.l1_run = partition->l1_run();
+    snap.ssd_runs.reserve(partition->ssd_runs().size());
+    for (const SsdRun& run : partition->ssd_runs()) {
+      snap.ssd_runs.push_back(run.tables);
+    }
     parts.push_back(std::move(snap));
   }
   children.push_back(NewPartitionConcatIterator(&icmp_, std::move(parts)));
@@ -2478,6 +2660,16 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
     *value = 1;
     return true;
   }
+  // Monotonic write-amplification inputs: WA is computable from properties
+  // alone as ssd-bytes-written / ssd-user-bytes-written.
+  if (property == "pmblade.ssd-user-bytes-written") {
+    *value = stats_.user_bytes_written();
+    return true;
+  }
+  if (property == "pmblade.ssd-bytes-written") {
+    *value = stats_.major_compaction_bytes();
+    return true;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (property == "pmblade.l0-bytes") {
     uint64_t total = 0;
@@ -2485,11 +2677,58 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
     *value = total;
     return true;
   }
-  if (property == "pmblade.l1-bytes") {
+  if (property == "pmblade.l1-bytes" || property == "pmblade.ssd-bytes") {
+    // Historical name kept; covers the WHOLE SSD run stack (all levels) now
+    // that policies other than leveled may hold more than one run.
     uint64_t total = 0;
-    for (const auto& p : partitions_) total += p->L1Bytes();
+    for (const auto& p : partitions_) total += p->SsdBytes();
     *value = total;
     return true;
+  }
+  if (property == "pmblade.num-ssd-runs") {
+    uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->ssd_runs().size();
+    *value = total;
+    return true;
+  }
+  if (property == "pmblade.max-ssd-level") {
+    uint64_t deepest = 0;
+    for (const auto& p : partitions_) {
+      deepest = std::max<uint64_t>(deepest, p->MaxSsdLevel());
+    }
+    *value = deepest;
+    return true;
+  }
+  constexpr char kLevelPrefix[] = "pmblade.lsm.level";
+  if (property.compare(0, sizeof(kLevelPrefix) - 1, kLevelPrefix) == 0) {
+    // pmblade.lsm.level<i>.{runs,files,bytes}
+    size_t pos = sizeof(kLevelPrefix) - 1;
+    uint64_t level = 0;
+    size_t digits = 0;
+    while (pos < property.size() && property[pos] >= '0' &&
+           property[pos] <= '9' && digits < 9) {
+      level = level * 10 + static_cast<uint64_t>(property[pos] - '0');
+      ++pos;
+      ++digits;
+    }
+    if (digits > 0 && pos < property.size() && property[pos] == '.') {
+      const std::string stat = property.substr(pos + 1);
+      uint64_t runs = 0, files = 0, bytes = 0;
+      LevelShapeLocked(static_cast<uint32_t>(level), &runs, &files, &bytes);
+      if (stat == "runs") {
+        *value = runs;
+        return true;
+      }
+      if (stat == "files") {
+        *value = files;
+        return true;
+      }
+      if (stat == "bytes") {
+        *value = bytes;
+        return true;
+      }
+    }
+    return false;
   }
   if (property == "pmblade.num-partitions") {
     *value = partitions_.size();
@@ -2514,9 +2753,35 @@ bool DBImpl::GetProperty(const std::string& property, uint64_t* value) {
   return false;
 }
 
+void DBImpl::LevelShapeLocked(uint32_t level, uint64_t* runs, uint64_t* files,
+                              uint64_t* bytes) const {
+  *runs = *files = *bytes = 0;
+  for (const auto& partition : partitions_) {
+    if (level == 0) {
+      // PM level-0: each unsorted table is its own (single-table) run, the
+      // sorted run is one more.
+      *runs += partition->unsorted().size() +
+               (partition->sorted_run().empty() ? 0 : 1);
+      *files += partition->unsorted().size() + partition->sorted_run().size();
+      *bytes += partition->L0Bytes();
+    } else {
+      for (const SsdRun& run : partition->ssd_runs()) {
+        if (run.level != level) continue;
+        *runs += 1;
+        *files += run.tables.size();
+        *bytes += run.bytes();
+      }
+    }
+  }
+}
+
 bool DBImpl::GetProperty(const std::string& property, std::string* value) {
   // Deliberately does NOT hold mu_: the registry snapshot evaluates gauge
   // callbacks that lock mu_ themselves.
+  if (property == "pmblade.compaction-policy") {
+    *value = picker_->name();
+    return true;
+  }
   if (property == "pmblade.stats.json") {
     obs::MetricsSnapshot snapshot = metrics_.Snapshot(clock_->NowNanos());
     std::vector<obs::Event> events;

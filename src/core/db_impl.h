@@ -54,6 +54,7 @@
 #include "compaction/internal_compaction.h"
 #include "compaction/major_compaction.h"
 #include "compaction/minor_compaction.h"
+#include "compaction/policy/compaction_picker.h"
 #include "core/compaction_scheduler.h"
 #include "core/db.h"
 #include "core/manifest.h"
@@ -262,9 +263,32 @@ class DBImpl final : public DB {
                               const std::vector<Partition*>& touched);
   Status RunInternalCompactionOnPartition(std::unique_lock<std::mutex>& lock,
                                           Partition* partition);
-  Status RunMajorCompactionOnPartitions(
-      std::unique_lock<std::mutex>& lock,
-      const std::vector<Partition*>& victims);
+
+  /// A picker-chosen CompactionJob resolved to its partition. Fields mirror
+  /// CompactionJob (see compaction/policy/compaction_picker.h); run indices
+  /// are valid from the pick through the install because the executor holds
+  /// the partition's claim and only the claim holder mutates ssd_runs().
+  struct MajorJob {
+    Partition* partition = nullptr;
+    bool include_l0 = true;
+    size_t run_begin = 0;
+    size_t run_end = 0;
+    uint32_t output_level = 1;
+  };
+  /// The "classic" major-compaction job: level-0 plus the whole run stack
+  /// merge into one level-1 run (what every pre-picker compaction did, and
+  /// still the shape of the conventional-policy and manual paths).
+  static MajorJob FullCollapseJob(Partition* partition);
+  /// Snapshot of every partition for the picker; `ours` is this check's
+  /// claimed set (claimable for job purposes even though marked claimed).
+  /// mu_ held.
+  PickContext BuildPickContextLocked(const std::set<Partition*>& ours);
+  /// Executes picker-chosen jobs — at most one per partition — as ONE
+  /// compactor run: key-range subcompactions per job, outputs opened before
+  /// any mutation, every install under a single mu_ hold + manifest commit.
+  /// Caller holds the claim of every job's partition.
+  Status RunMajorCompactionOnJobs(std::unique_lock<std::mutex>& lock,
+                                  const std::vector<MajorJob>& jobs);
   /// mu_ held. Retries file deletions whose first attempt failed (flushed
   /// WALs); called after a successful manifest commit.
   void RetryPendingFileGcLocked();
@@ -275,6 +299,12 @@ class DBImpl final : public DB {
                         uint64_t total_l0_bytes);
 
   Status PersistManifest();
+
+  /// mu_ held. Aggregate shape of one LSM level across partitions: level 0
+  /// is the PM side (each unsorted table is one run, the sorted run one
+  /// more); level >= 1 counts the SSD runs carrying that level tag.
+  void LevelShapeLocked(uint32_t level, uint64_t* runs, uint64_t* files,
+                        uint64_t* bytes) const;
 
   // ---- read path ----
   Partition* FindPartition(const Slice& user_key);
@@ -302,6 +332,10 @@ class DBImpl final : public DB {
   std::unique_ptr<L0TableFactory> l0_factory_;     // level-0 layout
   std::unique_ptr<L0TableFactory> l1_factory_;     // SSTables for level-1
   std::unique_ptr<CostModel> cost_model_;
+  /// The compaction policy (Options::compaction_policy): owns victim
+  /// selection, trigger evaluation and output-level placement for SSD
+  /// compaction. Never null after Init.
+  std::unique_ptr<CompactionPicker> picker_;
 
   std::mutex mu_;
   MemTable* mem_ = nullptr;

@@ -11,7 +11,10 @@ namespace {
 constexpr uint32_t kManifestMagic = 0x504d424du;  // "PMBM"
 // Version 2 added flushed_sequence; version-1 manifests are still readable
 // (their flushed_sequence defaults to last_sequence, the pre-2 behavior).
-constexpr uint32_t kFormatVersion = 2;
+// Version 3 replaced the per-partition l1_file_numbers list with a stack of
+// level-tagged SSD runs; v1/v2 manifests load their l1 list as one level-1
+// run (exactly what the leveled policy maintains).
+constexpr uint32_t kFormatVersion = 3;
 
 void PutIdVector(std::string* dst, const std::vector<uint64_t>& ids) {
   PutVarint32(dst, static_cast<uint32_t>(ids.size()));
@@ -50,7 +53,11 @@ Status WriteManifest(Env* env, const std::string& dbname,
     PutIdVector(&body, p.sorted_pm_ids);
     PutIdVector(&body, p.unsorted_file_numbers);
     PutIdVector(&body, p.sorted_file_numbers);
-    PutIdVector(&body, p.l1_file_numbers);
+    PutVarint32(&body, static_cast<uint32_t>(p.ssd_runs.size()));
+    for (const auto& run : p.ssd_runs) {
+      PutVarint32(&body, run.level);
+      PutIdVector(&body, run.file_numbers);
+    }
   }
   PutFixed32(&body, crc32c::Value(body.data(), body.size()));
 
@@ -80,7 +87,7 @@ Status ReadManifest(Env* env, const std::string& dbname,
     return Status::Corruption("manifest bad magic");
   }
   uint32_t version = DecodeFixed32(in.data() + 4);
-  if (version != 1 && version != kFormatVersion) {
+  if (version < 1 || version > kFormatVersion) {
     return Status::NotSupported("manifest format version unsupported");
   }
   in.remove_prefix(8);
@@ -113,9 +120,33 @@ Status ReadManifest(Env* env, const std::string& dbname,
         !GetIdVector(&in, &p.unsorted_pm_ids) ||
         !GetIdVector(&in, &p.sorted_pm_ids) ||
         !GetIdVector(&in, &p.unsorted_file_numbers) ||
-        !GetIdVector(&in, &p.sorted_file_numbers) ||
-        !GetIdVector(&in, &p.l1_file_numbers)) {
+        !GetIdVector(&in, &p.sorted_file_numbers)) {
       return Status::Corruption("manifest truncated partition");
+    }
+    if (version >= 3) {
+      uint32_t num_runs = 0;
+      if (!GetVarint32(&in, &num_runs)) {
+        return Status::Corruption("manifest truncated partition");
+      }
+      p.ssd_runs.resize(num_runs);
+      for (auto& run : p.ssd_runs) {
+        if (!GetVarint32(&in, &run.level) ||
+            !GetIdVector(&in, &run.file_numbers)) {
+          return Status::Corruption("manifest truncated partition");
+        }
+      }
+    } else {
+      // Pre-3 manifests carried a single level-1 run.
+      std::vector<uint64_t> l1_file_numbers;
+      if (!GetIdVector(&in, &l1_file_numbers)) {
+        return Status::Corruption("manifest truncated partition");
+      }
+      if (!l1_file_numbers.empty()) {
+        ManifestSsdRun run;
+        run.level = 1;
+        run.file_numbers = std::move(l1_file_numbers);
+        p.ssd_runs.push_back(std::move(run));
+      }
     }
     p.begin_key = begin_key.ToString();
     p.end_key = end_key.ToString();

@@ -5,11 +5,11 @@
 //
 //   * format version, next file number, last sequence hint, WAL number
 //   * every partition: [begin, end) keys, the PM-pool object ids of its
-//     unsorted tables (newest first) and sorted run, and its level-1
-//     SSTable files (number, size)
+//     unsorted tables (newest first) and sorted run, and its SSD run stack
+//     (newest first; each run a level tag + SSTable file numbers)
 //
 // Recovery: load the manifest, reopen PM tables by pool object id, reopen
-// level-1 SSTables by file number, garbage-collect unreferenced pool
+// SSD SSTables by file number, garbage-collect unreferenced pool
 // objects and orphan .sst files, then replay the WAL.
 
 #ifndef PMBLADE_CORE_MANIFEST_H_
@@ -24,6 +24,14 @@
 
 namespace pmblade {
 
+/// One sorted run of SSD SSTables. `level` is the compaction-policy level
+/// tag (>= 1; level 0 is the PM side). Leveled data is always a single
+/// level-1 run; tiered / lazy-leveling policies stack several runs.
+struct ManifestSsdRun {
+  uint32_t level = 1;
+  std::vector<uint64_t> file_numbers;  // ascending key order
+};
+
 struct ManifestPartition {
   uint64_t id = 0;
   std::string begin_key;
@@ -33,7 +41,10 @@ struct ManifestPartition {
   /// Unsorted level-0 SSTable file numbers (PMBlade-SSD layout only).
   std::vector<uint64_t> unsorted_file_numbers;
   std::vector<uint64_t> sorted_file_numbers;
-  std::vector<uint64_t> l1_file_numbers;  // ascending key order
+  /// SSD runs, newest first, level tags non-decreasing with depth.
+  /// Format v1/v2 manifests (a single `l1_file_numbers` list) load as one
+  /// level-1 run.
+  std::vector<ManifestSsdRun> ssd_runs;
 };
 
 struct ManifestState {

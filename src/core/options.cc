@@ -1,5 +1,7 @@
 #include "core/options.h"
 
+#include "compaction/policy/compaction_picker.h"
+
 namespace pmblade {
 
 Status Options::Sanitize() {
@@ -37,6 +39,24 @@ Status Options::Sanitize() {
     if (arbiter_interval_ms == 0) {
       return Status::InvalidArgument("arbiter_interval_ms must be >= 1");
     }
+  }
+  if (!IsValidCompactionPolicy(compaction_policy)) {
+    return Status::InvalidArgument(
+        "unknown compaction_policy \"" + compaction_policy +
+        "\" (expected leveled, tiered or lazy_leveling)");
+  }
+  if (compaction_policy != "leveled" && !enable_cost_model) {
+    return Status::InvalidArgument(
+        "compaction_policy \"" + compaction_policy +
+        "\" requires enable_cost_model (the conventional trigger path is "
+        "leveled-only)");
+  }
+  if (compaction_size_ratio < 2 || compaction_size_ratio > 32) {
+    return Status::InvalidArgument(
+        "compaction_size_ratio must be in [2, 32]");
+  }
+  if (max_ssd_levels < 1 || max_ssd_levels > 8) {
+    return Status::InvalidArgument("max_ssd_levels must be in [1, 8]");
   }
   if (compaction_retry_limit < 0) compaction_retry_limit = 0;
   if (compaction_workers < 1) compaction_workers = 1;

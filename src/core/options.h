@@ -103,6 +103,24 @@ struct Options {
   BlockCache* shared_block_cache = nullptr;
 
   // ---- compaction policy ----
+  /// SSD compaction shape: "leveled" (the paper's single level-1 run per
+  /// partition; the default, behavior-identical to the pre-picker engine),
+  /// "tiered" (size-ratio run stacking, whole-run merges, no intra-level
+  /// rewrites — lower write amplification, more runs to read), or
+  /// "lazy_leveling" (tiered upper levels over a single-run last level).
+  /// Any other name is InvalidArgument at Open. The policy is NOT persisted:
+  /// every run stack in the manifest is self-describing (level-tagged
+  /// runs), each picker accepts any stack the others built and converges it
+  /// to its own invariant, so switching the policy across reopens is safe.
+  /// Non-leveled policies require enable_cost_model (the conventional
+  /// PMBlade-PM trigger path is leveled-only).
+  std::string compaction_policy = "leveled";
+  /// T for tiered / lazy_leveling: runs that may stack on one SSD level
+  /// before the block merges one level down. Ignored by leveled.
+  uint32_t compaction_size_ratio = 4;
+  /// Deepest SSD level for tiered / lazy_leveling (>= 1). Ignored by
+  /// leveled.
+  uint32_t max_ssd_levels = 3;
   /// Master switch for internal compaction (PMB-P turns it off).
   bool enable_internal_compaction = true;
   /// Use the cost models (Eqs. 1-3). When false, fall back to the

@@ -4,7 +4,11 @@
 //     overlapping — flushed memtable segments),
 //   * one SORTED level-0 run (non-overlapping tables, the output of the
 //     last internal compaction),
-//   * one level-1 run on the SSD (non-overlapping SSTables),
+//   * a stack of SSD runs (newest first; each run is non-overlapping
+//     SSTables tagged with a compaction-policy level). The leveled policy
+//     keeps at most one run, tagged level 1 — the paper's single level-1
+//     run; tiered / lazy-leveling policies stack several runs whose level
+//     tags are non-decreasing with depth,
 //   * the counters the cost models consume (n_i, n_i^r, n_i^w, n_i^u,
 //     reads/sec), reset whenever the partition is compacted.
 
@@ -23,6 +27,19 @@
 #include "util/clock.h"
 
 namespace pmblade {
+
+/// One sorted run of SSD SSTables (ascending key order) plus its policy
+/// level tag. Level 0 is the PM side; SSD runs start at level 1.
+struct SsdRun {
+  uint32_t level = 1;
+  std::vector<L0TableRef> tables;  // ascending key order
+
+  uint64_t bytes() const {
+    uint64_t total = 0;
+    for (const auto& table : tables) total += table->size_bytes();
+    return total;
+  }
+};
 
 class Partition {
  public:
@@ -52,16 +69,16 @@ class Partition {
   //   * Only the compaction worker that CLAIMED this partition (see the
   //     claim protocol in db_impl.h — at most one claimant per partition,
   //     enforced under the DB mutex) removes from unsorted() or mutates
-  //     sorted_run()/l1_run(). A compaction therefore snapshots the
+  //     sorted_run()/ssd_runs(). A compaction therefore snapshots the
   //     vectors, merges with the mutex released, and installs by removing
   //     exactly the snapshotted refs (RemoveTables) — tables flushed during
   //     the merge stay, still newest-first, above the compaction's output.
   std::vector<L0TableRef>& unsorted() { return unsorted_; }
   std::vector<L0TableRef>& sorted_run() { return sorted_run_; }
-  std::vector<L0TableRef>& l1_run() { return l1_run_; }
+  std::vector<SsdRun>& ssd_runs() { return ssd_runs_; }
   const std::vector<L0TableRef>& unsorted() const { return unsorted_; }
   const std::vector<L0TableRef>& sorted_run() const { return sorted_run_; }
-  const std::vector<L0TableRef>& l1_run() const { return l1_run_; }
+  const std::vector<SsdRun>& ssd_runs() const { return ssd_runs_; }
 
   /// Removes exactly the tables in `snapshot` (by table identity) from
   /// `from`, preserving the order of everything else. Install step of a
@@ -87,10 +104,18 @@ class Partition {
     for (const auto& table : sorted_run_) total += table->size_bytes();
     return total;
   }
-  uint64_t L1Bytes() const {
+  /// Total SSD bytes across every run in the stack. (Under the leveled
+  /// policy the stack is at most one level-1 run, so this is the paper's
+  /// level-1 size.)
+  uint64_t SsdBytes() const {
     uint64_t total = 0;
-    for (const auto& table : l1_run_) total += table->size_bytes();
+    for (const auto& run : ssd_runs_) total += run.bytes();
     return total;
+  }
+
+  /// The deepest level tag in the run stack (0 when no SSD runs exist).
+  uint32_t MaxSsdLevel() const {
+    return ssd_runs_.empty() ? 0 : ssd_runs_.back().level;
   }
 
   // ---- cost-model counters ----
@@ -137,7 +162,8 @@ class Partition {
 
   std::vector<L0TableRef> unsorted_;   // newest first
   std::vector<L0TableRef> sorted_run_; // ascending key order
-  std::vector<L0TableRef> l1_run_;     // ascending key order
+  /// SSD run stack, newest first; level tags non-decreasing with depth.
+  std::vector<SsdRun> ssd_runs_;
 
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};

@@ -780,6 +780,17 @@ bool ShardedDB::GetProperty(const std::string& property, uint64_t* value) {
     *value = txn_resolved_rollback_counter_->Value();
     return true;
   }
+  // Depth is a maximum across shards, not a sum.
+  if (property == "pmblade.max-ssd-level") {
+    uint64_t deepest = 0;
+    for (auto& s : shards_) {
+      uint64_t v = 0;
+      if (!s->GetProperty(property, &v)) return false;
+      deepest = std::max(deepest, v);
+    }
+    *value = deepest;
+    return true;
+  }
   // Everything else sums across shards (counters and sizes both add up;
   // pmblade.memtable-limit becomes the combined write quota).
   uint64_t total = 0;
@@ -813,6 +824,10 @@ bool ShardedDB::GetProperty(const std::string& property, std::string* value) {
     *value = arbiter_ != nullptr ? arbiter_->ToJson()
                                  : std::string("{\"enabled\":false}");
     return true;
+  }
+  if (property == "pmblade.compaction-policy") {
+    // Every shard runs the same Options; shard 0 speaks for all.
+    return shards_[0]->GetProperty(property, value);
   }
   if (property == "pmblade.trace.json") {
     // Concatenated per-shard traces (each line is a self-contained JSON

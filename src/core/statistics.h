@@ -85,6 +85,12 @@ class DbStatistics {
   uint64_t flushes() const { return flushes_.load(); }
   uint64_t internal_compactions() const { return internal_compactions_.load(); }
   uint64_t major_compactions() const { return major_compactions_.load(); }
+  /// Cumulative SSD bytes written by major compactions — the numerator of
+  /// the write-amplification experiments (user_bytes_written() is the
+  /// denominator).
+  uint64_t major_compaction_bytes() const {
+    return major_compaction_bytes_.load();
+  }
   uint64_t scans() const { return scans_.load(); }
 
   Histogram GetLatencyHistogram() const { return get_latency_.Merged(); }

@@ -181,15 +181,17 @@ class PartitionConcatIterator final : public Iterator {
     }
     const PartitionSnapshot& part = parts_[index_];
     std::vector<Iterator*> children;
-    children.reserve(part.unsorted.size() + 2);
+    children.reserve(part.unsorted.size() + part.ssd_runs.size() + 1);
     for (const auto& table : part.unsorted) {
       children.push_back(table->NewIterator());
     }
     if (!part.sorted_run.empty()) {
       children.push_back(NewRunIterator(icmp_, part.sorted_run));
     }
-    if (!part.l1_run.empty()) {
-      children.push_back(NewRunIterator(icmp_, part.l1_run));
+    for (const auto& run : part.ssd_runs) {
+      if (!run.empty()) {
+        children.push_back(NewRunIterator(icmp_, run));
+      }
     }
     if (children.empty()) {
       current_.reset(NewEmptyIterator());

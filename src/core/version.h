@@ -35,7 +35,9 @@ struct PartitionSnapshot {
   std::string end_key;
   std::vector<L0TableRef> unsorted;  // newest first
   std::vector<L0TableRef> sorted_run;
-  std::vector<L0TableRef> l1_run;
+  /// SSD runs, newest first (one table vector per run; the level tags are
+  /// irrelevant to the read path).
+  std::vector<std::vector<L0TableRef>> ssd_runs;
 };
 
 /// Lazy concatenating iterator over range-disjoint partitions: only the

@@ -445,28 +445,32 @@ void CommandHandler::Scan(const std::vector<const std::string*>& args,
   for (const std::string& key : keys) EncodeBulkString(key, out);
 }
 
-// INFO [server|engine|memory|shards]
+// INFO [server|engine|memory|lsm|shards]
 //
 // Built straight from the metrics registry snapshot — the single source of
 // truth the JSON/Prometheus exporters read — never by re-parsing their
 // output. Redis-style sections: "# Server" (static facts + connection
 // state), "# Engine" (every pmblade.* counter/gauge; histograms as
 // count/p50/p99), "# Memory" (the memory arbiter's budget split and
-// pressure state, as one JSON document), "# Shards" (per-shard pressure
-// breakdown; only on a sharded engine).
+// pressure state, as one JSON document), "# Lsm" (the compaction policy
+// plus per-level run/file/byte shape and the write-amp inputs), "# Shards"
+// (per-shard pressure breakdown; only on a sharded engine).
 void CommandHandler::Info(const std::vector<const std::string*>& args,
                           std::string* out) {
   bool want_server = true;
   bool want_engine = true;
   bool want_memory = true;
+  bool want_lsm = true;
   bool want_shards = db_->num_shards() > 1;
   if (args.size() == 2) {
     const std::string section = ToLower(*args[1]);
     want_server = section == "server";
     want_engine = section == "engine";
     want_memory = section == "memory";
+    want_lsm = section == "lsm";
     want_shards = want_shards && section == "shards";
-    if (!want_server && !want_engine && !want_memory && !want_shards) {
+    if (!want_server && !want_engine && !want_memory && !want_lsm &&
+        !want_shards) {
       EncodeBulkString("", out);
       return;
     }
@@ -534,6 +538,35 @@ void CommandHandler::Info(const std::vector<const std::string*>& args,
       mem_json = "{\"enabled\": false}";
     }
     body += "mem_arbiter:" + mem_json + "\r\n";
+  }
+  if (want_lsm) {
+    if (!body.empty()) body += "\r\n";
+    body += "# Lsm\r\n";
+    std::string policy;
+    if (db_->GetProperty("pmblade.compaction-policy", &policy)) {
+      body += "compaction_policy:" + policy + "\r\n";
+    }
+    uint64_t deepest = 0;
+    db_->GetProperty("pmblade.max-ssd-level", &deepest);
+    // Level 0 is the PM side; SSD levels follow up to the deepest occupied.
+    for (uint64_t level = 0; level <= deepest; ++level) {
+      const std::string prefix =
+          "pmblade.lsm.level" + std::to_string(level) + ".";
+      uint64_t runs = 0, files = 0, bytes = 0;
+      if (!db_->GetProperty(prefix + "runs", &runs)) break;
+      db_->GetProperty(prefix + "files", &files);
+      db_->GetProperty(prefix + "bytes", &bytes);
+      body += "level" + std::to_string(level) + ":runs=" +
+              std::to_string(runs) + ",files=" + std::to_string(files) +
+              ",bytes=" + std::to_string(bytes) + "\r\n";
+    }
+    uint64_t v = 0;
+    if (db_->GetProperty("pmblade.ssd-user-bytes-written", &v)) {
+      body += "ssd_user_bytes_written:" + std::to_string(v) + "\r\n";
+    }
+    if (db_->GetProperty("pmblade.ssd-bytes-written", &v)) {
+      body += "ssd_bytes_written:" + std::to_string(v) + "\r\n";
+    }
   }
   EncodeBulkString(body, out);
 }

@@ -50,6 +50,10 @@ struct CrashHarnessOptions {
   /// slices per victim (1/1 = the historical single-worker pipeline).
   int compaction_workers = 1;
   int max_subcompactions = 1;
+  /// SSD compaction shape under test (Options::compaction_policy): the
+  /// tiered/lazy-leveling run stacks put multi-run manifests and mid-stack
+  /// block replacement under power cuts.
+  std::string compaction_policy = "leveled";
   /// Start from a fresh DB every this many cycles, so state (and dump cost)
   /// stays bounded and empty-DB recovery is exercised too.
   int fresh_db_period = 25;
@@ -175,6 +179,14 @@ class CrashHarness {
     options.l0_table_trigger = 4;
     options.compaction_workers = opts_.compaction_workers;
     options.max_subcompactions = opts_.max_subcompactions;
+    options.compaction_policy = opts_.compaction_policy;
+    if (opts_.compaction_policy != "leveled") {
+      // Tight Eq. 3 budgets so background evictions fire within a cycle's
+      // few flushes and the run stacks — the thing a non-leveled policy run
+      // is here to crash — actually form before the power cut.
+      options.cost.tau_m = 8 << 10;
+      options.cost.tau_t = 1 << 10;
+    }
     if (opts_.max_subcompactions > 1) {
       // Multi-table sorted/level-1 runs so the split rule has boundaries to
       // cut at — otherwise every victim degenerates to one slice.
@@ -214,7 +226,9 @@ class CrashHarness {
                           p.unsorted_file_numbers.end());
         referenced.insert(p.sorted_file_numbers.begin(),
                           p.sorted_file_numbers.end());
-        referenced.insert(p.l1_file_numbers.begin(), p.l1_file_numbers.end());
+        for (const ManifestSsdRun& run : p.ssd_runs) {
+          referenced.insert(run.file_numbers.begin(), run.file_numbers.end());
+        }
       }
     } else if (!s.IsNotFound()) {  // no manifest yet: nothing is referenced
       *why = "manifest read failed: " + s.ToString();

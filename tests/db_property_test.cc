@@ -223,7 +223,7 @@ TEST_F(PartitionConcatTest, WalksAcrossPartitionsInOrder) {
   parts[1].end_key = "p";
   parts[1].sorted_run.push_back(Build({"kiwi", "mango"}, 10));
   parts[2].begin_key = "p";
-  parts[2].l1_run.push_back(Build({"pear", "plum"}, 10));
+  parts[2].ssd_runs.push_back({Build({"pear", "plum"}, 10)});
 
   std::unique_ptr<Iterator> it(
       NewPartitionConcatIterator(&icmp_, parts));

@@ -60,6 +60,8 @@ struct ShardedCrashHarnessOptions {
   /// all-or-nothing check under cross-shard cuts — used by the meta-test
   /// that proves the checker has teeth).
   bool atomic_cross_shard_batches = true;
+  /// SSD compaction shape for every shard (Options::compaction_policy).
+  std::string compaction_policy = "leveled";
   bool verbose = false;
   std::function<bool()> stop_requested;
 };
@@ -162,6 +164,7 @@ class ShardedCrashHarness {
     options.memtable_bytes = 16 << 10;  // rotate + flush often (per shard)
     options.pm_pool_capacity = 16 << 20;  // per shard
     options.pm_latency.inject_latency = false;
+    options.compaction_policy = opts_.compaction_policy;
     return options;
   }
 

@@ -9,6 +9,8 @@
 //                [--scan_length=N] [--inject_latency=true|false]
 //                [--writers=N] [--sync_writes=true|false]
 //                [--shards=N] [--compaction_workers=N]
+//                [--policy=leveled|tiered|lazy_leveling]
+//                [--size_ratio=T] [--ssd_levels=L]
 //                [--stats_dump=json|prometheus|both]
 //
 // --shards=N opens the pmblade configs as an N-way ShardedDB (hash-routed
@@ -49,6 +51,13 @@
 //                pool of mixed read/write client threads, fresh engine per
 //                point; reports ops/s and the speedup over the 1-shard
 //                baseline; emits BENCH_shard_scaling.json
+//   policy_sweep compaction design-space sweep: leveled vs tiered vs
+//                lazy_leveling SSD shapes, one fresh engine per policy,
+//                running fill-heavy, read-heavy zipfian, and 50/50 mixed
+//                phases; reports ops/s, write-amp (compaction bytes over
+//                user bytes, both from engine properties), space-amp, run
+//                counts and SSD reads per Get; emits
+//                BENCH_compaction_policy.json. Needs --engine=pmblade.
 //   flush        force a memtable flush        compact     force L0->L1
 //   stats        print engine statistics
 
@@ -62,6 +71,7 @@
 #include "benchutil/flags.h"
 #include "benchutil/interrupt.h"
 #include "benchutil/reporter.h"
+#include "compaction/policy/compaction_picker.h"
 #include "benchutil/runner.h"
 #include "core/sharded_db.h"
 #include "benchutil/table_codec.h"
@@ -517,6 +527,234 @@ void RunCompactionParallel(Context* ctx) {
   if (!s.ok()) {
     fprintf(stderr, "compaction_parallel restore: %s\n",
             s.ToString().c_str());
+    exit(1);
+  }
+  ctx->engine = engine;
+}
+
+// Design-space sweep over the pluggable SSD compaction policies: one fresh
+// engine per policy, the same three phases against each — fill-heavy
+// (sequential unique load + random overwrites), read-heavy zipfian gets,
+// and a 50/50 zipfian mix. Write-amp is major-compaction bytes over user
+// bytes, both read from engine properties so the CI gate can recompute it
+// from BENCH_compaction_policy.json alone; space-amp is resident level-0 +
+// SSD bytes over the logical dataset; read cost is the surviving run count
+// (sorted runs a point lookup may probe) plus measured SSD reads per Get.
+void RunPolicySweep(Context* ctx) {
+  if (ctx->env->config() != EngineConfig::kPmBlade) {
+    fprintf(stderr,
+            "policy_sweep needs --engine=pmblade (the non-leveled policies "
+            "ride the cost-model compaction scheduler)\n");
+    exit(1);
+  }
+  const BenchEnvOptions saved = *ctx->env->mutable_options();
+  BenchEnvOptions* opts = ctx->env->mutable_options();
+  // Small memtable + tight level-0 budget so the cost model evicts to the
+  // SSD many times over the run and the shapes actually diverge: leveled
+  // rewrites its single run per eviction, tiered stacks runs until a
+  // size-ratio block forms, lazy-leveling stacks above a single last level.
+  if (opts->memtable_bytes > (128 << 10)) opts->memtable_bytes = 128 << 10;
+  opts->l0_budget_large = 768 << 10;
+
+  const char* kPolicies[] = {"leveled", "tiered", "lazy_leveling"};
+
+  // Drain the background scheduler so per-policy byte counts and shapes are
+  // settled before sampling properties.
+  auto quiesce = [&](DB* db) {
+    RUN_OP(db->FlushMemTable());
+    for (int i = 0; i < 5000 && !InterruptRequested(); ++i) {
+      uint64_t queued = 0, active = 0;
+      db->GetProperty("pmblade.compaction-queue-depth", &queued);
+      db->GetProperty("pmblade.compaction-active", &active);
+      if (queued == 0 && active == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+
+  TablePrinter table({"policy", "fill_ops/s", "write_amp", "space_amp",
+                      "ssd_runs", "read_ops/s", "ssd_rd/get", "mixed_ops/s"});
+  std::string json = "[\n";
+
+  for (size_t pi = 0; pi < 3; ++pi) {
+    if (InterruptRequested()) break;  // partial JSON still written below
+    const char* policy = kPolicies[pi];
+    opts->compaction_policy = policy;
+
+    KvEngine* engine = nullptr;
+    Status s = ctx->env->OpenEngine(ctx->env->config(), &engine);
+    if (!s.ok()) {
+      fprintf(stderr, "policy_sweep open(%s): %s\n", policy,
+              s.ToString().c_str());
+      exit(1);
+    }
+    ctx->engine = engine;
+    DB* db = ctx->env->pmblade_db();
+    if (db == nullptr) {
+      fprintf(stderr, "policy_sweep needs a pmblade engine\n");
+      exit(1);
+    }
+
+    KeySpec spec;
+    spec.num_keys = ctx->num;
+    KeyGenerator keys(spec);
+    ValueGenerator values(ctx->value_size);
+    const uint64_t key_bytes = keys.KeyAt(0).size();
+    const uint64_t logical_bytes = ctx->num * (key_bytes + ctx->value_size);
+
+    // Phase 1 — fill-heavy: every key once (so the logical dataset is
+    // exactly --num keys), then --num/2 random overwrites so compactions
+    // have garbage to reclaim.
+    Histogram fill_latency;
+    Random rng(401 + static_cast<uint32_t>(pi));
+    const uint64_t overwrites = ctx->num / 2;
+    const uint64_t fill_start = ctx->clock->NowNanos();
+    for (uint64_t i = 0; i < ctx->num && !InterruptRequested(); ++i) {
+      uint64_t t0 = ctx->clock->NowNanos();
+      RUN_OP(db->Put(WriteOptions(), keys.KeyAt(i), values.For(i)));
+      fill_latency.Add(ctx->clock->NowNanos() - t0);
+    }
+    for (uint64_t i = 0; i < overwrites && !InterruptRequested(); ++i) {
+      uint64_t k = rng.Uniform(ctx->num);
+      uint64_t t0 = ctx->clock->NowNanos();
+      RUN_OP(db->Put(WriteOptions(), keys.KeyAt(k), values.For(k)));
+      fill_latency.Add(ctx->clock->NowNanos() - t0);
+    }
+    const uint64_t fill_nanos = ctx->clock->NowNanos() - fill_start;
+    const uint64_t fill_ops = ctx->num + overwrites;
+    quiesce(db);
+
+    // Post-fill shape + amplification, all from engine properties.
+    uint64_t user_bytes = 0, comp_bytes = 0, l0_bytes = 0, ssd_bytes = 0;
+    uint64_t ssd_runs = 0, max_level = 0;
+    db->GetProperty("pmblade.ssd-user-bytes-written", &user_bytes);
+    db->GetProperty("pmblade.ssd-bytes-written", &comp_bytes);
+    db->GetProperty("pmblade.l0-bytes", &l0_bytes);
+    db->GetProperty("pmblade.ssd-bytes", &ssd_bytes);
+    db->GetProperty("pmblade.num-ssd-runs", &ssd_runs);
+    db->GetProperty("pmblade.max-ssd-level", &max_level);
+    const double write_amp =
+        user_bytes > 0 ? static_cast<double>(comp_bytes) / user_bytes : 0;
+    const double space_amp =
+        logical_bytes > 0
+            ? static_cast<double>(l0_bytes + ssd_bytes) / logical_bytes
+            : 0;
+
+    // Phase 2 — read-heavy: --num zipfian point reads against the shape the
+    // fill left behind (no compaction between phases beyond the quiesce).
+    KeySpec zspec;
+    zspec.num_keys = ctx->num;
+    zspec.zipf_theta = ctx->zipf;
+    KeyGenerator zkeys(zspec);
+    Histogram read_latency;
+    const uint64_t ssd_reads_before = ctx->env->ssd_model()->reads();
+    const uint64_t read_start = ctx->clock->NowNanos();
+    uint64_t read_ops = 0;
+    for (uint64_t i = 0; i < ctx->num && !InterruptRequested(); ++i) {
+      uint64_t k = zkeys.NextIndex();
+      uint64_t t0 = ctx->clock->NowNanos();
+      std::string value;
+      RUN_OP(db->Get(keys.KeyAt(k), &value));
+      read_latency.Add(ctx->clock->NowNanos() - t0);
+      ++read_ops;
+    }
+    const uint64_t read_nanos = ctx->clock->NowNanos() - read_start;
+    const double ssd_reads_per_get =
+        read_ops > 0 ? static_cast<double>(ctx->env->ssd_model()->reads() -
+                                           ssd_reads_before) /
+                           read_ops
+                     : 0;
+
+    // Phase 3 — 50/50 zipfian read/update mix.
+    Histogram mixed_latency;
+    const uint64_t mixed_target = ctx->num / 2;
+    const uint64_t mixed_start = ctx->clock->NowNanos();
+    uint64_t mixed_ops = 0;
+    for (uint64_t i = 0; i < mixed_target && !InterruptRequested(); ++i) {
+      uint64_t k = zkeys.NextIndex();
+      uint64_t t0 = ctx->clock->NowNanos();
+      if (rng.OneIn(2)) {
+        std::string value;
+        RUN_OP(db->Get(keys.KeyAt(k), &value));
+      } else {
+        RUN_OP(db->Put(WriteOptions(), keys.KeyAt(k), values.For(k)));
+      }
+      mixed_latency.Add(ctx->clock->NowNanos() - t0);
+      ++mixed_ops;
+    }
+    const uint64_t mixed_nanos = ctx->clock->NowNanos() - mixed_start;
+
+    const double fill_ops_s =
+        fill_nanos > 0 ? fill_ops * 1e9 / fill_nanos : 0;
+    const double read_ops_s =
+        read_nanos > 0 ? read_ops * 1e9 / read_nanos : 0;
+    const double mixed_ops_s =
+        mixed_nanos > 0 ? mixed_ops * 1e9 / mixed_nanos : 0;
+
+    char row[64];
+    snprintf(row, sizeof(row), "%s/fill", policy);
+    Report(row, fill_ops, fill_nanos, fill_latency);
+    snprintf(row, sizeof(row), "%s/read", policy);
+    Report(row, read_ops, read_nanos, read_latency);
+    snprintf(row, sizeof(row), "%s/mixed", policy);
+    Report(row, mixed_ops, mixed_nanos, mixed_latency);
+    printf("%-12s : write_amp %.2f, space_amp %.2f, %llu runs (max level "
+           "%llu), %.2f ssd reads/get\n",
+           policy, write_amp, space_amp,
+           static_cast<unsigned long long>(ssd_runs),
+           static_cast<unsigned long long>(max_level), ssd_reads_per_get);
+    table.AddRow({policy, TablePrinter::Fmt(fill_ops_s, 0),
+                  TablePrinter::Fmt(write_amp, 2),
+                  TablePrinter::Fmt(space_amp, 2), std::to_string(ssd_runs),
+                  TablePrinter::Fmt(read_ops_s, 0),
+                  TablePrinter::Fmt(ssd_reads_per_get, 2),
+                  TablePrinter::Fmt(mixed_ops_s, 0)});
+
+    char point[768];
+    snprintf(point, sizeof(point),
+             "  {\"policy\": \"%s\", "
+             "\"fill\": {\"ops\": %llu, \"ops_per_sec\": %.0f, "
+             "\"p99_us\": %.2f, \"write_amp\": %.4f, \"space_amp\": %.4f, "
+             "\"user_bytes\": %llu, \"compaction_bytes\": %llu, "
+             "\"ssd_runs\": %llu, \"max_ssd_level\": %llu}, "
+             "\"read\": {\"ops\": %llu, \"ops_per_sec\": %.0f, "
+             "\"p99_us\": %.2f, \"ssd_reads_per_get\": %.3f}, "
+             "\"mixed\": {\"ops\": %llu, \"ops_per_sec\": %.0f, "
+             "\"p99_us\": %.2f}}%s\n",
+             policy, static_cast<unsigned long long>(fill_ops), fill_ops_s,
+             fill_latency.Percentile(99) / 1000.0, write_amp, space_amp,
+             static_cast<unsigned long long>(user_bytes),
+             static_cast<unsigned long long>(comp_bytes),
+             static_cast<unsigned long long>(ssd_runs),
+             static_cast<unsigned long long>(max_level),
+             static_cast<unsigned long long>(read_ops), read_ops_s,
+             read_latency.Percentile(99) / 1000.0, ssd_reads_per_get,
+             static_cast<unsigned long long>(mixed_ops), mixed_ops_s,
+             mixed_latency.Percentile(99) / 1000.0, pi + 1 < 3 ? "," : "");
+    json += point;
+  }
+  if (json.size() >= 2 && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);
+  }
+  json += "]\n";
+
+  table.Print("policy_sweep (memtable=" +
+              std::to_string(opts->memtable_bytes) + "B, l0_budget=" +
+              std::to_string(opts->l0_budget_large) + "B, size_ratio=" +
+              std::to_string(opts->compaction_size_ratio) + ", zipf=" +
+              TablePrinter::Fmt(ctx->zipf, 2) + ")");
+  FILE* out = fopen("BENCH_compaction_policy.json", "w");
+  if (out != nullptr) {
+    fputs(json.c_str(), out);
+    fclose(out);
+    printf("wrote BENCH_compaction_policy.json\n");
+  }
+
+  // Restore the configuration the rest of the benchmark list expects.
+  *ctx->env->mutable_options() = saved;
+  KvEngine* engine = nullptr;
+  Status s = ctx->env->OpenEngine(ctx->env->config(), &engine);
+  if (!s.ok()) {
+    fprintf(stderr, "policy_sweep restore: %s\n", s.ToString().c_str());
     exit(1);
   }
   ctx->engine = engine;
@@ -1155,6 +1393,9 @@ void RunBenchmark(Context* ctx, const std::string& name) {
   } else if (name == "shard_scaling") {
     RunShardScaling(ctx);
     return;
+  } else if (name == "policy_sweep") {
+    RunPolicySweep(ctx);
+    return;
   } else if (name == "flush") {
     timed([&] { RUN_OP(ctx->engine->Flush()); });
   } else if (name == "compact") {
@@ -1188,6 +1429,20 @@ int main(int argc, char** argv) {
   InstallInterruptHandler();
   Flags flags(argc, argv);
 
+  // Strict flag parsing: a typo like --polcy= silently benchmarking the
+  // default policy is worse than an error.
+  std::vector<std::string> unknown = flags.Unknown(
+      {"engine", "benchmarks", "num", "value_size", "zipf", "scan_length",
+       "writers", "compaction_workers", "shards", "sync_writes", "db",
+       "inject_latency", "memtable_bytes", "partitions", "policy",
+       "size_ratio", "ssd_levels", "stats_dump"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown) {
+      fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    }
+    return 1;
+  }
+
   std::string engine_name = flags.Str("engine", "pmblade");
   EngineConfig config;
   if (engine_name == "pmblade") config = EngineConfig::kPmBlade;
@@ -1219,6 +1474,16 @@ int main(int argc, char** argv) {
   eopts.inject_pm_latency = flags.Bool("inject_latency", true);
   eopts.memtable_bytes = flags.Int("memtable_bytes", 1 << 20);
   eopts.num_shards = ctx.shards;
+  eopts.compaction_policy = flags.Str("policy", "leveled");
+  if (!IsValidCompactionPolicy(eopts.compaction_policy)) {
+    fprintf(stderr,
+            "unknown --policy '%s' (want leveled|tiered|lazy_leveling)\n",
+            eopts.compaction_policy.c_str());
+    return 1;
+  }
+  eopts.compaction_size_ratio =
+      static_cast<uint32_t>(flags.Int("size_ratio", 4));
+  eopts.max_ssd_levels = static_cast<uint32_t>(flags.Int("ssd_levels", 3));
   KeySpec bspec;
   bspec.num_keys = ctx.num;
   eopts.partition_boundaries = KeyGenerator(bspec).PartitionBoundaries(

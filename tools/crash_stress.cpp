@@ -25,6 +25,7 @@
 
 #include "benchutil/flags.h"
 #include "benchutil/interrupt.h"
+#include "compaction/policy/compaction_picker.h"
 #include "tests/crash_harness.h"
 #include "tests/sharded_crash_harness.h"
 #include "util/clock.h"
@@ -38,6 +39,8 @@ void Usage() {
           "(default 200)\n"
           "  --seed=S          workload/crash seed (default: from clock)\n"
           "  --layout=pm|ssd   level-0 layout (default pm)\n"
+          "  --policy=NAME     SSD compaction policy: leveled (default),\n"
+          "                    tiered or lazy_leveling\n"
           "  --pm-crash-sim    enable PM persist-granularity faults\n"
           "  --all-layouts     run pm, ssd and pm+crash-sim configurations\n"
           "  --shards=N        drive an N-shard ShardedDB instead: random\n"
@@ -92,8 +95,8 @@ int main(int argc, char** argv) {
 
   bench::Flags flags(argc, argv);
   std::vector<std::string> unknown = flags.Unknown(
-      {"cycles", "seed", "layout", "pm-crash-sim", "all-layouts", "max-ops",
-       "dir", "json", "verbose", "shards"});
+      {"cycles", "seed", "layout", "policy", "pm-crash-sim", "all-layouts",
+       "max-ops", "dir", "json", "verbose", "shards"});
   if (!unknown.empty() || !flags.positional().empty()) {
     for (const auto& f : unknown) {
       fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -112,6 +115,13 @@ int main(int argc, char** argv) {
       "seed",
       static_cast<int64_t>(pmblade::SystemClock()->NowNanos() / 1000000)));
   std::string layout = flags.Str("layout", "pm");
+  std::string policy = flags.Str("policy", "leveled");
+  if (!pmblade::IsValidCompactionPolicy(policy)) {
+    fprintf(stderr,
+            "unknown --policy '%s' (want leveled|tiered|lazy_leveling)\n",
+            policy.c_str());
+    return 2;
+  }
   const bool pm_crash_sim = flags.Bool("pm-crash-sim", false);
   const bool all_layouts = flags.Bool("all-layouts", false);
   long max_ops = static_cast<long>(flags.Int("max-ops", 120));
@@ -148,6 +158,7 @@ int main(int argc, char** argv) {
     opts.cycles = static_cast<int>(cycles);
     opts.num_shards = static_cast<uint32_t>(shards);
     opts.max_ops_per_cycle = static_cast<int>(max_ops);
+    opts.compaction_policy = policy;
     opts.verbose = verbose;
     opts.stop_requested = [] { return bench::InterruptRequested(); };
 
@@ -224,6 +235,7 @@ int main(int argc, char** argv) {
     opts.l0_layout = config.layout;
     opts.pm_crash_sim = config.pm_crash_sim;
     opts.max_ops_per_cycle = static_cast<int>(max_ops);
+    opts.compaction_policy = policy;
     opts.verbose = verbose;
     opts.stop_requested = [] { return bench::InterruptRequested(); };
 
@@ -240,10 +252,12 @@ int main(int argc, char** argv) {
              result.between_op_crashes, result.ops_issued);
     } else {
       printf("   FAIL at cycle %d: %s\n   replay: crash_stress --seed=%llu "
-             "--cycles=%ld --layout=%s%s\n",
+             "--cycles=%ld --layout=%s%s%s\n",
              result.failed_cycle, result.failure.c_str(), seed, cycles,
              config.layout == pmblade::L0Layout::kSstable ? "ssd" : "pm",
-             config.pm_crash_sim ? " --pm-crash-sim" : "");
+             config.pm_crash_sim ? " --pm-crash-sim" : "",
+             policy == "leveled" ? ""
+                                 : (" --policy=" + policy).c_str());
       ok = false;
     }
     fflush(stdout);
